@@ -1,0 +1,102 @@
+//! The dense ("full") index baseline: one B+ tree entry per key.
+
+use crate::OrderedIndex;
+use fiting_btree::BPlusTree;
+use fiting_tree::Key;
+
+/// A dense B+ tree index: every key appears in a leaf.
+///
+/// This is the paper's latency gold standard — no interpolation, no
+/// window search, just a tree descent — and its memory worst case: the
+/// index grows linearly with the number of distinct keys, which is
+/// exactly the problem the FITing-Tree attacks.
+#[derive(Debug, Clone)]
+pub struct FullIndex<K: Key, V> {
+    tree: BPlusTree<K, V>,
+}
+
+impl<K: Key, V> FullIndex<K, V> {
+    /// Builds from strictly increasing `(key, value)` pairs.
+    #[must_use]
+    pub fn bulk_load<I: IntoIterator<Item = (K, V)>>(pairs: I) -> Self {
+        FullIndex {
+            tree: BPlusTree::bulk_load(pairs),
+        }
+    }
+
+    /// An empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        FullIndex {
+            tree: BPlusTree::new(),
+        }
+    }
+
+    /// Removes a key.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.tree.remove(key)
+    }
+
+    /// Underlying tree statistics.
+    #[must_use]
+    pub fn stats(&self) -> fiting_btree::TreeStats {
+        self.tree.stats()
+    }
+}
+
+impl<K: Key, V> Default for FullIndex<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Key, V> OrderedIndex<K, V> for FullIndex<K, V> {
+    fn name(&self) -> &'static str {
+        "Full"
+    }
+
+    fn get(&self, key: &K) -> Option<&V> {
+        self.tree.get(key)
+    }
+
+    fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.tree.insert(key, value)
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    fn for_each_in_range(&self, lo: &K, hi: &K, f: &mut dyn FnMut(&K, &V)) {
+        for (k, v) in self.tree.range(*lo..=*hi) {
+            f(k, v);
+        }
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.tree.size_in_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_index_roundtrip() {
+        let mut idx = FullIndex::bulk_load((0..10_000u64).map(|k| (k * 3, k)));
+        assert_eq!(idx.len(), 10_000);
+        assert_eq!(idx.get(&(3 * 777)), Some(&777));
+        assert_eq!(idx.get(&1), None);
+        assert_eq!(idx.insert(1, 1), None);
+        assert_eq!(idx.remove(&1), Some(1));
+    }
+
+    #[test]
+    fn size_grows_linearly_with_keys() {
+        let small = FullIndex::bulk_load((0..1_000u64).map(|k| (k, k)));
+        let big = FullIndex::bulk_load((0..100_000u64).map(|k| (k, k)));
+        let ratio = big.index_size_bytes() as f64 / small.index_size_bytes() as f64;
+        assert!(ratio > 50.0 && ratio < 200.0, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Baseline index structures from the FITing-Tree paper's evaluation
+//! (Section 7.1): every system the paper compares against, built on the
+//! same B+ tree substrate as the FITing-Tree itself — the paper's
+//! fairness rule ("it is important that we keep the underlying tree
+//! implementation the same for all baselines").
+//!
+//! * [`FullIndex`] — a dense B+ tree: one leaf entry per key. The
+//!   latency gold standard and the memory hog (paper: "a full index can
+//!   be seen as best case baseline for lookup performance").
+//! * [`FixedPageIndex`] — a sparse index over fixed-size pages: the tree
+//!   holds only each page's first key. What you get when you page data
+//!   without looking at its distribution.
+//! * [`BinarySearchIndex`] — plain binary search over the sorted data:
+//!   zero index bytes, `log2(n)` probes. The other end of the spectrum.
+//!
+//! All baselines and the FITing-Tree implement [`OrderedIndex`], the
+//! interface the benchmark harness drives.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod binary;
+mod fixed;
+mod full;
+
+pub use binary::BinarySearchIndex;
+pub use fixed::FixedPageIndex;
+pub use full::FullIndex;
+
+use fiting_tree::{FitingTree, Key};
+
+/// The common interface the benchmark harness drives: point lookups,
+/// inserts, ordered range scans, and index-size accounting.
+pub trait OrderedIndex<K: Key, V> {
+    /// Display name for benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Point lookup.
+    fn get(&self, key: &K) -> Option<&V>;
+
+    /// Insert, returning the previous value for an existing key.
+    fn insert(&mut self, key: K, value: V) -> Option<V>;
+
+    /// Number of entries.
+    fn len(&self) -> usize;
+
+    /// Whether the index holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Calls `f` for every entry with key in `[lo, hi]`, in key order.
+    fn for_each_in_range(&self, lo: &K, hi: &K, f: &mut dyn FnMut(&K, &V));
+
+    /// Bytes of index structure (excluding the table data itself). The
+    /// quantity on the x-axis of the paper's Figure 6.
+    fn index_size_bytes(&self) -> usize;
+
+    /// Number of entries in `[lo, hi]` (convenience over
+    /// [`for_each_in_range`](Self::for_each_in_range)).
+    fn range_count(&self, lo: &K, hi: &K) -> usize {
+        let mut n = 0;
+        self.for_each_in_range(lo, hi, &mut |_, _| n += 1);
+        n
+    }
+}
+
+impl<K: Key, V> OrderedIndex<K, V> for FitingTree<K, V> {
+    fn name(&self) -> &'static str {
+        "FITing-Tree"
+    }
+
+    fn get(&self, key: &K) -> Option<&V> {
+        FitingTree::get(self, key)
+    }
+
+    fn insert(&mut self, key: K, value: V) -> Option<V> {
+        FitingTree::insert(self, key, value)
+    }
+
+    fn len(&self) -> usize {
+        FitingTree::len(self)
+    }
+
+    fn for_each_in_range(&self, lo: &K, hi: &K, f: &mut dyn FnMut(&K, &V)) {
+        for (k, v) in self.range(*lo..=*hi) {
+            f(k, v);
+        }
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        FitingTree::index_size_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+    use fiting_tree::FitingTreeBuilder;
+
+    /// Exercises every implementation through the trait object interface
+    /// the harness uses.
+    fn drive(index: &mut dyn OrderedIndex<u64, u64>) {
+        assert_eq!(index.len(), 1000);
+        for k in (0..1000u64).step_by(13) {
+            assert_eq!(index.get(&(k * 2)), Some(&k));
+            assert_eq!(index.get(&(k * 2 + 1)), None);
+        }
+        assert_eq!(index.insert(5, 555), None);
+        assert_eq!(index.get(&5), Some(&555));
+        assert_eq!(index.len(), 1001);
+        assert_eq!(index.range_count(&0, &20), 11 + 1); // evens 0..=20 plus key 5
+        let mut collected = Vec::new();
+        index.for_each_in_range(&0, &8, &mut |k, v| collected.push((*k, *v)));
+        assert_eq!(collected, vec![(0, 0), (2, 1), (4, 2), (5, 555), (6, 3), (8, 4)]);
+    }
+
+    #[test]
+    fn all_implementations_agree() {
+        let pairs: Vec<(u64, u64)> = (0..1000u64).map(|k| (k * 2, k)).collect();
+        let mut fiting = FitingTreeBuilder::new(32).bulk_load(pairs.clone()).unwrap();
+        let mut full = FullIndex::bulk_load(pairs.clone());
+        let mut fixed = FixedPageIndex::bulk_load(64, pairs.clone());
+        let mut binary = BinarySearchIndex::bulk_load(pairs);
+        drive(&mut fiting);
+        drive(&mut full);
+        drive(&mut fixed);
+        drive(&mut binary);
+    }
+
+    #[test]
+    fn index_sizes_are_ordered_as_the_paper_reports() {
+        // Dense > fixed-page > FITing-Tree > binary (= 0), on linear data.
+        let pairs: Vec<(u64, u64)> = (0..100_000u64).map(|k| (k, k)).collect();
+        let fiting = FitingTreeBuilder::new(64).bulk_load(pairs.clone()).unwrap();
+        let full = FullIndex::bulk_load(pairs.clone());
+        let fixed = FixedPageIndex::bulk_load(128, pairs.clone());
+        let binary = BinarySearchIndex::bulk_load(pairs);
+        assert!(full.index_size_bytes() > fixed.index_size_bytes());
+        assert!(fixed.index_size_bytes() > fiting.index_size_bytes());
+        assert_eq!(binary.index_size_bytes(), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion microbench: one-pass bulk loading (paper Section 3) across
+//! error thresholds and index types.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fiting_baselines::{FixedPageIndex, FullIndex};
+use fiting_bench::enumerate_pairs;
+use fiting_datasets::Dataset;
+use fiting_tree::FitingTreeBuilder;
+use std::hint::black_box;
+
+const N: usize = 200_000;
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut keys = Dataset::Iot.generate(N, 42);
+    keys.dedup();
+    let pairs = enumerate_pairs(&keys);
+
+    let mut group = c.benchmark_group("bulk_load_iot");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    for error in [32u64, 1024] {
+        group.bench_with_input(BenchmarkId::new("fiting", error), &error, |b, &e| {
+            b.iter(|| {
+                black_box(
+                    FitingTreeBuilder::new(e)
+                        .bulk_load(pairs.iter().copied())
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.bench_function("fixed_page_64", |b| {
+        b.iter(|| black_box(FixedPageIndex::bulk_load(64, pairs.iter().copied())))
+    });
+    group.bench_function("full", |b| {
+        b.iter(|| black_box(FullIndex::bulk_load(pairs.iter().copied())))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bulk_load
+}
+criterion_main!(benches);

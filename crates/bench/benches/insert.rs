@@ -1,0 +1,90 @@
+//! Criterion microbench: inserts with buffered re-segmentation (the
+//! paper's Figure 7/12 operation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fiting_baselines::{FixedPageIndex, FullIndex, OrderedIndex};
+use fiting_bench::enumerate_pairs;
+use fiting_datasets::Dataset;
+use fiting_tree::FitingTreeBuilder;
+use std::hint::black_box;
+
+const N: usize = 200_000;
+const BATCH: u64 = 1_024;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut keys = Dataset::Weblogs.generate(N, 42);
+    keys.dedup();
+    let pairs = enumerate_pairs(&keys);
+    let top = *keys.last().unwrap();
+
+    let mut group = c.benchmark_group("insert_weblogs");
+    for error in [64u64, 1024] {
+        group.bench_with_input(BenchmarkId::new("fiting", error), &error, |b, &e| {
+            b.iter_batched(
+                || FitingTreeBuilder::new(e).bulk_load(pairs.iter().copied()).unwrap(),
+                |mut tree| {
+                    for i in 0..BATCH {
+                        black_box(tree.insert(top + 1 + i, i));
+                    }
+                    tree
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("fixed", error), &error, |b, &e| {
+            b.iter_batched(
+                || FixedPageIndex::bulk_load(e as usize, pairs.iter().copied()),
+                |mut idx| {
+                    for i in 0..BATCH {
+                        black_box(idx.insert(top + 1 + i, i));
+                    }
+                    idx
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.bench_function("full", |b| {
+        b.iter_batched(
+            || FullIndex::bulk_load(pairs.iter().copied()),
+            |mut idx| {
+                for i in 0..BATCH {
+                    black_box(idx.insert(top + 1 + i, i));
+                }
+                idx
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    // Ablation: buffer size (Figure 12).
+    let mut group = c.benchmark_group("insert_buffer_size");
+    for buffer in [16u64, 256, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(buffer), &buffer, |b, &bu| {
+            b.iter_batched(
+                || {
+                    FitingTreeBuilder::new(8_192)
+                        .buffer_size(bu)
+                        .bulk_load(pairs.iter().copied())
+                        .unwrap()
+                },
+                |mut tree| {
+                    for i in 0..BATCH {
+                        black_box(tree.insert(top + 1 + i, i));
+                    }
+                    tree
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_insert
+}
+criterion_main!(benches);

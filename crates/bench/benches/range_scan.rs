@@ -1,0 +1,63 @@
+//! Criterion microbench: range queries (paper Section 4.2).
+//!
+//! A range query pays one point lookup to find the range start, then a
+//! sequential scan whose cost is the query's selectivity — so the
+//! interesting comparison is across selectivities and between the
+//! FITing-Tree's segment-merging iterator and the baselines' leaf scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fiting_baselines::{BinarySearchIndex, FullIndex, OrderedIndex};
+use fiting_bench::enumerate_pairs;
+use fiting_datasets::Dataset;
+use fiting_tree::FitingTreeBuilder;
+use std::hint::black_box;
+
+const N: usize = 500_000;
+
+fn bench_range(c: &mut Criterion) {
+    let mut keys = Dataset::Weblogs.generate(N, 42);
+    keys.dedup();
+    let pairs = enumerate_pairs(&keys);
+    let tree = FitingTreeBuilder::new(256).bulk_load(pairs.iter().copied()).unwrap();
+    let full = FullIndex::bulk_load(pairs.iter().copied());
+    let bin = BinarySearchIndex::bulk_load(pairs.iter().copied());
+
+    // Ranges anchored mid-dataset with increasing selectivity.
+    for rows in [100usize, 10_000] {
+        let lo = keys[N / 3];
+        let hi = keys[N / 3 + rows - 1];
+        let mut group = c.benchmark_group(format!("range_scan_{rows}_rows"));
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_function(BenchmarkId::new("fiting", rows), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for (_, v) in tree.range(lo..=hi) {
+                    acc = acc.wrapping_add(*v);
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function(BenchmarkId::new("full", rows), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                full.for_each_in_range(&lo, &hi, &mut |_, v| acc = acc.wrapping_add(*v));
+                black_box(acc)
+            })
+        });
+        group.bench_function(BenchmarkId::new("binary", rows), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                bin.for_each_in_range(&lo, &hi, &mut |_, v| acc = acc.wrapping_add(*v));
+                black_box(acc)
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_range
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion microbench: ShrinkingCone vs the optimal DP (the Table 1
+//! cost comparison — the greedy is O(n), the DP is O(n·L)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fiting_datasets::Dataset;
+use fiting_plr::{optimal_segment_count, Point, ShrinkingCone};
+use std::hint::black_box;
+
+fn points(n: usize) -> Vec<Point> {
+    Dataset::Iot
+        .generate(n, 42)
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| Point::new(k as f64, i as u64))
+        .collect()
+}
+
+fn bench_segmentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segmentation");
+    let big = points(500_000);
+    group.throughput(Throughput::Elements(big.len() as u64));
+    for error in [10u64, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("shrinking_cone", error), &error, |b, &e| {
+            b.iter(|| black_box(ShrinkingCone::segment(&big, e).len()))
+        });
+    }
+    group.finish();
+
+    // The DP is quadratic-ish: bench it at a smaller scale.
+    let mut group = c.benchmark_group("segmentation_optimal");
+    let small = points(5_000);
+    group.throughput(Throughput::Elements(small.len() as u64));
+    for error in [10u64, 100] {
+        group.bench_with_input(BenchmarkId::new("optimal_dp", error), &error, |b, &e| {
+            b.iter(|| black_box(optimal_segment_count(&small, e)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_segmentation
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! **Ablation** (DESIGN.md §5, beyond the paper's figures): how the
+//! design choices inside the FITing-Tree's lookup path interact.
+//!
+//! 1. In-segment search strategy × error threshold — the paper
+//!    (Section 4.1.2) defaults to binary search and remarks that linear
+//!    wins at very small errors; we add galloping and in-window
+//!    interpolation search.
+//! 2. Buffer split ratio — the paper fixes buffer = error/2 for the
+//!    Figure 7 comparison; we sweep the ratio at a fixed total error to
+//!    show the read-side cost of write headroom.
+//!
+//! Run: `cargo run --release -p fiting-bench --bin ablation`
+
+use fiting_bench::{
+    default_n, default_probes, default_seed, dedup_pairs, print_table, sample_probes, time_per_op,
+};
+use fiting_datasets::Dataset;
+use fiting_tree::{FitingTreeBuilder, SearchStrategy};
+
+fn main() {
+    let n = default_n();
+    let probes_n = default_probes();
+    let seed = default_seed();
+    println!("# Ablations ({n} rows, {probes_n} probes, Weblogs)");
+
+    let pairs = dedup_pairs(Dataset::Weblogs.generate(n, seed));
+    let keys: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
+    let probes = sample_probes(&keys, probes_n, seed);
+
+    // 1. Search strategy × error.
+    let strategies = [
+        ("binary", SearchStrategy::Binary),
+        ("linear", SearchStrategy::Linear),
+        ("gallop", SearchStrategy::Exponential),
+        ("interp", SearchStrategy::Interpolation),
+    ];
+    let mut rows = Vec::new();
+    for error in [8u64, 64, 512, 4096] {
+        let mut row = vec![error.to_string()];
+        for (_, strategy) in strategies {
+            let tree = FitingTreeBuilder::new(error)
+                .search_strategy(strategy)
+                .bulk_load(pairs.iter().copied())
+                .unwrap();
+            let ns = time_per_op(&probes, |p| tree.get(&p).copied());
+            row.push(format!("{ns:.0}"));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "lookup ns by in-segment search strategy",
+        &["error", "binary", "linear", "gallop", "interp"],
+        &rows,
+    );
+
+    // 2. Buffer split ratio at fixed total error.
+    let total_error = 1024u64;
+    let mut rows = Vec::new();
+    for (label, buffer) in [
+        ("1/8", total_error / 8),
+        ("1/4", total_error / 4),
+        ("1/2 (paper)", total_error / 2),
+        ("7/8", total_error * 7 / 8),
+    ] {
+        let tree = FitingTreeBuilder::new(total_error)
+            .buffer_size(buffer)
+            .bulk_load(pairs.iter().copied())
+            .unwrap();
+        let ns = time_per_op(&probes, |p| tree.get(&p).copied());
+        rows.push(vec![
+            label.to_string(),
+            buffer.to_string(),
+            (total_error - buffer).to_string(),
+            format!("{ns:.0}"),
+            tree.segment_count().to_string(),
+        ]);
+    }
+    print_table(
+        &format!("lookup ns by buffer split (total error {total_error})"),
+        &["split", "buffer", "seg error", "ns/lookup", "segments"],
+        &rows,
+    );
+    println!("\nReading: small errors favor linear scans; large errors favor binary or");
+    println!("galloping. Larger buffers shrink the segmentation budget, producing more");
+    println!("segments (bigger directory) in exchange for cheaper inserts.");
+}

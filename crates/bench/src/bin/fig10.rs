@@ -1,0 +1,74 @@
+//! **Figure 10**: cost-model accuracy on Weblogs.
+//!
+//! (a) estimated vs measured lookup latency across error thresholds —
+//! the estimate must be an *upper bound* (the model ignores CPU caches);
+//! (b) estimated vs actual index size — the estimate must be pessimistic
+//! but track the actual closely.
+//!
+//! The random-access constant `c` is measured on this machine via a
+//! dependent pointer chase (the paper measured ≈50 ns on its testbed).
+//!
+//! Run: `cargo run --release -p fiting-bench --bin fig10`
+
+use fiting_bench::{
+    default_n, default_probes, default_seed, fmt_bytes, measure_cache_miss_ns, print_table,
+    sample_probes, time_per_op,
+};
+use fiting_datasets::Dataset;
+use fiting_tree::cost::{CostModel, SegmentCountModel};
+use fiting_tree::FitingTreeBuilder;
+
+fn main() {
+    let n = default_n();
+    let seed = default_seed();
+    let probes_n = default_probes();
+    println!("# Figure 10 — cost model accuracy (Weblogs, {n} rows)");
+
+    let keys = Dataset::Weblogs.generate(n, seed);
+    let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let probes = sample_probes(&keys, probes_n, seed);
+
+    let c = measure_cache_miss_ns();
+    println!("\nmeasured random-access latency c = {c:.1} ns (paper: ~50 ns)");
+
+    let errors: Vec<u64> = vec![16, 64, 256, 1024, 4096, 16384];
+    let seg_model = SegmentCountModel::learn(&keys, &errors);
+    let cost = CostModel {
+        cache_miss_ns: c,
+        ..CostModel::default()
+    };
+
+    let mut rows = Vec::new();
+    for &e in &errors {
+        let tree = FitingTreeBuilder::new(e).bulk_load(pairs.iter().copied()).unwrap();
+        let measured_ns = time_per_op(&probes, |p| tree.get(&p).copied());
+        // The tree segments at the effective error e − e/2 (buffer takes
+        // the other half), so evaluate the learned S_e there.
+        let segs = seg_model.segments_at((e - e / 2).max(1));
+        let est_ns = cost.lookup_latency_ns(e, e / 2, segs);
+        let actual_size = tree.index_size_bytes();
+        let est_size = cost.index_size_bytes(segs);
+        rows.push(vec![
+            e.to_string(),
+            format!("{est_ns:.0}"),
+            format!("{measured_ns:.0}"),
+            if est_ns >= measured_ns { "yes" } else { "NO" }.to_string(),
+            fmt_bytes(est_size as usize),
+            fmt_bytes(actual_size),
+        ]);
+    }
+    print_table(
+        "estimated vs measured (latency in ns, size in bytes)",
+        &[
+            "error",
+            "est latency",
+            "measured latency",
+            "upper bound?",
+            "est size",
+            "actual size",
+        ],
+        &rows,
+    );
+    println!("\nPaper reference (Fig 10): estimated latency upper-bounds measured");
+    println!("latency at every error; estimated size is pessimistic but tracks actual.");
+}

@@ -1,0 +1,208 @@
+//! Shared benchmark harness for the FITing-Tree reproduction.
+//!
+//! Each table/figure of the paper's evaluation has a binary in
+//! `src/bin/` (`table1`, `fig6` … `fig13`) that prints the same
+//! rows/series the paper plots. This library provides the pieces they
+//! share: environment-tunable scales, workload generation, wall-clock
+//! measurement, and table formatting.
+//!
+//! # Environment knobs
+//!
+//! | Variable | Meaning | Used by |
+//! |---|---|---|
+//! | `FITING_N` | dataset rows | fig6, fig7, fig10–13 |
+//! | `FITING_TABLE1_N` | sample size for the optimal DP | table1 |
+//! | `FITING_PROBES` | lookups measured per configuration | all lookup benches |
+//! | `FITING_SEED` | generator seed | all |
+//!
+//! Defaults are laptop-scale (the paper runs 1.5–2B rows on a 256 GB
+//! server); the comparative shapes are what reproduce, not absolute
+//! nanoseconds.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Reads a `usize` knob from the environment.
+#[must_use]
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.replace('_', "").parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a `u64` knob from the environment.
+#[must_use]
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.replace('_', "").parse().ok())
+        .unwrap_or(default)
+}
+
+/// Dataset rows for the figure binaries.
+#[must_use]
+pub fn default_n() -> usize {
+    env_usize("FITING_N", 1_000_000)
+}
+
+/// Lookup probes per configuration.
+#[must_use]
+pub fn default_probes() -> usize {
+    env_usize("FITING_PROBES", 200_000)
+}
+
+/// Generator seed.
+#[must_use]
+pub fn default_seed() -> u64 {
+    env_u64("FITING_SEED", 42)
+}
+
+/// Samples `count` existing keys uniformly at random (the paper's
+/// point-lookup workload).
+#[must_use]
+pub fn sample_probes(keys: &[u64], count: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    (0..count)
+        .map(|_| keys[rng.gen_range(0..keys.len())])
+        .collect()
+}
+
+/// Times `f` over `probes`, returning mean nanoseconds per call.
+pub fn time_per_op<T>(probes: &[u64], mut f: impl FnMut(u64) -> T) -> f64 {
+    assert!(!probes.is_empty());
+    let start = Instant::now();
+    for &p in probes {
+        black_box(f(black_box(p)));
+    }
+    start.elapsed().as_nanos() as f64 / probes.len() as f64
+}
+
+/// Times `f` over `items`, returning throughput in million ops/second.
+pub fn throughput_mops<T>(items: &[u64], mut f: impl FnMut(u64) -> T) -> f64 {
+    assert!(!items.is_empty());
+    let start = Instant::now();
+    for &i in items {
+        black_box(f(black_box(i)));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    items.len() as f64 / secs / 1e6
+}
+
+/// Measures the machine's random-access latency (the cost model's `c`):
+/// a dependent pointer chase over a buffer far larger than L3.
+#[must_use]
+pub fn measure_cache_miss_ns() -> f64 {
+    const SLOTS: usize = 1 << 23; // 64 MB of u64 slots
+    const HOPS: usize = 2_000_000;
+    let mut rng = StdRng::seed_from_u64(7);
+    // Random cyclic permutation (Sattolo) for a dependent chase.
+    let mut next: Vec<u32> = (0..SLOTS as u32).collect();
+    for i in (1..SLOTS).rev() {
+        let j = rng.gen_range(0..i);
+        next.swap(i, j);
+    }
+    let mut pos = 0u32;
+    let start = Instant::now();
+    for _ in 0..HOPS {
+        pos = next[pos as usize];
+    }
+    black_box(pos);
+    start.elapsed().as_nanos() as f64 / HOPS as f64
+}
+
+/// Formats a byte count the way the paper's axes do.
+#[must_use]
+pub fn fmt_bytes(bytes: usize) -> String {
+    const K: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= K * K * K {
+        format!("{:.2} GB", b / K / K / K)
+    } else if b >= K * K {
+        format!("{:.2} MB", b / K / K)
+    } else if b >= K {
+        format!("{:.2} KB", b / K)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Prints a markdown table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Pairs up sorted keys with their ordinal as the value — the standard
+/// "indexed attribute → row" table used across the benches.
+#[must_use]
+pub fn enumerate_pairs(keys: &[u64]) -> Vec<(u64, u64)> {
+    keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect()
+}
+
+/// Deduplicates sorted keys in place and re-enumerates (clustered
+/// indexes need unique keys).
+#[must_use]
+pub fn dedup_pairs(mut keys: Vec<u64>) -> Vec<(u64, u64)> {
+    keys.dedup();
+    enumerate_pairs(&keys)
+}
+
+/// Standard sweep of error thresholds / page sizes used by Figures 6
+/// and 13: powers of four from 16 to 65536.
+#[must_use]
+pub fn error_sweep() -> Vec<u64> {
+    vec![16, 64, 256, 1024, 4096, 16384, 65536]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_with_underscores() {
+        std::env::set_var("FITING_TEST_KNOB", "1_000_000");
+        assert_eq!(env_usize("FITING_TEST_KNOB", 5), 1_000_000);
+        assert_eq!(env_usize("FITING_TEST_KNOB_MISSING", 5), 5);
+    }
+
+    #[test]
+    fn probes_come_from_the_key_set() {
+        let keys: Vec<u64> = (0..1000).map(|k| k * 3).collect();
+        let probes = sample_probes(&keys, 100, 1);
+        assert_eq!(probes.len(), 100);
+        assert!(probes.iter().all(|p| p % 3 == 0));
+    }
+
+    #[test]
+    fn timing_helpers_return_positive() {
+        let probes: Vec<u64> = (0..1000).collect();
+        let ns = time_per_op(&probes, |p| p * 2);
+        assert!(ns >= 0.0);
+        let mops = throughput_mops(&probes, |p| p * 2);
+        assert!(mops > 0.0);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KB");
+        assert!(fmt_bytes(3 * 1024 * 1024).contains("MB"));
+        assert!(fmt_bytes(2 * 1024 * 1024 * 1024).contains("GB"));
+    }
+
+    #[test]
+    fn dedup_pairs_reenumerates() {
+        let pairs = dedup_pairs(vec![1, 1, 2, 5, 5, 5, 9]);
+        assert_eq!(pairs, vec![(1, 0), (2, 1), (5, 2), (9, 3)]);
+    }
+}

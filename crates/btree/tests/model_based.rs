@@ -1,0 +1,107 @@
+//! Model-based tests: the B+ tree must agree with `std::collections::BTreeMap`
+//! under arbitrary operation sequences, for every supported node order.
+
+use fiting_btree::{BPlusTree, MIN_ORDER};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    Get(u16),
+    Floor(u16),
+    Ceiling(u16),
+    Range(u16, u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        2 => any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+        1 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
+        1 => any::<u16>().prop_map(|k| Op::Floor(k % 512)),
+        1 => any::<u16>().prop_map(|k| Op::Ceiling(k % 512)),
+        1 => (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Range(a % 512, b % 512)),
+    ]
+}
+
+fn run_ops(order: usize, ops: Vec<Op>) {
+    let mut tree: BPlusTree<u16, u32> = BPlusTree::with_order(order);
+    let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Insert(k, v) => {
+                assert_eq!(tree.insert(k, v), model.insert(k, v));
+            }
+            Op::Remove(k) => {
+                assert_eq!(tree.remove(&k), model.remove(&k));
+            }
+            Op::Get(k) => {
+                assert_eq!(tree.get(&k), model.get(&k));
+            }
+            Op::Floor(k) => {
+                let want = model.range(..=k).next_back();
+                assert_eq!(tree.floor(&k), want);
+            }
+            Op::Ceiling(k) => {
+                let want = model
+                    .range((Bound::Included(k), Bound::Unbounded))
+                    .next();
+                assert_eq!(tree.ceiling(&k), want);
+            }
+            Op::Range(a, b) => {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let got: Vec<(u16, u32)> = tree.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                let want: Vec<(u16, u32)> = model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                assert_eq!(got, want);
+            }
+        }
+        assert_eq!(tree.len(), model.len());
+    }
+    tree.check_invariants().unwrap();
+    let got: Vec<(u16, u32)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+    let want: Vec<(u16, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(got, want);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn agrees_with_btreemap_min_order(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+        run_ops(MIN_ORDER, ops);
+    }
+
+    #[test]
+    fn agrees_with_btreemap_default_order(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+        run_ops(16, ops);
+    }
+
+    #[test]
+    fn agrees_with_btreemap_wide_order(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+        run_ops(64, ops);
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental(keys in proptest::collection::btree_set(any::<u32>(), 0..500)) {
+        let pairs: Vec<(u32, u32)> = keys.iter().map(|&k| (k, k ^ 0xdead)).collect();
+        let bulk = BPlusTree::bulk_load(pairs.clone());
+        let incr: BPlusTree<u32, u32> = pairs.iter().cloned().collect();
+        bulk.check_invariants().unwrap();
+        prop_assert_eq!(bulk.len(), incr.len());
+        let a: Vec<(u32, u32)> = bulk.iter().map(|(k, v)| (*k, *v)).collect();
+        let b: Vec<(u32, u32)> = incr.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn floor_ceiling_total(keys in proptest::collection::btree_set(0u32..10_000, 1..300), probe in 0u32..10_000) {
+        let tree = BPlusTree::bulk_load(keys.iter().map(|&k| (k, ())));
+        let floor = tree.floor(&probe).map(|(k, _)| *k);
+        let ceiling = tree.ceiling(&probe).map(|(k, _)| *k);
+        prop_assert_eq!(floor, keys.range(..=probe).next_back().copied());
+        prop_assert_eq!(ceiling, keys.range(probe..).next().copied());
+    }
+}

@@ -1,0 +1,744 @@
+//! The clustered FITing-Tree (paper Figure 2): unique keys over a sorted
+//! attribute, segments stored in a B+ tree keyed by segment start.
+
+use crate::builder::FitingTreeBuilder;
+use crate::error::BuildError;
+use crate::key::Key;
+use crate::range::RangeIter;
+use crate::segment::{SearchStrategy, Segment};
+use crate::stats::{FitingTreeStats, LookupTrace};
+use crate::SEGMENT_METADATA_BYTES;
+use fiting_btree::BPlusTree;
+use fiting_plr::{Point, ShrinkingCone};
+use std::ops::RangeBounds;
+use std::time::Instant;
+
+/// A clustered FITing-Tree index mapping unique keys to values.
+///
+/// See the [crate docs](crate) for the full model. Construction goes
+/// through [`FitingTreeBuilder::new`] (or the equivalent
+/// `FitingTree::<K, V>::builder`); the only required parameter is the
+/// error budget (maximum distance, in slots, between a key's interpolated
+/// and true position).
+#[derive(Clone)]
+pub struct FitingTree<K: Key, V> {
+    pub(crate) error: u64,
+    pub(crate) buffer_size: u64,
+    /// Segmentation budget: `error − buffer_size` (paper Section 5).
+    pub(crate) seg_error: u64,
+    pub(crate) strategy: SearchStrategy,
+    pub(crate) tree_order: usize,
+    /// Segment directory: anchor key → arena slot.
+    pub(crate) tree: BPlusTree<K, usize>,
+    /// Segment arena; slots are recycled through `free`.
+    pub(crate) segments: Vec<Option<Segment<K, V>>>,
+    pub(crate) free: Vec<usize>,
+    pub(crate) len: usize,
+}
+
+impl<K: Key, V> FitingTree<K, V> {
+    /// Starts building an index with the given error budget (in slots).
+    ///
+    /// Defaults: buffer size `error / 2` (the paper's evaluation split),
+    /// binary in-segment search, B+ tree order 16.
+    #[must_use]
+    pub fn builder(error: u64) -> FitingTreeBuilder {
+        FitingTreeBuilder::new(error)
+    }
+
+    pub(crate) fn from_parts(
+        error: u64,
+        buffer_size: u64,
+        strategy: SearchStrategy,
+        tree_order: usize,
+    ) -> Result<Self, BuildError> {
+        if buffer_size > error || (error > 0 && buffer_size == error) {
+            return Err(BuildError::BufferConsumesError { error, buffer_size });
+        }
+        Ok(FitingTree {
+            error,
+            buffer_size,
+            seg_error: error - buffer_size,
+            strategy,
+            tree_order,
+            tree: BPlusTree::with_order(tree_order),
+            segments: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        })
+    }
+
+    /// Bulk loads strictly increasing `(key, value)` pairs (paper
+    /// Section 3): one segmentation pass, then a bottom-up B+ tree build
+    /// over the segment anchors.
+    pub(crate) fn bulk_load_sorted<I>(mut self, iter: I) -> Result<Self, BuildError>
+    where
+        I: IntoIterator<Item = (K, V)>,
+    {
+        let mut data: Vec<(K, V)> = Vec::new();
+        for (i, (k, v)) in iter.into_iter().enumerate() {
+            if let Some((prev, _)) = data.last() {
+                if *prev >= k {
+                    return Err(BuildError::UnsortedInput { at: i });
+                }
+            }
+            data.push((k, v));
+        }
+        if data.is_empty() {
+            return Ok(self);
+        }
+        self.len = data.len();
+
+        // One streaming segmentation pass over the key projections.
+        let mut sc = ShrinkingCone::new(self.seg_error);
+        let mut plr_segs = Vec::new();
+        for (pos, (k, _)) in data.iter().enumerate() {
+            if let Some(seg) = sc.push(Point::new(k.to_f64(), pos as u64)) {
+                plr_segs.push(seg);
+            }
+        }
+        if let Some(seg) = sc.finish() {
+            plr_segs.push(seg);
+        }
+
+        // Carve the data vector into per-segment pages, back to front so
+        // each split_off is O(segment length).
+        let mut pages: Vec<Segment<K, V>> = Vec::with_capacity(plr_segs.len());
+        for ls in plr_segs.iter().rev() {
+            let page = data.split_off(ls.start_pos as usize);
+            let start_key = page[0].0;
+            pages.push(Segment::new(start_key, ls.slope, page));
+        }
+        pages.reverse();
+
+        // Install pages in the arena and bulk load the directory tree.
+        self.segments = Vec::with_capacity(pages.len());
+        let mut entries = Vec::with_capacity(pages.len());
+        for (i, seg) in pages.into_iter().enumerate() {
+            entries.push((seg.start_key, i));
+            self.segments.push(Some(seg));
+        }
+        self.tree = BPlusTree::bulk_load_with(entries, self.tree_order, 1.0);
+        Ok(self)
+    }
+
+    /// Number of key/value pairs in the index.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured total error budget.
+    #[must_use]
+    pub fn error(&self) -> u64 {
+        self.error
+    }
+
+    /// The per-segment insert buffer capacity.
+    #[must_use]
+    pub fn buffer_size(&self) -> u64 {
+        self.buffer_size
+    }
+
+    /// The effective segmentation error (`error − buffer_size`).
+    #[must_use]
+    pub fn segmentation_error(&self) -> u64 {
+        self.seg_error
+    }
+
+    /// Number of segments (= leaf entries of the directory tree).
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Locates the arena slot of the segment responsible for `key`:
+    /// the floor segment, falling back to the first segment for keys
+    /// below every anchor.
+    fn locate(&self, key: &K) -> Option<usize> {
+        self.tree
+            .floor(key)
+            .or_else(|| self.tree.first())
+            .map(|(_, &slot)| slot)
+    }
+
+    /// Point lookup (paper Algorithm 3): tree descent, interpolation,
+    /// bounded local search, buffer check.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let slot = self.locate(key)?;
+        self.segments[slot]
+            .as_ref()
+            .expect("directory points at live segment")
+            .get(*key, self.seg_error, self.strategy)
+    }
+
+    /// Mutable point lookup.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let slot = self.locate(key)?;
+        self.segments[slot]
+            .as_mut()
+            .expect("directory points at live segment")
+            .get_mut(*key, self.seg_error, self.strategy)
+    }
+
+    /// Whether `key` is present.
+    #[must_use]
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Instrumented lookup for the Figure 13 breakdown: returns the value
+    /// and the time spent in each of the two phases (directory-tree
+    /// search vs in-segment search).
+    #[must_use]
+    pub fn get_traced(&self, key: &K) -> (Option<&V>, LookupTrace) {
+        let t0 = Instant::now();
+        let slot = self.locate(key);
+        let tree_nanos = t0.elapsed().as_nanos() as u64;
+        let t1 = Instant::now();
+        let value = slot.and_then(|s| {
+            self.segments[s]
+                .as_ref()
+                .expect("directory points at live segment")
+                .get(*key, self.seg_error, self.strategy)
+        });
+        let segment_nanos = t1.elapsed().as_nanos() as u64;
+        (
+            value,
+            LookupTrace {
+                tree_nanos,
+                segment_nanos,
+            },
+        )
+    }
+
+    /// Inserts `key → value` (paper Algorithm 4), returning the previous
+    /// value if the key existed. New keys go to the covering segment's
+    /// sorted buffer; a full buffer triggers merge + re-segmentation.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let Some(slot) = self.locate(&key) else {
+            // Empty index: open the first segment.
+            let slot = self.alloc_slot(Segment::new(key, 0.0, vec![(key, value)]));
+            self.tree.insert(key, slot);
+            self.len += 1;
+            return None;
+        };
+        let seg = self.segments[slot]
+            .as_mut()
+            .expect("directory points at live segment");
+        let old = seg.insert(key, value, self.seg_error, self.strategy);
+        if old.is_some() {
+            return old;
+        }
+        self.len += 1;
+        if seg.buffer.len() > self.buffer_size as usize {
+            self.resegment(slot);
+        }
+        None
+    }
+
+    /// Removes `key`, returning its value. **Extension over the paper**
+    /// (which does not discuss deletes): buffer entries are dropped
+    /// directly; page removals widen that segment's search window and
+    /// trigger re-segmentation once they exceed half the segmentation
+    /// budget, so the lookup bound stays `O(error)`.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let slot = self.locate(key)?;
+        let seg = self.segments[slot]
+            .as_mut()
+            .expect("directory points at live segment");
+        let removed = seg.remove(*key, self.seg_error, self.strategy)?;
+        self.len -= 1;
+        if seg.len() == 0 {
+            // Drop the empty segment entirely (keep at least none: an
+            // empty index has an empty directory).
+            let anchor = seg.start_key;
+            self.segments[slot] = None;
+            self.free.push(slot);
+            self.tree.remove(&anchor);
+        } else if seg.removed > self.seg_error / 2 {
+            self.resegment(slot);
+        }
+        Some(removed)
+    }
+
+    /// Iterator over entries with keys in `range`, in key order.
+    #[must_use]
+    pub fn range<R: RangeBounds<K>>(&self, range: R) -> RangeIter<'_, K, V> {
+        RangeIter::new(self, range)
+    }
+
+    /// Iterator over all entries in key order.
+    #[must_use]
+    pub fn iter(&self) -> RangeIter<'_, K, V> {
+        self.range(..)
+    }
+
+    /// Index structure size in bytes, following the paper's accounting:
+    /// directory tree + [`SEGMENT_METADATA_BYTES`] per segment. The table
+    /// data itself is *not* index overhead (it exists regardless).
+    #[must_use]
+    pub fn index_size_bytes(&self) -> usize {
+        self.tree.size_in_bytes() + self.segment_count() * SEGMENT_METADATA_BYTES
+    }
+
+    /// Full statistics snapshot; walks the directory tree and arena.
+    #[must_use]
+    pub fn stats(&self) -> FitingTreeStats {
+        let tree = self.tree.stats();
+        let mut buffered = 0usize;
+        let mut data_bytes = 0usize;
+        let mut live = 0usize;
+        for seg in self.segments.iter().flatten() {
+            buffered += seg.buffer.len();
+            data_bytes += seg.payload_bytes();
+            live += 1;
+        }
+        FitingTreeStats {
+            len: self.len,
+            segment_count: live,
+            tree_depth: tree.depth,
+            tree_nodes: tree.total_nodes(),
+            index_size_bytes: self.index_size_bytes(),
+            data_size_bytes: data_bytes,
+            buffered_entries: buffered,
+            avg_segment_len: if live == 0 {
+                0.0
+            } else {
+                self.len as f64 / live as f64
+            },
+            error: self.error,
+            seg_error: self.seg_error,
+            buffer_size: self.buffer_size,
+        }
+    }
+
+    /// Iterator over keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterator over values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// First (smallest-key) entry.
+    #[must_use]
+    pub fn first(&self) -> Option<(&K, &V)> {
+        self.iter().next()
+    }
+
+    /// Last (largest-key) entry.
+    #[must_use]
+    pub fn last(&self) -> Option<(&K, &V)> {
+        // The last directory entry owns the largest anchor; its page and
+        // buffer maxima compete for the global maximum.
+        let (_, &slot) = self.tree.last()?;
+        let seg = self.segments[slot]
+            .as_ref()
+            .expect("directory points at live segment");
+        match (seg.data.last(), seg.buffer.last()) {
+            (Some((dk, dv)), Some((bk, bv))) => Some(if dk > bk { (dk, dv) } else { (bk, bv) }),
+            (Some((dk, dv)), None) => Some((dk, dv)),
+            (None, Some((bk, bv))) => Some((bk, bv)),
+            (None, None) => None,
+        }
+    }
+
+    /// Rebuilds the index with a different error budget, consuming the
+    /// current one — the DBA retuning knob fed by the cost model's
+    /// selectors (pick a new error, then `rebuild`).
+    pub fn rebuild(self, error: u64) -> Result<Self, BuildError> {
+        let strategy = self.strategy;
+        let order = self.tree_order;
+        let mut entries: Vec<(K, V)> = Vec::with_capacity(self.len);
+        let slots: Vec<usize> = self.tree.iter().map(|(_, &slot)| slot).collect();
+        let mut segments = self.segments;
+        for slot in slots {
+            let seg = segments[slot]
+                .take()
+                .expect("directory points at live segment");
+            entries.extend(seg.into_merged());
+        }
+        FitingTree::from_parts(error, error / 2, strategy, order)?.bulk_load_sorted(entries)
+    }
+
+    /// Merges a segment's page and buffer, re-runs ShrinkingCone over the
+    /// merged run, and swaps the resulting segment(s) into the directory
+    /// (paper Algorithm 4, lines 5–9).
+    fn resegment(&mut self, slot: usize) {
+        let seg = self.segments[slot]
+            .take()
+            .expect("resegment target is live");
+        self.free.push(slot);
+        let anchor = seg.start_key;
+        let merged = seg.into_merged();
+        self.tree.remove(&anchor);
+
+        let mut sc = ShrinkingCone::new(self.seg_error);
+        let mut plr_segs = Vec::new();
+        for (pos, (k, _)) in merged.iter().enumerate() {
+            if let Some(s) = sc.push(Point::new(k.to_f64(), pos as u64)) {
+                plr_segs.push(s);
+            }
+        }
+        if let Some(s) = sc.finish() {
+            plr_segs.push(s);
+        }
+
+        let mut rest = merged;
+        let mut pieces: Vec<Segment<K, V>> = Vec::with_capacity(plr_segs.len());
+        for ls in plr_segs.iter().rev() {
+            let page = rest.split_off(ls.start_pos as usize);
+            pieces.push(Segment::new(page[0].0, ls.slope, page));
+        }
+        for seg in pieces.into_iter().rev() {
+            let start_key = seg.start_key;
+            let new_slot = self.alloc_slot(seg);
+            self.tree.insert(start_key, new_slot);
+        }
+    }
+
+    fn alloc_slot(&mut self, seg: Segment<K, V>) -> usize {
+        if let Some(slot) = self.free.pop() {
+            self.segments[slot] = Some(seg);
+            slot
+        } else {
+            self.segments.push(Some(seg));
+            self.segments.len() - 1
+        }
+    }
+
+    /// Verifies structural invariants; used by tests.
+    ///
+    /// Checks: directory entries point at live segments registered under
+    /// their anchor; segment pages and buffers are sorted; every page key
+    /// is found by a windowed lookup (the error guarantee); `len`
+    /// consistency; segments are disjoint and ordered.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.tree.check_invariants()?;
+        let mut counted = 0usize;
+        let mut prev_max: Option<K> = None;
+        let mut first = true;
+        for (anchor, &slot) in self.tree.iter() {
+            let seg = self.segments.get(slot).and_then(|s| s.as_ref()).ok_or_else(|| {
+                format!("directory entry {anchor:?} points at dead slot {slot}")
+            })?;
+            if seg.start_key != *anchor {
+                return Err(format!(
+                    "segment anchored at {anchor:?} believes its start is {:?}",
+                    seg.start_key
+                ));
+            }
+            if !seg.data.windows(2).all(|w| w[0].0 < w[1].0) {
+                return Err("unsorted segment page".into());
+            }
+            if !seg.buffer.windows(2).all(|w| w[0].0 < w[1].0) {
+                return Err("unsorted segment buffer".into());
+            }
+            if seg.buffer.len() > self.buffer_size as usize + 1 {
+                return Err(format!(
+                    "buffer over capacity: {} > {}",
+                    seg.buffer.len(),
+                    self.buffer_size
+                ));
+            }
+            if let (Some(min), Some(prev)) = (seg.min_key(), prev_max) {
+                // Only the first segment may hold keys below its anchor.
+                if !first && min <= prev {
+                    return Err(format!(
+                        "segment overlap: min {min:?} <= previous max {prev:?}"
+                    ));
+                }
+            }
+            for (k, _) in &seg.data {
+                if seg
+                    .get(*k, self.seg_error, self.strategy)
+                    .is_none()
+                {
+                    return Err(format!(
+                        "error guarantee violated: page key {k:?} not found within window"
+                    ));
+                }
+            }
+            counted += seg.len();
+            prev_max = seg.max_key().or(prev_max);
+            first = false;
+        }
+        if counted != self.len {
+            return Err(format!("len mismatch: counted {counted}, recorded {}", self.len));
+        }
+        Ok(())
+    }
+}
+
+impl<K: Key, V: std::fmt::Debug> std::fmt::Debug for FitingTree<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FitingTree")
+            .field("len", &self.len)
+            .field("error", &self.error)
+            .field("segments", &self.segment_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FitingTreeBuilder;
+
+    fn build(n: u64, error: u64) -> FitingTree<u64, u64> {
+        FitingTreeBuilder::new(error)
+            .bulk_load((0..n).map(|k| (k * 7, k)))
+            .unwrap()
+    }
+
+    #[test]
+    fn bulk_load_and_get_all() {
+        let t = build(10_000, 32);
+        assert_eq!(t.len(), 10_000);
+        for k in 0..10_000u64 {
+            assert_eq!(t.get(&(k * 7)), Some(&k), "key {}", k * 7);
+            assert_eq!(t.get(&(k * 7 + 1)), None);
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn empty_index() {
+        let t: FitingTree<u64, u64> = FitingTreeBuilder::new(16).build_empty().unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&1), None);
+        assert_eq!(t.iter().count(), 0);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_rejects_unsorted() {
+        let err = FitingTree::<u64, u64>::builder(16)
+            .bulk_load([(3, 0), (2, 0)])
+            .unwrap_err();
+        assert!(matches!(err, BuildError::UnsortedInput { at: 1 }));
+    }
+
+    #[test]
+    fn linear_keys_make_one_segment() {
+        let t = build(100_000, 16);
+        assert_eq!(t.segment_count(), 1);
+        // The directory is then a single leaf.
+        assert!(t.index_size_bytes() < 200);
+    }
+
+    #[test]
+    fn error_controls_segment_count_on_curvy_data() {
+        let keys: Vec<u64> = (0..50_000u64).map(|k| k * k / 64).collect();
+        let mut dedup = keys;
+        dedup.dedup();
+        let pairs: Vec<(u64, u64)> = dedup.iter().map(|&k| (k, k)).collect();
+        let tight = FitingTreeBuilder::new(8)
+            .bulk_load(pairs.clone())
+            .unwrap();
+        let loose = FitingTreeBuilder::new(512).bulk_load(pairs).unwrap();
+        assert!(tight.segment_count() > loose.segment_count());
+        tight.check_invariants().unwrap();
+        loose.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_then_get() {
+        let mut t = build(1_000, 64);
+        assert_eq!(t.insert(7 * 500 + 1, 9999), None);
+        assert_eq!(t.get(&(7 * 500 + 1)), Some(&9999));
+        assert_eq!(t.len(), 1001);
+        // Replacement returns the old value and does not grow the index.
+        assert_eq!(t.insert(7 * 500 + 1, 1), Some(9999));
+        assert_eq!(t.len(), 1001);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn inserts_below_global_minimum() {
+        let mut t = FitingTreeBuilder::new(16)
+            .bulk_load((100..200u64).map(|k| (k, k)))
+            .unwrap();
+        t.insert(5, 55);
+        t.insert(1, 11);
+        assert_eq!(t.get(&5), Some(&55));
+        assert_eq!(t.get(&1), Some(&11));
+        assert_eq!(t.range(..).next().map(|(k, _)| *k), Some(1));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn buffer_overflow_triggers_resegmentation() {
+        let mut t = FitingTreeBuilder::new(16)
+            .buffer_size(4)
+            .bulk_load((0..1000u64).map(|k| (k * 10, k)))
+            .unwrap();
+        let before = t.segment_count();
+        // Flood one region with inserts to overflow its buffer.
+        for k in 0..100u64 {
+            t.insert(5000 + k * 2 + 1, k);
+        }
+        assert_eq!(t.len(), 1100);
+        for k in 0..100u64 {
+            assert_eq!(t.get(&(5000 + k * 2 + 1)), Some(&k));
+        }
+        // Everything originally present is still there.
+        for k in 0..1000u64 {
+            assert_eq!(t.get(&(k * 10)), Some(&k));
+        }
+        assert!(t.segment_count() >= before);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn monotonic_append_workload() {
+        let mut t: FitingTree<u64, u64> = FitingTreeBuilder::new(32).build_empty().unwrap();
+        for k in 0..5_000u64 {
+            t.insert(k, k);
+        }
+        assert_eq!(t.len(), 5_000);
+        for k in (0..5_000u64).step_by(97) {
+            assert_eq!(t.get(&k), Some(&k));
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_roundtrip_and_window_widening() {
+        let mut t = build(2_000, 16);
+        for k in (0..2_000u64).step_by(3) {
+            assert_eq!(t.remove(&(k * 7)), Some(k), "removing {}", k * 7);
+        }
+        for k in 0..2_000u64 {
+            let expect = if k % 3 == 0 { None } else { Some(&k) };
+            let expect = expect.copied();
+            assert_eq!(t.get(&(k * 7)).copied(), expect, "key {}", k * 7);
+        }
+        assert_eq!(t.len(), 2_000 - 2_000_usize.div_ceil(3));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_everything_leaves_clean_index() {
+        let mut t = build(500, 8);
+        for k in 0..500u64 {
+            assert_eq!(t.remove(&(k * 7)), Some(k));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.segment_count(), 0);
+        // And it accepts new data afterwards.
+        t.insert(1, 1);
+        assert_eq!(t.get(&1), Some(&1));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = build(100, 8);
+        *t.get_mut(&7).unwrap() = 12345;
+        assert_eq!(t.get(&7), Some(&12345));
+        assert!(t.get_mut(&8).is_none());
+    }
+
+    #[test]
+    fn get_traced_phases_sum_to_a_lookup() {
+        let t = build(10_000, 64);
+        let (v, trace) = t.get_traced(&(7 * 1234));
+        assert_eq!(v, Some(&1234));
+        // Both phases took *some* time; this is an instrumentation smoke
+        // test, not a benchmark.
+        assert!(trace.tree_nanos + trace.segment_nanos > 0);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let t = build(10_000, 32);
+        let s = t.stats();
+        assert_eq!(s.len, 10_000);
+        assert_eq!(s.segment_count, t.segment_count());
+        assert_eq!(s.error, 32);
+        assert_eq!(s.buffer_size, 16);
+        assert_eq!(s.seg_error, 16);
+        assert!(s.index_size_bytes < s.data_size_bytes);
+        assert!(s.avg_segment_len > 1.0);
+    }
+
+    #[test]
+    fn search_strategies_agree() {
+        let pairs: Vec<(u64, u64)> = (0..5_000u64).map(|k| (k * 3 + k % 5, k)).collect();
+        let mut sorted = pairs;
+        sorted.sort();
+        sorted.dedup_by_key(|p| p.0);
+        for strategy in [
+            SearchStrategy::Binary,
+            SearchStrategy::Linear,
+            SearchStrategy::Exponential,
+            SearchStrategy::Interpolation,
+        ] {
+            let t = FitingTreeBuilder::new(32)
+                .search_strategy(strategy)
+                .bulk_load(sorted.clone())
+                .unwrap();
+            for (k, v) in sorted.iter().step_by(53) {
+                assert_eq!(t.get(k), Some(v), "{strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn keys_values_first_last() {
+        let mut t = build(1_000, 32);
+        assert_eq!(t.first().map(|(k, _)| *k), Some(0));
+        assert_eq!(t.last().map(|(k, _)| *k), Some(999 * 7));
+        assert_eq!(t.keys().count(), 1_000);
+        assert_eq!(t.values().next(), Some(&0));
+        // A buffered key beyond the last page key becomes the new last.
+        t.insert(999 * 7 + 5, 123);
+        assert_eq!(t.last(), Some((&(999 * 7 + 5), &123)));
+        let empty: FitingTree<u64, u64> = FitingTreeBuilder::new(8).build_empty().unwrap();
+        assert_eq!(empty.first(), None);
+        assert_eq!(empty.last(), None);
+    }
+
+    #[test]
+    fn rebuild_changes_error_and_keeps_data() {
+        let mut t = build(5_000, 8);
+        for k in 0..100u64 {
+            t.insert(k * 7 + 3, k);
+        }
+        let before_segments = t.segment_count();
+        let len = t.len();
+        let rebuilt = t.rebuild(1024).unwrap();
+        assert_eq!(rebuilt.len(), len);
+        assert_eq!(rebuilt.error(), 1024);
+        assert!(rebuilt.segment_count() < before_segments);
+        for k in 0..100u64 {
+            assert_eq!(rebuilt.get(&(k * 7 + 3)), Some(&k));
+        }
+        rebuilt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn zero_error_still_works() {
+        // error 0 → buffer 0 → every insert re-segments immediately.
+        let mut t = FitingTreeBuilder::new(0)
+            .bulk_load((0..100u64).map(|k| (k * 2, k)))
+            .unwrap();
+        for k in 0..100u64 {
+            assert_eq!(t.get(&(k * 2)), Some(&k));
+        }
+        t.insert(51, 999);
+        assert_eq!(t.get(&51), Some(&999));
+        t.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,159 @@
+//! A thread-safe wrapper around [`FitingTree`] — an extension beyond the
+//! paper, whose evaluation is single-threaded per core.
+//!
+//! The wrapper takes a `parking_lot` reader-writer lock around the whole
+//! index: cheap shared lookups, exclusive writers. This is deliberately
+//! coarse — the paper leaves concurrent FITing-Trees to future work, and
+//! a crabbing/latching design belongs inside the directory tree, not
+//! bolted on here. The wrapper exists so the examples and downstream
+//! users can share an index across threads safely.
+
+use crate::clustered::FitingTree;
+use crate::key::Key;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Shared-ownership, reader-writer-locked FITing-Tree.
+///
+/// ```
+/// use fiting_tree::{ConcurrentFitingTree, FitingTreeBuilder};
+/// use std::thread;
+///
+/// let index = ConcurrentFitingTree::from(
+///     FitingTreeBuilder::new(32)
+///         .bulk_load((0..1000u64).map(|k| (k, k)))
+///         .unwrap(),
+/// );
+/// let reader = index.clone();
+/// let t = thread::spawn(move || reader.get(&500));
+/// index.insert(1_000, 1_000);
+/// assert_eq!(t.join().unwrap(), Some(500));
+/// ```
+pub struct ConcurrentFitingTree<K: Key, V> {
+    inner: Arc<RwLock<FitingTree<K, V>>>,
+}
+
+impl<K: Key, V> Clone for ConcurrentFitingTree<K, V> {
+    fn clone(&self) -> Self {
+        ConcurrentFitingTree {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<K: Key, V> From<FitingTree<K, V>> for ConcurrentFitingTree<K, V> {
+    fn from(tree: FitingTree<K, V>) -> Self {
+        ConcurrentFitingTree {
+            inner: Arc::new(RwLock::new(tree)),
+        }
+    }
+}
+
+impl<K: Key, V: Clone> ConcurrentFitingTree<K, V> {
+    /// Point lookup under a shared lock; clones the value out.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.inner.read().get(key).cloned()
+    }
+
+    /// Collects a range scan under a shared lock.
+    #[must_use]
+    pub fn range_collect(&self, range: impl std::ops::RangeBounds<K>) -> Vec<(K, V)> {
+        self.inner
+            .read()
+            .range(range)
+            .map(|(k, v)| (*k, v.clone()))
+            .collect()
+    }
+}
+
+impl<K: Key, V> ConcurrentFitingTree<K, V> {
+    /// Insert under an exclusive lock.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.inner.write().insert(key, value)
+    }
+
+    /// Remove under an exclusive lock.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.inner.write().remove(key)
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Runs `f` with shared access to the underlying tree (for stats,
+    /// iteration, or anything not covered by the convenience methods).
+    pub fn with_read<R>(&self, f: impl FnOnce(&FitingTree<K, V>) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Runs `f` with exclusive access to the underlying tree.
+    pub fn with_write<R>(&self, f: impl FnOnce(&mut FitingTree<K, V>) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FitingTreeBuilder;
+    use std::thread;
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let index = ConcurrentFitingTree::from(
+            FitingTreeBuilder::new(64)
+                .bulk_load((0..10_000u64).map(|k| (k * 2, k)))
+                .unwrap(),
+        );
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let reader = index.clone();
+            handles.push(thread::spawn(move || {
+                let mut hits = 0;
+                for k in (0..10_000u64).step_by(7) {
+                    if reader.get(&(k * 2)).is_some() {
+                        hits += 1;
+                    }
+                }
+                let _ = t;
+                hits
+            }));
+        }
+        let writer = index.clone();
+        let wh = thread::spawn(move || {
+            for k in 0..500u64 {
+                writer.insert(k * 2 + 1, k);
+            }
+        });
+        for h in handles {
+            assert!(h.join().unwrap() > 0);
+        }
+        wh.join().unwrap();
+        assert_eq!(index.len(), 10_500);
+        index.with_read(|t| t.check_invariants().unwrap());
+    }
+
+    #[test]
+    fn with_write_exposes_full_api() {
+        let index: ConcurrentFitingTree<u64, u64> =
+            ConcurrentFitingTree::from(FitingTreeBuilder::new(16).build_empty().unwrap());
+        index.with_write(|t| {
+            for k in 0..100 {
+                t.insert(k, k);
+            }
+        });
+        assert_eq!(index.range_collect(10..13), vec![(10, 10), (11, 11), (12, 12)]);
+        assert_eq!(index.remove(&10), Some(10));
+        assert!(!index.is_empty());
+    }
+}

@@ -1,0 +1,336 @@
+//! Write-optimized delta-main layering — the extension the paper
+//! sketches at the end of Section 5: *"if the write-rate is very high,
+//! we could also support merging algorithms that use a second buffer
+//! similar to how column stores merge a write-optimized delta to the
+//! main compressed column."*
+//!
+//! [`DeltaFitingTree`] keeps a small ordered **delta** (a dense B+ tree,
+//! fast to insert into) in front of a bulk-loaded **main** FITing-Tree.
+//! Writes land in the delta in O(log d); reads consult the delta first
+//! (deletes are tombstones there); when the delta exceeds its budget,
+//! one merge pass rebuilds the main index — a single bulk load instead
+//! of thousands of per-segment re-segmentations.
+//!
+//! Compared to the per-segment buffers of the base [`FitingTree`]:
+//! per-segment buffers keep the error guarantee exact and localized but
+//! pay a merge whenever any one segment's buffer fills; the delta-main
+//! scheme batches *all* writes into one merge and keeps the main index
+//! maximally compressed, at the cost of one extra (small, cache-warm)
+//! tree probe per lookup.
+
+use crate::builder::FitingTreeBuilder;
+use crate::clustered::FitingTree;
+use crate::error::BuildError;
+use crate::key::Key;
+use fiting_btree::BPlusTree;
+
+/// Delta entry: a pending upsert or a tombstone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending<V> {
+    Put(V),
+    Delete,
+}
+
+/// A FITing-Tree behind a write-optimized delta buffer.
+///
+/// ```
+/// use fiting_tree::{DeltaFitingTree, FitingTreeBuilder};
+///
+/// let mut idx = DeltaFitingTree::bulk_load(
+///     FitingTreeBuilder::new(64),
+///     (0..100_000u64).map(|k| (k * 2, k)),
+///     4_096, // delta budget before an automatic merge
+/// ).unwrap();
+///
+/// idx.insert(1_001, 42);        // goes to the delta
+/// idx.remove(&0);               // tombstone in the delta
+/// assert_eq!(idx.get(&1_001), Some(&42));
+/// assert_eq!(idx.get(&0), None);
+/// idx.merge().unwrap();         // fold the delta into the main index
+/// assert_eq!(idx.get(&1_001), Some(&42));
+/// ```
+pub struct DeltaFitingTree<K: Key, V> {
+    main: FitingTree<K, V>,
+    delta: BPlusTree<K, Pending<V>>,
+    delta_budget: usize,
+    /// Live entries (main ∪ delta, tombstones applied).
+    len: usize,
+}
+
+impl<K: Key, V: Clone> DeltaFitingTree<K, V> {
+    /// Bulk loads the main index and arms an empty delta.
+    ///
+    /// `delta_budget` is the number of pending entries that triggers an
+    /// automatic [`merge`](Self::merge) (0 disables auto-merge).
+    pub fn bulk_load<I>(
+        builder: FitingTreeBuilder,
+        pairs: I,
+        delta_budget: usize,
+    ) -> Result<Self, BuildError>
+    where
+        I: IntoIterator<Item = (K, V)>,
+    {
+        let main = builder.bulk_load(pairs)?;
+        let len = main.len();
+        Ok(DeltaFitingTree {
+            main,
+            delta: BPlusTree::new(),
+            delta_budget,
+            len,
+        })
+    }
+
+    /// Live entries (tombstones excluded).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no live entries remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pending delta entries (upserts + tombstones).
+    #[must_use]
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Point lookup: delta first (newest wins), then the main index.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        match self.delta.get(key) {
+            Some(Pending::Put(v)) => Some(v),
+            Some(Pending::Delete) => None,
+            None => self.main.get(key),
+        }
+    }
+
+    /// Upserts through the delta. Returns the shadowed value, if the key
+    /// was previously visible.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let shadowed = self.get(&key).cloned();
+        if shadowed.is_none() {
+            self.len += 1;
+        }
+        self.delta.insert(key, Pending::Put(value));
+        self.maybe_merge();
+        shadowed
+    }
+
+    /// Deletes through a tombstone. Returns the removed value, if the
+    /// key was visible.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let visible = self.get(key).cloned()?;
+        self.len -= 1;
+        if self.main.contains_key(key) {
+            self.delta.insert(*key, Pending::Delete);
+        } else {
+            // Key only ever lived in the delta: drop the pending put.
+            self.delta.remove(key);
+        }
+        self.maybe_merge();
+        Some(visible)
+    }
+
+    fn maybe_merge(&mut self) {
+        if self.delta_budget > 0 && self.delta.len() >= self.delta_budget {
+            self.merge().expect("merge preserves configuration validity");
+        }
+    }
+
+    /// Folds the delta into the main index with one merge + bulk load
+    /// (the column-store merge step).
+    pub fn merge(&mut self) -> Result<(), BuildError> {
+        if self.delta.is_empty() {
+            return Ok(());
+        }
+        let delta = std::mem::take(&mut self.delta).into_sorted_vec();
+        let main = std::mem::replace(
+            &mut self.main,
+            FitingTreeBuilder::new(1).build_empty()?,
+        );
+        let error = main.error();
+        let strategy_builder = FitingTreeBuilder::new(error);
+
+        // Two-way sorted merge: delta entries win; tombstones drop.
+        let mut out: Vec<(K, V)> = Vec::with_capacity(self.len);
+        let mut main_iter = main.iter().map(|(k, v)| (*k, v.clone())).peekable();
+        let mut delta_iter = delta.into_iter().peekable();
+        loop {
+            match (main_iter.peek(), delta_iter.peek()) {
+                (Some((mk, _)), Some((dk, _))) => {
+                    if mk < dk {
+                        out.push(main_iter.next().expect("peeked"));
+                    } else {
+                        if mk == dk {
+                            main_iter.next(); // shadowed by the delta
+                        }
+                        match delta_iter.next().expect("peeked") {
+                            (k, Pending::Put(v)) => out.push((k, v)),
+                            (_, Pending::Delete) => {}
+                        }
+                    }
+                }
+                (Some(_), None) => out.push(main_iter.next().expect("peeked")),
+                (None, Some(_)) => match delta_iter.next().expect("peeked") {
+                    (k, Pending::Put(v)) => out.push((k, v)),
+                    (_, Pending::Delete) => {}
+                },
+                (None, None) => break,
+            }
+        }
+        drop(main_iter);
+        debug_assert_eq!(out.len(), self.len);
+        self.main = strategy_builder.bulk_load(out)?;
+        Ok(())
+    }
+
+    /// Read access to the main (merged) index, e.g. for stats.
+    #[must_use]
+    pub fn main(&self) -> &FitingTree<K, V> {
+        &self.main
+    }
+
+    /// Ordered scan over the live entries (delta overlaid on main).
+    pub fn iter(&self) -> impl Iterator<Item = (K, V)> + '_ {
+        let mut main_iter = self.main.iter().peekable();
+        let mut delta_iter = self.delta.iter().peekable();
+        std::iter::from_fn(move || loop {
+            match (main_iter.peek(), delta_iter.peek()) {
+                (Some(&(mk, _)), Some(&(dk, _))) => {
+                    if mk < dk {
+                        let (k, v) = main_iter.next().expect("peeked");
+                        return Some((*k, v.clone()));
+                    }
+                    if mk == dk {
+                        main_iter.next(); // shadowed
+                    }
+                    match delta_iter.next().expect("peeked") {
+                        (k, Pending::Put(v)) => return Some((*k, v.clone())),
+                        (_, Pending::Delete) => continue,
+                    }
+                }
+                (Some(_), None) => {
+                    let (k, v) = main_iter.next().expect("peeked");
+                    return Some((*k, v.clone()));
+                }
+                (None, Some(_)) => match delta_iter.next().expect("peeked") {
+                    (k, Pending::Put(v)) => return Some((*k, v.clone())),
+                    (_, Pending::Delete) => continue,
+                },
+                (None, None) => return None,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn build(n: u64, budget: usize) -> DeltaFitingTree<u64, u64> {
+        DeltaFitingTree::bulk_load(
+            FitingTreeBuilder::new(32),
+            (0..n).map(|k| (k * 3, k)),
+            budget,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reads_see_delta_over_main() {
+        let mut t = build(1_000, 0);
+        assert_eq!(t.insert(30, 999), Some(10)); // shadows main
+        assert_eq!(t.get(&30), Some(&999));
+        assert_eq!(t.len(), 1_000);
+        assert_eq!(t.insert(31, 1), None);
+        assert_eq!(t.len(), 1_001);
+    }
+
+    #[test]
+    fn tombstones_hide_main_entries() {
+        let mut t = build(100, 0);
+        assert_eq!(t.remove(&3), Some(1));
+        assert_eq!(t.get(&3), None);
+        assert_eq!(t.len(), 99);
+        assert_eq!(t.remove(&3), None);
+        // Delete of a delta-only key drops the pending put entirely.
+        t.insert(1_000, 5);
+        assert_eq!(t.remove(&1_000), Some(5));
+        assert_eq!(t.get(&1_000), None);
+    }
+
+    #[test]
+    fn merge_preserves_visible_state() {
+        let mut t = build(2_000, 0);
+        for k in 0..200u64 {
+            t.insert(k * 3 + 1, k);
+        }
+        for k in (0..2_000u64).step_by(7) {
+            t.remove(&(k * 3));
+        }
+        let before: Vec<(u64, u64)> = t.iter().collect();
+        let len = t.len();
+        t.merge().unwrap();
+        assert_eq!(t.delta_len(), 0);
+        assert_eq!(t.len(), len);
+        let after: Vec<(u64, u64)> = t.iter().collect();
+        assert_eq!(before, after);
+        t.main().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn auto_merge_fires_at_budget() {
+        let mut t = build(1_000, 64);
+        for k in 0..200u64 {
+            t.insert(1_000_000 + k, k);
+        }
+        assert!(t.delta_len() < 64, "delta should have auto-merged");
+        assert_eq!(t.len(), 1_200);
+        for k in (0..200u64).step_by(11) {
+            assert_eq!(t.get(&(1_000_000 + k)), Some(&k));
+        }
+    }
+
+    #[test]
+    fn agrees_with_model_under_churn() {
+        let mut t = build(500, 128);
+        let mut model: BTreeMap<u64, u64> = (0..500u64).map(|k| (k * 3, k)).collect();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..5_000u64 {
+            let k = rng() % 3_000;
+            match rng() % 4 {
+                0 | 1 => assert_eq!(t.insert(k, i), model.insert(k, i), "insert {k}"),
+                2 => assert_eq!(t.remove(&k), model.remove(&k), "remove {k}"),
+                _ => assert_eq!(t.get(&k), model.get(&k), "get {k}"),
+            }
+            assert_eq!(t.len(), model.len());
+        }
+        t.merge().unwrap();
+        let got: Vec<(u64, u64)> = t.iter().collect();
+        let want: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let mut t: DeltaFitingTree<u64, u64> =
+            DeltaFitingTree::bulk_load(FitingTreeBuilder::new(8), [], 4).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&1), None);
+        t.insert(1, 1);
+        assert_eq!(t.len(), 1);
+        t.merge().unwrap();
+        assert_eq!(t.get(&1), Some(&1));
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types for building and mutating a FITing-Tree.
+
+use std::fmt;
+
+/// Why a FITing-Tree could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Bulk-load input keys were not strictly increasing (clustered
+    /// indexes are over a primary key; use [`crate::SecondaryIndex`] for
+    /// duplicates).
+    UnsortedInput {
+        /// Position of the first offending pair.
+        at: usize,
+    },
+    /// The configured buffer size does not leave any error budget for
+    /// segmentation (`buffer_size >= error`, paper Section 5's
+    /// `error − buffer_size` rule).
+    BufferConsumesError {
+        /// Configured total error.
+        error: u64,
+        /// Configured per-segment buffer size.
+        buffer_size: u64,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnsortedInput { at } => {
+                write!(f, "bulk-load keys must be strictly increasing (violated at index {at})")
+            }
+            BuildError::BufferConsumesError { error, buffer_size } => write!(
+                f,
+                "buffer size {buffer_size} leaves no segmentation budget out of error {error}; \
+                 need buffer_size < error"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Why an insert was rejected. (Currently unused by the core paths —
+/// inserts always succeed — but part of the public API for extensions
+/// such as bounded-memory operation.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertError {
+    /// The index was configured read-only.
+    ReadOnly,
+}
+
+impl fmt::Display for InsertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InsertError::ReadOnly => write!(f, "index is read-only"),
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_actionable() {
+        let e = BuildError::BufferConsumesError {
+            error: 10,
+            buffer_size: 10,
+        };
+        assert!(e.to_string().contains("buffer_size < error"));
+        let e = BuildError::UnsortedInput { at: 7 };
+        assert!(e.to_string().contains('7'));
+        assert_eq!(InsertError::ReadOnly.to_string(), "index is read-only");
+    }
+}

@@ -1,0 +1,89 @@
+//! **FITing-Tree** (called *A-Tree* in the arXiv preprint): a bounded-error,
+//! data-aware index structure — a from-scratch Rust reproduction of
+//! Galakatos, Markovitch, Binnig, Fonseca, Kraska, SIGMOD 2019.
+//!
+//! # What it is
+//!
+//! A FITing-Tree indexes a sorted attribute by approximating the key →
+//! position function with variable-sized *linear segments* instead of
+//! indexing every key. Each segment stores only its start key, slope,
+//! and a pointer to the underlying page; segments are found through an
+//! ordinary B+ tree keyed by segment start. A lookup therefore costs
+//!
+//! ```text
+//! O(log_b S_e)  tree descent over S_e segments
+//! + O(log2 e)   bounded local search: interpolation is within ±e slots
+//! + O(log2 bu)  search of the segment's insert buffer
+//! ```
+//!
+//! The tunable error `e` trades index size against lookup latency: the
+//! paper shows (and our benches reproduce) index-size reductions of
+//! orders of magnitude at equal latency versus dense and fixed-page
+//! B+ tree indexes.
+//!
+//! # Crate layout
+//!
+//! * [`FitingTree`] — the clustered index (paper Figure 2): unique keys,
+//!   bulk load (Section 3), lookups (Section 4), buffered inserts with
+//!   re-segmentation (Section 5), range scans, and deletes (an extension
+//!   beyond the paper, documented on the method).
+//! * [`SecondaryIndex`] — the non-clustered variant (Figure 3): duplicate
+//!   keys mapping to row identifiers through a sorted key-pages level.
+//! * [`cost`] — the Section 6 cost model: latency and size estimators
+//!   plus the two selectors (latency SLA → smallest index; space budget
+//!   → fastest index).
+//! * [`DeltaFitingTree`] — the write-optimized delta-main layering the
+//!   paper sketches at the end of Section 5 (extension): batch all
+//!   writes in a dense delta, merge into the main index in one pass.
+//! * [`ConcurrentFitingTree`] — a reader-writer-locked wrapper for shared
+//!   use (extension; the paper's evaluation is single-threaded per core).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fiting_tree::FitingTreeBuilder;
+//!
+//! // Timestamps -> payloads, error budget of 32 slots.
+//! let data = (0..10_000u64).map(|t| (t * 1000, t));
+//! let mut index = FitingTreeBuilder::new(32).bulk_load(data).unwrap();
+//!
+//! assert_eq!(index.get(&5_000_000), Some(&5_000));
+//! assert_eq!(index.get(&5_000_001), None);
+//!
+//! index.insert(5_000_001, 99);
+//! assert_eq!(index.get(&5_000_001), Some(&99));
+//!
+//! // Range scan across segment boundaries.
+//! let hits: Vec<u64> = index.range(1_000_000..1_005_000).map(|(_, v)| *v).collect();
+//! assert_eq!(hits, vec![1000, 1001, 1002, 1003, 1004]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod clustered;
+mod concurrent;
+pub mod cost;
+mod delta;
+mod error;
+mod key;
+mod range;
+mod secondary;
+mod segment;
+mod stats;
+
+pub use builder::FitingTreeBuilder;
+pub use clustered::FitingTree;
+pub use concurrent::ConcurrentFitingTree;
+pub use delta::DeltaFitingTree;
+pub use error::{BuildError, InsertError};
+pub use key::{Key, OrderedF64};
+pub use range::RangeIter;
+pub use secondary::{RowId, SecondaryIndex};
+pub use segment::SearchStrategy;
+pub use stats::{FitingTreeStats, LookupTrace};
+
+/// Bytes of metadata the paper charges per segment in its size model
+/// (Section 6.2): start key + slope + page pointer, 8 bytes each.
+pub const SEGMENT_METADATA_BYTES: usize = 24;

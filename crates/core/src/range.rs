@@ -1,0 +1,227 @@
+//! Range scans over a clustered FITing-Tree (paper Section 4.2).
+//!
+//! A range query locates the segment covering the range start through
+//! the directory tree, then sweeps segments in key order. Within each
+//! segment the page and the insert buffer are two sorted runs, merged on
+//! the fly.
+
+use crate::clustered::FitingTree;
+use crate::key::Key;
+use crate::segment::Segment;
+use std::ops::Bound;
+use std::ops::RangeBounds;
+
+/// Iterator over `(key, value)` pairs of a [`FitingTree`] within a key
+/// range, in ascending key order.
+pub struct RangeIter<'a, K: Key, V> {
+    tree: &'a FitingTree<K, V>,
+    /// Remaining directory entries (anchor → slot) after the current one.
+    dir: fiting_btree::Range<'a, K, usize>,
+    current: Option<MergeIter<'a, K, V>>,
+    start: Bound<K>,
+    end: Bound<K>,
+    done: bool,
+}
+
+impl<'a, K: Key, V> RangeIter<'a, K, V> {
+    pub(crate) fn new<R: RangeBounds<K>>(tree: &'a FitingTree<K, V>, range: R) -> Self {
+        let start = range.start_bound().cloned();
+        let end = range.end_bound().cloned();
+        // Start the directory walk at the segment covering the range
+        // start: its anchor is the floor of the start key (or the very
+        // first segment, for buffered keys below every anchor).
+        let mut dir = match &start {
+            Bound::Unbounded => tree.tree.range(..),
+            Bound::Included(k) | Bound::Excluded(k) => tree.tree.iter_from_floor(k),
+        };
+        let current = dir
+            .next()
+            .map(|(_, &slot)| MergeIter::starting_at(segment(tree, slot), &start));
+        RangeIter {
+            tree,
+            dir,
+            current,
+            start,
+            end,
+            done: false,
+        }
+    }
+
+    fn passes_start(&self, key: &K) -> bool {
+        match &self.start {
+            Bound::Unbounded => true,
+            Bound::Included(s) => key >= s,
+            Bound::Excluded(s) => key > s,
+        }
+    }
+
+    fn passes_end(&self, key: &K) -> bool {
+        match &self.end {
+            Bound::Unbounded => true,
+            Bound::Included(e) => key <= e,
+            Bound::Excluded(e) => key < e,
+        }
+    }
+}
+
+fn segment<K: Key, V>(tree: &FitingTree<K, V>, slot: usize) -> &Segment<K, V> {
+    tree.segments[slot]
+        .as_ref()
+        .expect("directory points at live segment")
+}
+
+impl<'a, K: Key, V> Iterator for RangeIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let Some(cur) = &mut self.current else {
+                self.done = true;
+                return None;
+            };
+            match cur.next() {
+                Some((k, v)) => {
+                    if !self.passes_start(k) {
+                        continue; // still before the range start
+                    }
+                    if !self.passes_end(k) {
+                        self.done = true;
+                        return None;
+                    }
+                    return Some((k, v));
+                }
+                None => {
+                    self.current = self
+                        .dir
+                        .next()
+                        .map(|(_, &slot)| MergeIter::new(segment(self.tree, slot)));
+                    if self.current.is_none() {
+                        self.done = true;
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Merges a segment's sorted page and sorted buffer.
+struct MergeIter<'a, K, V> {
+    data: &'a [(K, V)],
+    buffer: &'a [(K, V)],
+    di: usize,
+    bi: usize,
+}
+
+impl<'a, K: Key, V> MergeIter<'a, K, V> {
+    fn new(seg: &'a Segment<K, V>) -> Self {
+        MergeIter {
+            data: &seg.data,
+            buffer: &seg.buffer,
+            di: 0,
+            bi: 0,
+        }
+    }
+
+    /// Positions both runs at the first entry satisfying `start`, so a
+    /// range scan does not walk the segment prefix item by item.
+    fn starting_at(seg: &'a Segment<K, V>, start: &Bound<K>) -> Self {
+        let seek = |run: &[(K, V)]| match start {
+            Bound::Unbounded => 0,
+            Bound::Included(s) => run.partition_point(|(k, _)| k < s),
+            Bound::Excluded(s) => run.partition_point(|(k, _)| k <= s),
+        };
+        MergeIter {
+            data: &seg.data,
+            buffer: &seg.buffer,
+            di: seek(&seg.data),
+            bi: seek(&seg.buffer),
+        }
+    }
+}
+
+impl<'a, K: Key, V> Iterator for MergeIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let d = self.data.get(self.di);
+        let b = self.buffer.get(self.bi);
+        match (d, b) {
+            (Some((dk, dv)), Some((bk, _))) if dk <= bk => {
+                self.di += 1;
+                Some((dk, dv))
+            }
+            (_, Some((bk, bv))) => {
+                self.bi += 1;
+                Some((bk, bv))
+            }
+            (Some((dk, dv)), None) => {
+                self.di += 1;
+                Some((dk, dv))
+            }
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{FitingTree, FitingTreeBuilder};
+
+    fn tree_with_buffered() -> FitingTree<u64, u64> {
+        let mut t = FitingTreeBuilder::new(64)
+            .bulk_load((0..1000u64).map(|k| (k * 10, k)))
+            .unwrap();
+        // Buffered entries interleaved between page keys.
+        for k in 0..50u64 {
+            t.insert(k * 10 + 5, 100_000 + k);
+        }
+        t
+    }
+
+    #[test]
+    fn full_scan_is_sorted_and_complete() {
+        let t = tree_with_buffered();
+        let keys: Vec<u64> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys.len(), 1050);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn range_bounds_are_respected() {
+        let t = tree_with_buffered();
+        let got: Vec<u64> = t.range(100..=125).map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![100, 105, 110, 115, 120, 125]);
+        let got: Vec<u64> = t.range(101..110).map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![105]);
+    }
+
+    #[test]
+    fn range_starting_mid_segment_skips_prefix() {
+        let t = FitingTreeBuilder::new(1000)
+            .bulk_load((0..10_000u64).map(|k| (k, k)))
+            .unwrap();
+        assert_eq!(t.segment_count(), 1);
+        let got: Vec<u64> = t.range(9_995..).map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![9_995, 9_996, 9_997, 9_998, 9_999]);
+    }
+
+    #[test]
+    fn range_beyond_data_is_empty() {
+        let t = tree_with_buffered();
+        assert_eq!(t.range(1_000_000..).count(), 0);
+    }
+
+    #[test]
+    fn range_selectivity_matches_model() {
+        // Range scans return exactly selectivity * n items.
+        let t = FitingTreeBuilder::new(32)
+            .bulk_load((0..100_000u64).map(|k| (k, k)))
+            .unwrap();
+        assert_eq!(t.range(500..1_500).count(), 1_000);
+        assert_eq!(t.range(0..100_000).count(), 100_000);
+    }
+}

@@ -1,0 +1,464 @@
+//! A segment: one variable-sized table page plus its insert buffer.
+//!
+//! Each segment owns the sorted run of `(key, value)` pairs it covers
+//! (the paper's variable-sized table page), the fitted slope used for
+//! interpolation, and a fixed-capacity sorted delta buffer for inserts
+//! (paper Section 5). Lookups interpolate a position from the slope,
+//! then search only the `±seg_error` window around it — the bound the
+//! segmentation algorithm guarantees — and finally the buffer.
+
+use crate::key::Key;
+
+/// How to search the bounded window around an interpolated position
+/// (paper Section 4.1.2 lists binary, linear, and exponential search;
+/// it defaults to binary and notes linear can win at very small errors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchStrategy {
+    /// Binary search over the window (the paper's default).
+    #[default]
+    Binary,
+    /// Left-to-right scan of the window; fastest for tiny errors.
+    Linear,
+    /// Galloping outward from the predicted slot, then binary search in
+    /// the bracketed range; adaptive when predictions are usually good.
+    Exponential,
+    /// Repeated interpolation inside the window (Graefe's in-page
+    /// interpolation search, cited by the paper's Section 4.1.2):
+    /// near-O(log log w) probes on locally uniform data, degrading to a
+    /// bounded binary tail otherwise.
+    Interpolation,
+}
+
+/// One variable-sized page of the clustered index.
+#[derive(Debug, Clone)]
+pub(crate) struct Segment<K, V> {
+    /// Interpolation anchor: the first key the segmentation placed in
+    /// this segment. Buffered inserts may hold smaller keys.
+    pub start_key: K,
+    /// Fitted slope (positions per key unit), from the segmentation cone.
+    pub slope: f64,
+    /// The sorted table page.
+    pub data: Vec<(K, V)>,
+    /// Sorted delta buffer; bounded by the tree's configured buffer size.
+    pub buffer: Vec<(K, V)>,
+    /// Elements removed from `data` since the last (re-)segmentation;
+    /// widens the search window to keep the error guarantee (delete
+    /// support is an extension over the paper).
+    pub removed: u64,
+}
+
+impl<K: Key, V> Segment<K, V> {
+    pub fn new(start_key: K, slope: f64, data: Vec<(K, V)>) -> Self {
+        debug_assert!(data.windows(2).all(|w| w[0].0 <= w[1].0));
+        Segment {
+            start_key,
+            slope,
+            data,
+            buffer: Vec::new(),
+            removed: 0,
+        }
+    }
+
+    /// Entries in page + buffer.
+    pub fn len(&self) -> usize {
+        self.data.len() + self.buffer.len()
+    }
+
+    /// Smallest key stored anywhere in this segment.
+    pub fn min_key(&self) -> Option<K> {
+        match (self.data.first(), self.buffer.first()) {
+            (Some(&(d, _)), Some(&(b, _))) => Some(d.min(b)),
+            (Some(&(d, _)), None) => Some(d),
+            (None, Some(&(b, _))) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    /// Largest key stored anywhere in this segment.
+    pub fn max_key(&self) -> Option<K> {
+        match (self.data.last(), self.buffer.last()) {
+            (Some(&(d, _)), Some(&(b, _))) => Some(d.max(b)),
+            (Some(&(d, _)), None) => Some(d),
+            (None, Some(&(b, _))) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    /// Interpolated local slot for `key`, clamped into the page.
+    ///
+    /// Rounds to the nearest slot: the segmentation bound holds in real
+    /// arithmetic, and rounding (plus one slot of window slack below)
+    /// absorbs `f64` evaluation error in `(key − start) × slope`.
+    pub fn predict(&self, key: K) -> usize {
+        if self.data.is_empty() {
+            return 0;
+        }
+        let p = ((key.to_f64() - self.start_key.to_f64()) * self.slope).round();
+        if p <= 0.0 {
+            // Keys are NaN-free by construction (Key contract), so this
+            // covers exactly the negative-or-zero predictions.
+            return 0;
+        }
+        (p as usize).min(self.data.len() - 1)
+    }
+
+    /// The bounded search window `[lo, hi]` (inclusive) for `key`.
+    ///
+    /// One slot wider than the nominal `seg_error` budget to cover `f64`
+    /// rounding in the prediction (see [`predict`](Self::predict)).
+    fn window(&self, key: K, seg_error: u64) -> (usize, usize) {
+        let pred = self.predict(key);
+        let slack = (seg_error + self.removed) as usize + 1;
+        let lo = pred.saturating_sub(slack);
+        let hi = (pred + slack).min(self.data.len().saturating_sub(1));
+        (lo, hi)
+    }
+
+    /// Exact-match search in the page, honoring the error window.
+    /// Returns the index into `data`.
+    pub fn search_data(&self, key: K, seg_error: u64, strategy: SearchStrategy) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let (lo, hi) = self.window(key, seg_error);
+        match strategy {
+            SearchStrategy::Binary => self.data[lo..=hi]
+                .binary_search_by(|(k, _)| k.cmp(&key))
+                .ok()
+                .map(|i| lo + i),
+            SearchStrategy::Linear => self.data[lo..=hi]
+                .iter()
+                .position(|(k, _)| *k == key)
+                .map(|i| lo + i),
+            SearchStrategy::Exponential => self.search_exponential(key, lo, hi),
+            SearchStrategy::Interpolation => self.search_interpolation(key, lo, hi),
+        }
+    }
+
+    /// Repeated interpolation within `[lo, hi]`, falling back to binary
+    /// once the bracket is small or interpolation stops converging.
+    fn search_interpolation(&self, key: K, mut lo: usize, mut hi: usize) -> Option<usize> {
+        const BINARY_TAIL: usize = 8;
+        let kf = key.to_f64();
+        while hi - lo > BINARY_TAIL {
+            let lk = self.data[lo].0.to_f64();
+            let hk = self.data[hi].0.to_f64();
+            if kf < lk || kf > hk {
+                return None;
+            }
+            let span = hk - lk;
+            let guess = if span > 0.0 {
+                lo + (((kf - lk) / span) * (hi - lo) as f64) as usize
+            } else {
+                // Flat key range within the bracket: projection collapsed
+                // (lossy to_f64) or duplicate-looking keys; bisect.
+                (lo + hi) / 2
+            };
+            let guess = guess.clamp(lo, hi);
+            match self.data[guess].0.cmp(&key) {
+                std::cmp::Ordering::Equal => return Some(guess),
+                std::cmp::Ordering::Less => {
+                    if guess == lo {
+                        lo += 1; // force progress when interpolation stalls
+                    } else {
+                        lo = guess + 1;
+                    }
+                }
+                std::cmp::Ordering::Greater => {
+                    if guess == hi {
+                        hi -= 1;
+                    } else {
+                        hi = guess.saturating_sub(1);
+                    }
+                }
+            }
+            if lo > hi {
+                return None;
+            }
+        }
+        self.data[lo..=hi]
+            .binary_search_by(|(k, _)| k.cmp(&key))
+            .ok()
+            .map(|i| lo + i)
+    }
+
+    /// Gallop outward from the prediction, then binary search the
+    /// bracketed range.
+    fn search_exponential(&self, key: K, lo: usize, hi: usize) -> Option<usize> {
+        let pred = self.predict(key).clamp(lo, hi);
+        let pk = self.data[pred].0;
+        let (mut a, mut b) = if pk == key {
+            return Some(pred);
+        } else if pk < key {
+            // Gallop right.
+            let mut step = 1usize;
+            let mut prev = pred;
+            loop {
+                let next = (pred + step).min(hi);
+                if next == prev {
+                    break (prev, hi);
+                }
+                if self.data[next].0 >= key {
+                    break (prev, next);
+                }
+                prev = next;
+                step *= 2;
+            }
+        } else {
+            // Gallop left.
+            let mut step = 1usize;
+            let mut prev = pred;
+            loop {
+                let next = pred.saturating_sub(step).max(lo);
+                if next == prev {
+                    break (lo, prev);
+                }
+                if self.data[next].0 <= key {
+                    break (next, prev);
+                }
+                prev = next;
+                step *= 2;
+            }
+        };
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        self.data[a..=b]
+            .binary_search_by(|(k, _)| k.cmp(&key))
+            .ok()
+            .map(|i| a + i)
+    }
+
+    /// Exact-match search in the buffer.
+    pub fn search_buffer(&self, key: K) -> Option<usize> {
+        self.buffer.binary_search_by(|(k, _)| k.cmp(&key)).ok()
+    }
+
+    /// Point lookup across page and buffer.
+    pub fn get(&self, key: K, seg_error: u64, strategy: SearchStrategy) -> Option<&V> {
+        if let Some(i) = self.search_data(key, seg_error, strategy) {
+            return Some(&self.data[i].1);
+        }
+        self.search_buffer(key).map(|i| &self.buffer[i].1)
+    }
+
+    /// Mutable point lookup across page and buffer.
+    pub fn get_mut(&mut self, key: K, seg_error: u64, strategy: SearchStrategy) -> Option<&mut V> {
+        if let Some(i) = self.search_data(key, seg_error, strategy) {
+            return Some(&mut self.data[i].1);
+        }
+        if let Some(i) = self.search_buffer(key) {
+            return Some(&mut self.buffer[i].1);
+        }
+        None
+    }
+
+    /// Inserts into the segment: replaces in place if the key exists
+    /// (page or buffer), otherwise appends to the sorted buffer.
+    /// Returns the previous value if any.
+    pub fn insert(&mut self, key: K, value: V, seg_error: u64, strategy: SearchStrategy) -> Option<V> {
+        if let Some(i) = self.search_data(key, seg_error, strategy) {
+            return Some(std::mem::replace(&mut self.data[i].1, value));
+        }
+        match self.buffer.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => Some(std::mem::replace(&mut self.buffer[i].1, value)),
+            Err(i) => {
+                self.buffer.insert(i, (key, value));
+                None
+            }
+        }
+    }
+
+    /// Removes `key` from the segment, tracking page removals so the
+    /// search window widens accordingly. Returns the value if present.
+    pub fn remove(&mut self, key: K, seg_error: u64, strategy: SearchStrategy) -> Option<V> {
+        if let Some(i) = self.search_buffer(key) {
+            return Some(self.buffer.remove(i).1);
+        }
+        if let Some(i) = self.search_data(key, seg_error, strategy) {
+            self.removed += 1;
+            return Some(self.data.remove(i).1);
+        }
+        None
+    }
+
+    /// Merges page and buffer into one sorted run, consuming the segment
+    /// (the first step of the paper's Algorithm 4 split).
+    pub fn into_merged(self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.data.len() + self.buffer.len());
+        let mut a = self.data.into_iter().peekable();
+        let mut b = self.buffer.into_iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    if x.0 <= y.0 {
+                        out.push(a.next().expect("peeked"));
+                    } else {
+                        out.push(b.next().expect("peeked"));
+                    }
+                }
+                (Some(_), None) => out.push(a.next().expect("peeked")),
+                (None, Some(_)) => out.push(b.next().expect("peeked")),
+                (None, None) => break,
+            }
+        }
+        out
+    }
+
+    /// Estimated heap bytes of the page + buffer payload.
+    pub fn payload_bytes(&self) -> usize {
+        (self.data.len() + self.buffer.len()) * std::mem::size_of::<(K, V)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(keys: &[u64]) -> Segment<u64, u64> {
+        let data: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k * 10)).collect();
+        // Slope from endpoints.
+        let slope = if keys.len() > 1 {
+            (keys.len() - 1) as f64 / (keys[keys.len() - 1] - keys[0]) as f64
+        } else {
+            0.0
+        };
+        Segment::new(keys[0], slope, data)
+    }
+
+    #[test]
+    fn all_strategies_find_every_key() {
+        let keys: Vec<u64> = (0..500).map(|i| i * 3).collect();
+        let s = seg(&keys);
+        for strategy in [
+            SearchStrategy::Binary,
+            SearchStrategy::Linear,
+            SearchStrategy::Exponential,
+            SearchStrategy::Interpolation,
+        ] {
+            for &k in &keys {
+                assert_eq!(
+                    s.get(k, 1, strategy),
+                    Some(&(k * 10)),
+                    "strategy {strategy:?} key {k}"
+                );
+            }
+            assert_eq!(s.get(1, 1, strategy), None);
+            assert_eq!(s.get(1_000_000, 1, strategy), None);
+        }
+    }
+
+    #[test]
+    fn interpolation_search_handles_skewed_windows() {
+        // Highly non-uniform keys inside the window: interpolation's
+        // guesses are bad, the forced-progress clamps must still
+        // terminate and find every key.
+        let keys: Vec<u64> = (0..200).map(|i| i * i * i).collect();
+        let s = seg(&keys);
+        for &k in &keys {
+            assert_eq!(
+                s.get(k, 200, SearchStrategy::Interpolation),
+                Some(&(k * 10)),
+                "key {k}"
+            );
+        }
+        assert_eq!(s.get(5, 200, SearchStrategy::Interpolation), None);
+    }
+
+    #[test]
+    fn interpolation_search_with_duplicate_projections() {
+        // All keys identical is impossible for a clustered page, but a
+        // flat span can arise from lossy to_f64; emulate with a dense run.
+        let keys: Vec<u64> = (0..64).collect();
+        let s = seg(&keys);
+        for &k in &keys {
+            assert_eq!(s.get(k, 64, SearchStrategy::Interpolation), Some(&(k * 10)));
+        }
+    }
+
+    #[test]
+    fn window_respects_error_budget() {
+        // Deliberately bad slope: predictions land at slot 0 for every
+        // key, so only keys within the window of slot 0 are findable.
+        let data: Vec<(u64, u64)> = (0..100).map(|k| (k, k)).collect();
+        let s = Segment::new(0u64, 0.0, data);
+        assert_eq!(s.get(3, 5, SearchStrategy::Binary), Some(&3));
+        // Slot 50 is outside the ±5 window around slot 0.
+        assert_eq!(s.get(50, 5, SearchStrategy::Binary), None);
+        // A wider budget finds it.
+        assert_eq!(s.get(50, 64, SearchStrategy::Binary), Some(&50));
+    }
+
+    #[test]
+    fn insert_buffers_and_replaces() {
+        let mut s = seg(&[10, 20, 30]);
+        assert_eq!(s.insert(15, 150, 2, SearchStrategy::Binary), None);
+        assert_eq!(s.buffer.len(), 1);
+        assert_eq!(s.get(15, 2, SearchStrategy::Binary), Some(&150));
+        // Replace buffered value.
+        assert_eq!(s.insert(15, 151, 2, SearchStrategy::Binary), Some(150));
+        // Replace page value in place, not via buffer.
+        assert_eq!(s.insert(20, 999, 2, SearchStrategy::Binary), Some(200));
+        assert_eq!(s.buffer.len(), 1);
+    }
+
+    #[test]
+    fn buffer_stays_sorted() {
+        let mut s = seg(&[100]);
+        for k in [50u64, 10, 70, 30] {
+            s.insert(k, k, 1, SearchStrategy::Binary);
+        }
+        let buffered: Vec<u64> = s.buffer.iter().map(|(k, _)| *k).collect();
+        assert_eq!(buffered, vec![10, 30, 50, 70]);
+    }
+
+    #[test]
+    fn remove_widens_window() {
+        let keys: Vec<u64> = (0..50).collect();
+        let mut s = seg(&keys);
+        // Remove a few early keys: later predictions shift left.
+        for k in 0..5u64 {
+            assert_eq!(s.remove(k, 1, SearchStrategy::Binary), Some(k * 10));
+        }
+        assert_eq!(s.removed, 5);
+        // Key 40 now lives at slot 35 but predicts 40; the widened
+        // window still finds it.
+        assert_eq!(s.get(40, 1, SearchStrategy::Binary), Some(&400));
+    }
+
+    #[test]
+    fn remove_from_buffer_does_not_widen() {
+        let mut s = seg(&[10, 20]);
+        s.insert(15, 1, 1, SearchStrategy::Binary);
+        assert_eq!(s.remove(15, 1, SearchStrategy::Binary), Some(1));
+        assert_eq!(s.removed, 0);
+        assert_eq!(s.remove(99, 1, SearchStrategy::Binary), None);
+    }
+
+    #[test]
+    fn into_merged_interleaves_sorted() {
+        let mut s = seg(&[10, 30, 50]);
+        s.insert(20, 2, 1, SearchStrategy::Binary);
+        s.insert(60, 6, 1, SearchStrategy::Binary);
+        let merged: Vec<u64> = s.into_merged().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(merged, vec![10, 20, 30, 50, 60]);
+    }
+
+    #[test]
+    fn min_max_consider_buffer() {
+        let mut s = seg(&[100, 200]);
+        s.insert(5, 0, 1, SearchStrategy::Binary);
+        s.insert(500, 0, 1, SearchStrategy::Binary);
+        assert_eq!(s.min_key(), Some(5));
+        assert_eq!(s.max_key(), Some(500));
+    }
+
+    #[test]
+    fn empty_page_lookups_hit_buffer_only() {
+        let mut s: Segment<u64, u64> = Segment::new(0, 0.0, Vec::new());
+        assert_eq!(s.get(1, 10, SearchStrategy::Binary), None);
+        s.insert(1, 11, 10, SearchStrategy::Binary);
+        assert_eq!(s.get(1, 10, SearchStrategy::Binary), Some(&11));
+        assert_eq!(s.min_key(), Some(1));
+    }
+}

@@ -1,0 +1,80 @@
+//! Statistics and instrumentation types.
+
+/// A snapshot of a [`crate::FitingTree`]'s shape and footprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitingTreeStats {
+    /// Key/value pairs stored.
+    pub len: usize,
+    /// Live segments (variable-sized pages).
+    pub segment_count: usize,
+    /// Height of the directory B+ tree.
+    pub tree_depth: usize,
+    /// Total directory tree nodes.
+    pub tree_nodes: usize,
+    /// Index overhead in bytes: directory tree + per-segment metadata
+    /// (the quantity plotted on the x-axis of the paper's Figure 6).
+    pub index_size_bytes: usize,
+    /// Bytes of table data held in pages and buffers (not index
+    /// overhead; reported for completeness).
+    pub data_size_bytes: usize,
+    /// Entries currently sitting in segment insert buffers.
+    pub buffered_entries: usize,
+    /// Mean entries per segment.
+    pub avg_segment_len: f64,
+    /// Configured total error budget.
+    pub error: u64,
+    /// Effective segmentation error (`error − buffer_size`).
+    pub seg_error: u64,
+    /// Per-segment buffer capacity.
+    pub buffer_size: u64,
+}
+
+/// Phase timing of one instrumented lookup (paper Figure 13's
+/// tree-vs-page breakdown). Produced by [`crate::FitingTree::get_traced`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupTrace {
+    /// Nanoseconds spent descending the directory tree.
+    pub tree_nanos: u64,
+    /// Nanoseconds spent interpolating and searching the segment
+    /// (page window + buffer).
+    pub segment_nanos: u64,
+}
+
+impl LookupTrace {
+    /// Total lookup time.
+    #[must_use]
+    pub fn total_nanos(&self) -> u64 {
+        self.tree_nanos + self.segment_nanos
+    }
+
+    /// Fraction of the lookup spent in the directory tree.
+    #[must_use]
+    pub fn tree_fraction(&self) -> f64 {
+        let total = self.total_nanos();
+        if total == 0 {
+            0.0
+        } else {
+            self.tree_nanos as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_fractions() {
+        let t = LookupTrace {
+            tree_nanos: 75,
+            segment_nanos: 25,
+        };
+        assert_eq!(t.total_nanos(), 100);
+        assert!((t.tree_fraction() - 0.75).abs() < 1e-12);
+        let z = LookupTrace {
+            tree_nanos: 0,
+            segment_nanos: 0,
+        };
+        assert_eq!(z.tree_fraction(), 0.0);
+    }
+}

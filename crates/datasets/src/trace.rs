@@ -1,0 +1,186 @@
+//! Saving and loading key traces.
+//!
+//! Generators are deterministic in `(n, seed)`, but pinning a generated
+//! trace to disk lets experiments be replayed bit-for-bit across
+//! machines and library versions, and lets users drop in *real* traces
+//! (the paper's Weblogs/IoT/Maps, should they have access) without
+//! touching the harness.
+//!
+//! Format: a plain text header line `# fiting-trace v1 <count>` followed
+//! by one decimal key per line, sorted. Self-describing, diffable, and
+//! loadable from any language.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Magic header prefix for trace files.
+const HEADER_PREFIX: &str = "# fiting-trace v1 ";
+
+/// Errors from reading a trace file.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Missing or malformed header line.
+    BadHeader,
+    /// A non-numeric or out-of-range key at the given line (1-based).
+    BadKey(usize),
+    /// Keys were not sorted (violation at the given line, 1-based).
+    Unsorted(usize),
+    /// Header promised a different number of keys than the file holds.
+    CountMismatch {
+        /// Count declared by the header.
+        expected: usize,
+        /// Keys actually present.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O: {e}"),
+            TraceError::BadHeader => write!(f, "missing or malformed trace header"),
+            TraceError::BadKey(line) => write!(f, "unparseable key at line {line}"),
+            TraceError::Unsorted(line) => write!(f, "keys out of order at line {line}"),
+            TraceError::CountMismatch { expected, actual } => {
+                write!(f, "header declared {expected} keys, found {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Writes sorted keys to `path` in the trace format.
+///
+/// # Panics
+///
+/// Panics if `keys` are not sorted (traces are sorted by contract).
+pub fn save_trace(path: &Path, keys: &[u64]) -> Result<(), TraceError> {
+    assert!(
+        keys.windows(2).all(|w| w[0] <= w[1]),
+        "traces hold sorted keys"
+    );
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "{HEADER_PREFIX}{}", keys.len())?;
+    for k in keys {
+        writeln!(w, "{k}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a trace written by [`save_trace`], validating sortedness and
+/// the declared count.
+pub fn load_trace(path: &Path) -> Result<Vec<u64>, TraceError> {
+    let mut lines = BufReader::new(File::open(path)?).lines();
+    let header = lines.next().ok_or(TraceError::BadHeader)??;
+    let expected: usize = header
+        .strip_prefix(HEADER_PREFIX)
+        .and_then(|n| n.trim().parse().ok())
+        .ok_or(TraceError::BadHeader)?;
+    let mut keys = Vec::with_capacity(expected);
+    let mut prev: Option<u64> = None;
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let k: u64 = line.trim().parse().map_err(|_| TraceError::BadKey(i + 2))?;
+        if let Some(p) = prev {
+            if k < p {
+                return Err(TraceError::Unsorted(i + 2));
+            }
+        }
+        prev = Some(k);
+        keys.push(k);
+    }
+    if keys.len() != expected {
+        return Err(TraceError::CountMismatch {
+            expected,
+            actual: keys.len(),
+        });
+    }
+    Ok(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fiting-trace-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmp("roundtrip");
+        let keys = crate::weblogs(5_000, 3);
+        save_trace(&path, &keys).unwrap();
+        let loaded = load_trace(&path).unwrap();
+        assert_eq!(keys, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let path = tmp("empty");
+        save_trace(&path, &[]).unwrap();
+        assert!(load_trace(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let path = tmp("noheader");
+        std::fs::write(&path, "123\n456\n").unwrap();
+        assert!(matches!(load_trace(&path), Err(TraceError::BadHeader)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage_key() {
+        let path = tmp("garbage");
+        std::fs::write(&path, "# fiting-trace v1 2\n1\nnope\n").unwrap();
+        assert!(matches!(load_trace(&path), Err(TraceError::BadKey(3))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_unsorted_keys() {
+        let path = tmp("unsorted");
+        std::fs::write(&path, "# fiting-trace v1 2\n5\n3\n").unwrap();
+        assert!(matches!(load_trace(&path), Err(TraceError::Unsorted(3))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let path = tmp("count");
+        std::fs::write(&path, "# fiting-trace v1 3\n1\n2\n").unwrap();
+        assert!(matches!(
+            load_trace(&path),
+            Err(TraceError::CountMismatch { expected: 3, actual: 2 })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn save_rejects_unsorted() {
+        let path = tmp("save-unsorted");
+        let mut f = File::create(&path).unwrap();
+        f.write_all(b"").unwrap();
+        let _ = save_trace(&path, &[5, 3]);
+    }
+}

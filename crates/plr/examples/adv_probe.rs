@@ -1,0 +1,10 @@
+fn main() {
+    for e in [20u64, 50] {
+        for n in [5usize, 15, 30] {
+            let pts = fiting_plr::adversarial::adversarial_input(e, n);
+            let g = fiting_plr::ShrinkingCone::segment(&pts, e).len();
+            let o = fiting_plr::optimal_segment_count(&pts, e);
+            println!("e={e} n={n}: greedy={g} optimal={o}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Piecewise-linear segmentation with a **bounded maximal error** (E∞),
+//! as defined by the FITing-Tree paper (Galakatos et al., SIGMOD 2019),
+//! Sections 3.1–3.4.
+//!
+//! A FITing-Tree models an index as a monotonically increasing function
+//! from keys to positions and approximates that function by a sequence of
+//! disjoint linear *segments*. The defining property of a segment is not
+//! least-squares quality but a hard guarantee: for every key inside the
+//! segment, the linearly interpolated position is within `error` slots of
+//! the true position. That guarantee is what bounds the post-interpolation
+//! local search to `2·error + 1` slots (paper Equation 4.2).
+//!
+//! This crate implements the paper's two segmentation algorithms plus the
+//! machinery around them:
+//!
+//! * [`ShrinkingCone`] — the streaming greedy algorithm (paper
+//!   Algorithm 2): O(n) time, O(1) state, one pass. The cone is the family
+//!   of feasible slopes for the current segment; each accepted point can
+//!   only narrow it.
+//! * [`optimal_segmentation`] — the dynamic program (paper Algorithm 1)
+//!   that minimizes the number of segments. Our implementation keeps only
+//!   the running cone per candidate start (O(n) memory instead of the
+//!   paper's O(n²) matrix), which is what makes Table 1 reproducible on a
+//!   laptop.
+//! * [`validate`] — checkers asserting the E∞ guarantee over a produced
+//!   segmentation; used pervasively in tests and debug assertions.
+//! * [`adversarial`] — the Appendix A.3 construction on which
+//!   ShrinkingCone produces `N + 2` segments while the optimum is 2,
+//!   proving the greedy is not competitive.
+//!
+//! # Example
+//!
+//! ```
+//! use fiting_plr::{Point, ShrinkingCone, validate};
+//!
+//! // A gently curving key distribution.
+//! let points: Vec<Point> = (0u64..1000)
+//!     .map(|i| Point::new((i * i) as f64, i))
+//!     .collect();
+//! let segments = ShrinkingCone::segment(&points, 16);
+//! assert!(segments.len() > 1); // quadratic data is not one line at error 16
+//! validate::validate_segmentation(&points, &segments, 16).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adversarial;
+mod cone;
+pub mod optimal;
+mod point;
+mod segment;
+mod shrinking_cone;
+pub mod validate;
+
+pub use cone::Cone;
+pub use optimal::{
+    optimal_segment_count, optimal_segment_count_endpoint, optimal_segmentation,
+    optimal_segmentation_endpoint,
+};
+pub use point::{points_from_sorted_keys, Point};
+pub use segment::LinearSegment;
+pub use shrinking_cone::ShrinkingCone;
+
+/// Upper bound on the number of segments ShrinkingCone may emit for a
+/// dataset (paper Section 3.4):
+/// `min(|keys| / 2, |D| / (error + 1))`, where `|keys|` counts distinct
+/// keys and `|D|` counts elements including duplicates.
+///
+/// The bound follows from Theorem 3.1: no input with fewer than 3 keys
+/// spanning at least `error + 2` locations forces a segment break.
+#[must_use]
+pub fn segment_count_bound(distinct_keys: usize, total_elements: usize, error: u64) -> usize {
+    let by_keys = distinct_keys.div_ceil(2);
+    let by_elems = total_elements.div_ceil(error as usize + 1);
+    by_keys.min(by_elems).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_is_never_zero() {
+        assert_eq!(segment_count_bound(1, 1, 10), 1);
+        assert_eq!(segment_count_bound(0, 0, 10), 1);
+    }
+
+    #[test]
+    fn bound_shrinks_with_error() {
+        let wide = segment_count_bound(1000, 1000, 100);
+        let tight = segment_count_bound(1000, 1000, 1);
+        assert!(wide < tight);
+    }
+}

@@ -1,0 +1,73 @@
+//! The `(key, position)` point type segmentation operates on.
+
+/// A single observation of the key → position function: the key (already
+/// projected to `f64` by the index layer) and its slot in the sorted data.
+///
+/// Positions are array indices, so the function is monotonically
+/// increasing in `pos`; keys are non-decreasing (duplicates occupy
+/// consecutive positions, as in the paper's non-clustered Maps index).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Key value, projected to `f64`.
+    pub key: f64,
+    /// Position (slot index) of this key in the sorted data.
+    pub pos: u64,
+}
+
+impl Point {
+    /// Creates a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `key` is NaN — segmentation geometry is
+    /// undefined for NaN and the index layer must reject such keys.
+    #[must_use]
+    pub fn new(key: f64, pos: u64) -> Self {
+        debug_assert!(!key.is_nan(), "NaN keys are not indexable");
+        Point { key, pos }
+    }
+}
+
+/// Projects a slice of sorted keys into segmentation points, assigning
+/// positions `0..n`.
+///
+/// Accepts duplicate keys (non-decreasing order); they become vertical
+/// runs which the cone handles explicitly.
+///
+/// # Panics
+///
+/// Panics if the keys are not sorted in non-decreasing order.
+#[must_use]
+pub fn points_from_sorted_keys(keys: &[f64]) -> Vec<Point> {
+    for w in keys.windows(2) {
+        assert!(w[0] <= w[1], "keys must be sorted in non-decreasing order");
+    }
+    keys.iter()
+        .enumerate()
+        .map(|(i, &k)| Point::new(k, i as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_get_consecutive_positions() {
+        let pts = points_from_sorted_keys(&[1.0, 2.0, 2.0, 5.0]);
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[2], Point::new(2.0, 2));
+        assert_eq!(pts[3].pos, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn rejects_unsorted_keys() {
+        let _ = points_from_sorted_keys(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(points_from_sorted_keys(&[]).is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Exhaustive cross-validation of the optimal DPs against brute force.
+//!
+//! For small inputs we enumerate *every* partition of the point
+//! sequence into contiguous segments, check feasibility directly from
+//! the definitions, and take the true minimum. Both DPs must match
+//! their respective definitions exactly.
+
+use fiting_plr::{
+    optimal_segment_count, optimal_segment_count_endpoint, points_from_sorted_keys, Point,
+};
+use proptest::prelude::*;
+
+/// Direct ∃-line feasibility: some slope from the first point predicts
+/// every point within `error`.
+fn feasible_anyline(points: &[Point], error: u64) -> bool {
+    let origin = points[0];
+    let err = error as f64;
+    let (mut low, mut high) = (0.0f64, f64::INFINITY);
+    for p in &points[1..] {
+        let dx = p.key - origin.key;
+        let dy = (p.pos - origin.pos) as f64;
+        if dx == 0.0 {
+            if dy > err {
+                return false;
+            }
+        } else {
+            low = low.max((dy - err) / dx);
+            high = high.min((dy + err) / dx);
+            if low > high {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Direct endpoint-chord feasibility: the line from first to last point
+/// keeps every interior point within `error`.
+fn feasible_endpoint(points: &[Point], error: u64) -> bool {
+    let first = points[0];
+    let last = points[points.len() - 1];
+    let err = error as f64;
+    let dx = last.key - first.key;
+    if dx == 0.0 {
+        // Vertical run: prediction pinned at the first position.
+        return (last.pos - first.pos) as f64 <= err;
+    }
+    let slope = (last.pos - first.pos) as f64 / dx;
+    points.iter().all(|p| {
+        let pred = first.pos as f64 + (p.key - first.key) * slope;
+        (pred - p.pos as f64).abs() <= err + 1e-9
+    })
+}
+
+/// Brute force: minimum number of contiguous feasible segments, by DP
+/// over all O(2^n) boundaries (fine for n ≤ 14).
+fn brute_force(points: &[Point], error: u64, feasible: fn(&[Point], u64) -> bool) -> usize {
+    let n = points.len();
+    let mut t = vec![usize::MAX; n + 1];
+    t[0] = 0;
+    for j in 0..n {
+        if t[j] == usize::MAX {
+            continue;
+        }
+        for k in j..n {
+            if feasible(&points[j..=k], error) {
+                t[k + 1] = t[k + 1].min(t[j] + 1);
+            }
+        }
+    }
+    t[n]
+}
+
+fn tiny_points() -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0u32..60, 0u32..1), 1..12).prop_map(|raw| {
+        let mut keys: Vec<u32> = raw.into_iter().map(|(k, _)| k).collect();
+        keys.sort_unstable();
+        keys.into_iter()
+            .enumerate()
+            .map(|(i, k)| Point::new(f64::from(k), i as u64))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn anyline_dp_matches_brute_force(points in tiny_points(), error in 0u64..12) {
+        let dp = optimal_segment_count(&points, error);
+        let bf = brute_force(&points, error, feasible_anyline);
+        prop_assert_eq!(dp, bf, "points {:?} error {}", points, error);
+    }
+
+    #[test]
+    fn endpoint_dp_matches_brute_force(points in tiny_points(), error in 0u64..12) {
+        let dp = optimal_segment_count_endpoint(&points, error);
+        let bf = brute_force(&points, error, feasible_endpoint);
+        prop_assert_eq!(dp, bf, "points {:?} error {}", points, error);
+    }
+
+    /// Ordering invariant on arbitrary tiny inputs:
+    /// any-line ≤ endpoint ≤ greedy.
+    #[test]
+    fn optimality_ordering(points in tiny_points(), error in 0u64..12) {
+        let anyline = optimal_segment_count(&points, error);
+        let endpoint = optimal_segment_count_endpoint(&points, error);
+        let greedy = fiting_plr::ShrinkingCone::segment(&points, error).len();
+        prop_assert!(anyline <= endpoint);
+        prop_assert!(endpoint <= greedy);
+    }
+}
+
+#[test]
+fn known_hand_case() {
+    // Keys 0,1,2,10 positions 0..3 at error 0: the chord 0→10 misses
+    // interior points badly; exact fits need the slope to match each
+    // gap. Brute force says 2 for both definitions (0,1,2 are collinear
+    // with slope 1; the jump to 10 breaks it).
+    let points = points_from_sorted_keys(&[0.0, 1.0, 2.0, 10.0]);
+    assert_eq!(optimal_segment_count(&points, 0), 2);
+    assert_eq!(optimal_segment_count_endpoint(&points, 0), 2);
+}

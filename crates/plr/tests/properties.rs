@@ -1,0 +1,168 @@
+//! Property-based tests for the segmentation algorithms: the paper's
+//! guarantees, stated as executable properties over arbitrary monotonic
+//! inputs.
+
+use fiting_plr::{
+    optimal_segment_count, optimal_segmentation, points_from_sorted_keys, segment_count_bound,
+    validate::validate_segmentation, Point, ShrinkingCone,
+};
+use proptest::prelude::*;
+
+/// Arbitrary sorted key sets, possibly with duplicates, over a wide
+/// dynamic range.
+fn sorted_keys() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0u32..1_000_000, 1..400).prop_map(|mut v| {
+        v.sort_unstable();
+        v.into_iter().map(f64::from).collect()
+    })
+}
+
+/// Strictly increasing keys (no duplicates).
+fn distinct_sorted_keys() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::btree_set(0u32..1_000_000, 1..400)
+        .prop_map(|s| s.into_iter().map(f64::from).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The E∞ guarantee: every greedy segmentation satisfies the error
+    /// bound and partitions the input (paper Section 3.1).
+    #[test]
+    fn greedy_satisfies_error_bound(keys in sorted_keys(), error in 0u64..64) {
+        let points = points_from_sorted_keys(&keys);
+        let segs = ShrinkingCone::segment(&points, error);
+        validate_segmentation(&points, &segs, error).unwrap();
+    }
+
+    /// Same for the optimal DP.
+    #[test]
+    fn optimal_satisfies_error_bound(keys in sorted_keys(), error in 0u64..64) {
+        let points = points_from_sorted_keys(&keys);
+        let segs = optimal_segmentation(&points, error);
+        validate_segmentation(&points, &segs, error).unwrap();
+    }
+
+    /// Optimality sanity: the DP never uses more segments than the greedy.
+    #[test]
+    fn optimal_is_at_most_greedy(keys in sorted_keys(), error in 0u64..64) {
+        let points = points_from_sorted_keys(&keys);
+        let greedy = ShrinkingCone::segment(&points, error).len();
+        let optimal = optimal_segment_count(&points, error);
+        prop_assert!(optimal <= greedy);
+        prop_assert!(optimal >= 1);
+    }
+
+    /// Paper Section 3.4: ShrinkingCone emits at most
+    /// `min(|keys|/2, |D|/(error+1))` segments (distinct keys / total
+    /// elements).
+    #[test]
+    fn greedy_respects_count_bound(keys in sorted_keys(), error in 1u64..64) {
+        let points = points_from_sorted_keys(&keys);
+        let distinct = {
+            let mut d = keys.clone();
+            d.dedup();
+            d.len()
+        };
+        let segs = ShrinkingCone::segment(&points, error);
+        let bound = segment_count_bound(distinct, points.len(), error);
+        prop_assert!(
+            segs.len() <= bound,
+            "{} segments > bound {} (distinct {}, total {}, error {})",
+            segs.len(), bound, distinct, points.len(), error
+        );
+    }
+
+    /// Theorem 3.1 corollary: every *closed* greedy segment (all but the
+    /// final one) covers at least error + 1 locations.
+    #[test]
+    fn closed_greedy_segments_cover_error_plus_one(
+        keys in distinct_sorted_keys(),
+        error in 1u64..64,
+    ) {
+        let points = points_from_sorted_keys(&keys);
+        let segs = ShrinkingCone::segment(&points, error);
+        for seg in &segs[..segs.len().saturating_sub(1)] {
+            prop_assert!(
+                seg.len() > error,
+                "closed segment of {} locations < error+1 = {}",
+                seg.len(), error + 1
+            );
+        }
+    }
+
+    /// Streaming and batch APIs agree.
+    #[test]
+    fn streaming_equals_batch(keys in sorted_keys(), error in 0u64..32) {
+        let points = points_from_sorted_keys(&keys);
+        let batch = ShrinkingCone::segment(&points, error);
+        let mut sc = ShrinkingCone::new(error);
+        let mut streamed = Vec::new();
+        for &p in &points {
+            streamed.extend(sc.push(p));
+        }
+        streamed.extend(sc.finish());
+        prop_assert_eq!(batch, streamed);
+    }
+
+    /// Doubling the error cannot increase the optimal segment count.
+    #[test]
+    fn optimal_count_monotone_in_error(keys in sorted_keys(), error in 1u64..32) {
+        let points = points_from_sorted_keys(&keys);
+        let tight = optimal_segment_count(&points, error);
+        let loose = optimal_segment_count(&points, error * 2);
+        prop_assert!(loose <= tight);
+    }
+
+    /// Every segment's predicted position, clamped, lands within error of
+    /// the true position for every covered point — the exact quantity the
+    /// index's local search depends on.
+    #[test]
+    fn clamped_prediction_within_error(keys in sorted_keys(), error in 0u64..32) {
+        let points = points_from_sorted_keys(&keys);
+        let segs = ShrinkingCone::segment(&points, error);
+        let mut si = 0;
+        for p in &points {
+            while p.pos > segs[si].end_pos {
+                si += 1;
+            }
+            let pred = segs[si].predict_clamped(p.key);
+            let dev = pred.abs_diff(p.pos);
+            prop_assert!(
+                dev <= error + 1,
+                "clamped prediction off by {dev} > error+1 ({})",
+                error + 1
+            );
+        }
+    }
+}
+
+/// Deterministic regression: a handful of shapes that once broke naive
+/// segmenters.
+#[test]
+fn regression_shapes() {
+    let shapes: Vec<Vec<f64>> = vec![
+        vec![0.0],
+        vec![0.0, 0.0, 0.0, 0.0],
+        vec![0.0, 1e12],
+        vec![0.0, 1.0, 1.0 + 1e-9, 2.0],
+        (0..100).map(|i| f64::from(i * i)).collect(),
+        (0..100).map(|i| (f64::from(i)).exp().min(1e15)).collect(),
+    ];
+    for keys in shapes {
+        let points = points_from_sorted_keys(&keys);
+        for error in [0u64, 1, 5, 100] {
+            let segs = ShrinkingCone::segment(&points, error);
+            validate_segmentation(&points, &segs, error)
+                .unwrap_or_else(|e| panic!("keys {keys:?} error {error}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn point_rejects_nan_in_debug() {
+    let result = std::panic::catch_unwind(|| Point::new(f64::NAN, 0));
+    if cfg!(debug_assertions) {
+        assert!(result.is_err());
+    }
+}

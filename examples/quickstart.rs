@@ -1,0 +1,43 @@
+//! Quickstart: build a FITing-Tree over sorted data, look things up,
+//! insert, scan, and inspect the footprint.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use fiting::tree::FitingTreeBuilder;
+
+fn main() {
+    // One million sensor readings keyed by (strictly increasing)
+    // microsecond timestamps.
+    let readings: Vec<(u64, f64)> = (0..1_000_000u64)
+        .map(|i| (1_700_000_000_000_000 + i * 250, (i as f64 * 0.01).sin()))
+        .collect();
+
+    // The only decision: the error budget. 64 means "a lookup may scan
+    // at most ~128 extra slots after interpolation".
+    let mut index = FitingTreeBuilder::new(64)
+        .bulk_load(readings.iter().copied())
+        .expect("timestamps are strictly increasing");
+
+    // Point lookup.
+    let probe = 1_700_000_000_000_000 + 123_456 * 250;
+    println!("reading at t={probe}: {:?}", index.get(&probe));
+
+    // Range scan: half a millisecond of readings.
+    let from = 1_700_000_000_000_000 + 500_000 * 250;
+    let count = index.range(from..from + 500).count();
+    println!("readings in [t0, t0+500us): {count}");
+
+    // Live appends go to per-segment buffers; overflow re-segments.
+    index.insert(probe + 1, 42.0);
+    assert_eq!(index.get(&(probe + 1)), Some(&42.0));
+
+    // The punchline: index overhead vs the data it indexes.
+    let stats = index.stats();
+    println!(
+        "{} keys in {} segments; index overhead {} bytes ({}x smaller than the data)",
+        stats.len,
+        stats.segment_count,
+        stats.index_size_bytes,
+        stats.data_size_bytes / stats.index_size_bytes.max(1),
+    );
+}

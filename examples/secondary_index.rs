@@ -1,0 +1,61 @@
+//! Non-clustered (secondary) indexing — the paper's Maps scenario
+//! (Section 2.2.1): a non-unique attribute (longitude) over an unsorted
+//! base table, indexed through a sorted key-pages level.
+//!
+//! Shows: duplicates, row-id retrieval, spatial band queries, and
+//! incremental maintenance as rows are added and deleted.
+//!
+//! Run: `cargo run --release --example secondary_index`
+
+use fiting::datasets;
+use fiting::tree::SecondaryIndex;
+
+fn main() {
+    // The base table: features with longitudes (fixed-point 1e-7 deg),
+    // *not* sorted by longitude — row ids are table positions.
+    let longitudes = datasets::maps(1_000_000, 3);
+    let table: Vec<(u64, u64)> = longitudes
+        .iter()
+        .enumerate()
+        .map(|(row, &lon)| (lon, row as u64))
+        .collect();
+
+    let mut index = SecondaryIndex::bulk_load(128, table.iter().copied())
+        .expect("generator emits sorted longitudes");
+    println!(
+        "indexed {} rows over {} segments; index {} bytes, key pages {} bytes",
+        index.len(),
+        index.segment_count(),
+        index.index_size_bytes(),
+        index.key_pages_bytes()
+    );
+
+    // Exact-match: all features at one longitude (duplicates!).
+    let probe = longitudes[500_000];
+    let rows: Vec<u64> = index.get(&probe).collect();
+    println!("\nrows at longitude {probe}: {} matches (e.g. {:?})", rows.len(), &rows[..rows.len().min(5)]);
+
+    // Band query: everything within ±0.01 degrees.
+    let band = 100_000u64; // 0.01 degree in fixed-point
+    let lo = probe.saturating_sub(band);
+    let hi = probe + band;
+    let in_band = index.range(lo..=hi).count();
+    println!("features within ±0.01°: {in_band}");
+
+    // Maintenance: a feature moves — delete + reinsert.
+    let moved_row = rows[0];
+    assert!(index.remove(&probe, moved_row));
+    index.insert(probe + 42, moved_row);
+    assert!(index.get(&(probe + 42)).any(|r| r == moved_row));
+    println!("\nrelocated row {moved_row}: old entry removed, new entry queryable");
+
+    // Selectivity sweep: how band width translates to rows scanned.
+    println!("\nband width -> matching rows:");
+    for exp in [3u32, 4, 5, 6, 7] {
+        let w = 10u64.pow(exp);
+        let c = index
+            .range(probe.saturating_sub(w)..=probe + w)
+            .count();
+        println!("  ±{:>9} fixed-point units: {c:>8}", w);
+    }
+}

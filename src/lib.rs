@@ -1,0 +1,26 @@
+//! Facade crate for the FITing-Tree reproduction workspace.
+//!
+//! Re-exports every workspace crate under one root so the examples and
+//! cross-crate integration tests have a single dependency:
+//!
+//! * [`tree`] — the FITing-Tree itself (clustered + non-clustered index,
+//!   insert path, cost model). This is the paper's contribution.
+//! * [`plr`] — bounded-error piecewise-linear segmentation
+//!   (ShrinkingCone and the optimal DP).
+//! * [`btree`] — the in-memory B+ tree substrate shared by the
+//!   FITing-Tree and the baselines.
+//! * [`baselines`] — full (dense) index, fixed-size-page index, and
+//!   binary search, benchmarked against the FITing-Tree throughout the
+//!   paper's evaluation.
+//! * [`datasets`] — seeded synthetic generators standing in for the
+//!   paper's Weblogs / IoT / Maps / Taxi traces, plus the non-linearity
+//!   metric of Figure 8.
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md`
+//! for paper-vs-measured results.
+
+pub use fiting_baselines as baselines;
+pub use fiting_btree as btree;
+pub use fiting_datasets as datasets;
+pub use fiting_plr as plr;
+pub use fiting_tree as tree;

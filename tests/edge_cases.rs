@@ -1,0 +1,155 @@
+//! Edge cases and hazard injection across the workspace: degenerate
+//! inputs, lossy float projections, float keys, and heavy churn soak.
+
+use fiting::plr::{points_from_sorted_keys, validate::validate_segmentation, ShrinkingCone};
+use fiting::tree::{FitingTreeBuilder, OrderedF64, SecondaryIndex};
+use std::collections::BTreeMap;
+
+#[test]
+fn single_key_and_tiny_indexes() {
+    let t = FitingTreeBuilder::new(10).bulk_load([(42u64, 1u64)]).unwrap();
+    assert_eq!(t.get(&42), Some(&1));
+    assert_eq!(t.get(&41), None);
+    assert_eq!(t.get(&43), None);
+    assert_eq!(t.segment_count(), 1);
+    t.check_invariants().unwrap();
+
+    let two = FitingTreeBuilder::new(0)
+        .bulk_load([(1u64, 1u64), (u64::MAX >> 11, 2)])
+        .unwrap();
+    assert_eq!(two.get(&(u64::MAX >> 11)), Some(&2));
+}
+
+#[test]
+fn extreme_key_magnitudes_survive_lossy_projection() {
+    // Keys above 2^53 collapse in f64; correctness must not (accuracy
+    // may: the effective window just widens).
+    let base = 1u64 << 60;
+    let pairs: Vec<(u64, u64)> = (0..10_000u64).map(|i| (base + i * 3, i)).collect();
+    for error in [4u64, 64, 1024] {
+        let mut t = FitingTreeBuilder::new(error).bulk_load(pairs.clone()).unwrap();
+        for (k, v) in pairs.iter().step_by(97) {
+            assert_eq!(t.get(k), Some(v), "error {error} key {k}");
+        }
+        t.insert(base + 1, 999);
+        assert_eq!(t.get(&(base + 1)), Some(&999));
+        t.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn adjacent_keys_denser_than_f64_resolution() {
+    // Consecutive u64 keys near 2^60: many project to the same f64.
+    let base = 1u64 << 60;
+    let pairs: Vec<(u64, u64)> = (0..2_000u64).map(|i| (base + i, i)).collect();
+    let t = FitingTreeBuilder::new(16).bulk_load(pairs.clone()).unwrap();
+    for (k, v) in pairs.iter().step_by(13) {
+        assert_eq!(t.get(k), Some(v));
+    }
+    t.check_invariants().unwrap();
+}
+
+#[test]
+fn float_keys_via_ordered_f64() {
+    let mut coords: Vec<f64> = (0..5_000)
+        .map(|i| -90.0 + (i as f64) * 0.036 + ((i as f64) / 7.0).sin() * 0.001)
+        .collect();
+    coords.sort_by(f64::total_cmp);
+    coords.dedup();
+    let pairs: Vec<(OrderedF64, u32)> = coords
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (OrderedF64::new(c).unwrap(), i as u32))
+        .collect();
+    let t = FitingTreeBuilder::new(32).bulk_load(pairs.clone()).unwrap();
+    for (k, v) in pairs.iter().step_by(101) {
+        assert_eq!(t.get(k), Some(v));
+    }
+    // Negative and positive zero are distinct under total_cmp ordering;
+    // the index must treat them as the ordering does.
+    let mut z = FitingTreeBuilder::new(4)
+        .bulk_load([
+            (OrderedF64::new(-0.0).unwrap(), 0u8),
+            (OrderedF64::new(0.0).unwrap(), 1u8),
+        ])
+        .unwrap();
+    assert_eq!(z.get(&OrderedF64::new(-0.0).unwrap()), Some(&0));
+    assert_eq!(z.get(&OrderedF64::new(0.0).unwrap()), Some(&1));
+    z.insert(OrderedF64::new(1.5).unwrap(), 2);
+    z.check_invariants().unwrap();
+}
+
+#[test]
+fn all_identical_keys_secondary() {
+    // 10k rows with one attribute value.
+    let pairs: Vec<(u64, u64)> = (0..10_000).map(|r| (7u64, r)).collect();
+    let idx = SecondaryIndex::bulk_load(100, pairs).unwrap();
+    assert_eq!(idx.count(&7), 10_000);
+    assert_eq!(idx.count(&8), 0);
+    assert!(idx.segment_count() > 1, "a 10k-deep run cannot be one segment at error 100");
+    idx.check_invariants().unwrap();
+}
+
+#[test]
+fn segmentation_of_pathological_shapes() {
+    let shapes: Vec<Vec<f64>> = vec![
+        // Giant jump mid-stream.
+        (0..1000).map(|i| if i < 500 { i as f64 } else { 1e15 + i as f64 }).collect(),
+        // Long plateau then steep ramp.
+        (0..1000)
+            .map(|i| if i < 500 { (i / 100) as f64 } else { (i * i) as f64 })
+            .collect(),
+        // Alternating micro-steps.
+        (0..1000).map(|i| (i / 2 * 2) as f64).collect(),
+    ];
+    for keys in shapes {
+        let mut sorted = keys;
+        sorted.sort_by(f64::total_cmp);
+        let points = points_from_sorted_keys(&sorted);
+        for error in [0u64, 3, 47] {
+            let segs = ShrinkingCone::segment(&points, error);
+            validate_segmentation(&points, &segs, error).unwrap();
+        }
+    }
+}
+
+/// Deterministic soak: 60k interleaved operations against a model, with
+/// a buffer size chosen to force frequent re-segmentation.
+#[test]
+fn churn_soak_against_model() {
+    let mut tree = FitingTreeBuilder::new(32)
+        .buffer_size(4)
+        .bulk_load((0..20_000u64).map(|k| (k * 5, k)))
+        .unwrap();
+    let mut model: BTreeMap<u64, u64> = (0..20_000u64).map(|k| (k * 5, k)).collect();
+
+    let mut state = 0x243f6a8885a308d3u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..60_000u64 {
+        let k = rng() % 120_000;
+        match rng() % 10 {
+            0..=4 => {
+                assert_eq!(tree.insert(k, i), model.insert(k, i));
+            }
+            5..=7 => {
+                assert_eq!(tree.remove(&k), model.remove(&k));
+            }
+            _ => {
+                assert_eq!(tree.get(&k), model.get(&k));
+            }
+        }
+        if i % 10_000 == 0 {
+            tree.check_invariants().unwrap_or_else(|e| panic!("op {i}: {e}"));
+        }
+    }
+    assert_eq!(tree.len(), model.len());
+    tree.check_invariants().unwrap();
+    let got: Vec<u64> = tree.keys().copied().collect();
+    let want: Vec<u64> = model.keys().copied().collect();
+    assert_eq!(got, want);
+}
