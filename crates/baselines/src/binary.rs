@@ -1,7 +1,9 @@
 //! The binary-search baseline: no index at all.
 
-use crate::OrderedIndex;
+use fiting_index_api::{BuildableIndex, SortedIndex};
 use fiting_tree::Key;
+use std::convert::Infallible;
+use std::ops::RangeBounds;
 
 /// Plain binary search over one sorted array.
 ///
@@ -51,7 +53,14 @@ impl<K: Key, V> Default for BinarySearchIndex<K, V> {
     }
 }
 
-impl<K: Key, V> OrderedIndex<K, V> for BinarySearchIndex<K, V> {
+impl<K: Key, V: Clone> SortedIndex<K, V> for BinarySearchIndex<K, V> {
+    type RangeIter<'a>
+        = std::iter::Map<std::slice::Iter<'a, (K, V)>, fn(&'a (K, V)) -> (K, V)>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+
     fn name(&self) -> &'static str {
         "Binary"
     }
@@ -73,23 +82,32 @@ impl<K: Key, V> OrderedIndex<K, V> for BinarySearchIndex<K, V> {
         }
     }
 
+    fn remove(&mut self, key: &K) -> Option<V> {
+        BinarySearchIndex::remove(self, key)
+    }
+
     fn len(&self) -> usize {
         self.data.len()
     }
 
-    fn for_each_in_range(&self, lo: &K, hi: &K, f: &mut dyn FnMut(&K, &V)) {
-        let start = self.data.partition_point(|(k, _)| k < lo);
-        for (k, v) in &self.data[start..] {
-            if k > hi {
-                break;
-            }
-            f(k, v);
-        }
+    /// Binary search needs no index structure at all.
+    fn size_bytes(&self) -> usize {
+        0
     }
 
-    /// Binary search needs no index structure at all.
-    fn index_size_bytes(&self) -> usize {
-        0
+    fn range<R: RangeBounds<K>>(&self, range: R) -> Self::RangeIter<'_> {
+        fiting_index_api::sorted_slice_range(&self.data, range)
+            .iter()
+            .map(fiting_index_api::clone_entry as fn(&(K, V)) -> (K, V))
+    }
+}
+
+impl<K: Key, V: Clone> BuildableIndex<K, V> for BinarySearchIndex<K, V> {
+    type Config = ();
+    type BuildError = Infallible;
+
+    fn build_sorted(_: &(), sorted: Vec<(K, V)>) -> Result<Self, Infallible> {
+        Ok(BinarySearchIndex::bulk_load(sorted))
     }
 }
 
@@ -102,7 +120,7 @@ mod tests {
         let mut idx = BinarySearchIndex::bulk_load((0..1000u64).map(|k| (k * 2, k)));
         assert_eq!(idx.get(&500), Some(&250));
         assert_eq!(idx.get(&501), None);
-        assert_eq!(idx.index_size_bytes(), 0);
+        assert_eq!(idx.size_bytes(), 0);
         assert_eq!(idx.insert(501, 9), None);
         assert_eq!(idx.remove(&501), Some(9));
         assert_eq!(idx.len(), 1000);

@@ -12,9 +12,11 @@
 //! page + buffer merge and split into two half-full pages ("as usual,
 //! once the buffer is full, the page is split into two pages").
 
-use crate::OrderedIndex;
 use fiting_btree::BPlusTree;
+use fiting_index_api::{BuildableIndex, SortedIndex};
 use fiting_tree::Key;
+use std::convert::Infallible;
+use std::ops::{Bound, RangeBounds};
 
 /// Fixed-size-page sparse index.
 #[derive(Debug, Clone)]
@@ -176,6 +178,46 @@ impl<K: Key, V> FixedPageIndex<K, V> {
         }
     }
 
+    /// Removes a key. Empty pages leave the directory; a removed first
+    /// key re-registers the page under its new first key.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let slot = self.locate(key)?;
+        let registered = *self.tree.floor(key).or_else(|| self.tree.first())?.0;
+        let (removed, new_first) = {
+            let page = self.pages[slot]
+                .as_mut()
+                .expect("directory points at live page");
+            let removed = if let Ok(i) = page.data.binary_search_by(|(k, _)| k.cmp(key)) {
+                page.data.remove(i).1
+            } else {
+                match page.buffer.binary_search_by(|(k, _)| k.cmp(key)) {
+                    Ok(i) => page.buffer.remove(i).1,
+                    Err(_) => return None,
+                }
+            };
+            let new_first = if page.data.is_empty() && page.buffer.is_empty() {
+                None
+            } else {
+                Some(page.first_key())
+            };
+            (removed, new_first)
+        };
+        self.len -= 1;
+        match new_first {
+            None => {
+                self.pages[slot] = None;
+                self.free.push(slot);
+                self.tree.remove(&registered);
+            }
+            Some(first) if first != registered => {
+                self.tree.remove(&registered);
+                self.tree.insert(first, slot);
+            }
+            Some(_) => {}
+        }
+        Some(removed)
+    }
+
     /// Splits a page whose buffer overflowed: merge, halve, reinsert.
     fn split(&mut self, slot: usize, registered: K) {
         let page = self.pages[slot].take().expect("split target is live");
@@ -200,7 +242,100 @@ impl<K: Key, V> FixedPageIndex<K, V> {
     }
 }
 
-impl<K: Key, V> OrderedIndex<K, V> for FixedPageIndex<K, V> {
+/// Lazy cross-page range scan: walks the directory from the floor page
+/// of the lower bound, merging each page's data and buffer on the fly.
+pub struct FixedPageRange<'a, K: Key, V> {
+    pages: &'a [Option<Page<K, V>>],
+    walk: fiting_btree::Range<'a, K, usize>,
+    current: Option<PageCursor<'a, K, V>>,
+    lo: Bound<K>,
+    hi: Bound<K>,
+    done: bool,
+}
+
+struct PageCursor<'a, K: Key, V> {
+    page: &'a Page<K, V>,
+    di: usize,
+    bi: usize,
+}
+
+impl<K: Key, V: Clone> Iterator for FixedPageRange<'_, K, V> {
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        loop {
+            if self.done {
+                return None;
+            }
+            if self.current.is_none() {
+                match self.walk.next() {
+                    Some((_, &slot)) => {
+                        let page = self.pages[slot]
+                            .as_ref()
+                            .expect("directory points at live page");
+                        self.current = Some(PageCursor { page, di: 0, bi: 0 });
+                    }
+                    None => {
+                        self.done = true;
+                        return None;
+                    }
+                }
+            }
+            let yielded = {
+                let cur = self.current.as_mut().expect("cursor ensured above");
+                let page = cur.page;
+                let d = page.data.get(cur.di);
+                let b = page.buffer.get(cur.bi);
+                match (d, b) {
+                    (Some((dk, dv)), Some((bk, _))) if dk <= bk => {
+                        cur.di += 1;
+                        Some((dk, dv))
+                    }
+                    (_, Some((bk, bv))) => {
+                        cur.bi += 1;
+                        Some((bk, bv))
+                    }
+                    (Some((dk, dv)), None) => {
+                        cur.di += 1;
+                        Some((dk, dv))
+                    }
+                    (None, None) => None,
+                }
+            };
+            let Some((k, v)) = yielded else {
+                self.current = None;
+                continue;
+            };
+            let after_lo = match &self.lo {
+                Bound::Included(l) => k >= l,
+                Bound::Excluded(l) => k > l,
+                Bound::Unbounded => true,
+            };
+            if !after_lo {
+                continue;
+            }
+            let before_hi = match &self.hi {
+                Bound::Included(h) => k <= h,
+                Bound::Excluded(h) => k < h,
+                Bound::Unbounded => true,
+            };
+            if !before_hi {
+                self.done = true;
+                return None;
+            }
+            return Some((*k, v.clone()));
+        }
+    }
+}
+
+impl<K: Key, V: Clone> SortedIndex<K, V> for FixedPageIndex<K, V> {
+    type RangeIter<'a>
+        = FixedPageRange<'a, K, V>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+
     fn name(&self) -> &'static str {
         "Fixed"
     }
@@ -248,55 +383,53 @@ impl<K: Key, V> OrderedIndex<K, V> for FixedPageIndex<K, V> {
         None
     }
 
+    fn remove(&mut self, key: &K) -> Option<V> {
+        FixedPageIndex::remove(self, key)
+    }
+
     fn len(&self) -> usize {
         self.len
     }
 
-    fn for_each_in_range(&self, lo: &K, hi: &K, f: &mut dyn FnMut(&K, &V)) {
-        // Walk pages in key order starting at the floor page; within a
-        // page, merge data and buffer on the fly.
-        let walk = self.tree.iter_from_floor(lo);
-        for (_, &slot) in walk {
-            let page = self.pages[slot]
-                .as_ref()
-                .expect("directory points at live page");
-            let (mut di, mut bi) = (0usize, 0usize);
-            let mut past_end = false;
-            loop {
-                let d = page.data.get(di);
-                let b = page.buffer.get(bi);
-                let (k, v) = match (d, b) {
-                    (Some((dk, dv)), Some((bk, _))) if dk <= bk => {
-                        di += 1;
-                        (dk, dv)
-                    }
-                    (_, Some((bk, bv))) => {
-                        bi += 1;
-                        (bk, bv)
-                    }
-                    (Some((dk, dv)), None) => {
-                        di += 1;
-                        (dk, dv)
-                    }
-                    (None, None) => break,
-                };
-                if k < lo {
-                    continue;
-                }
-                if k > hi {
-                    past_end = true;
-                    break;
-                }
-                f(k, v);
-            }
-            if past_end {
-                return;
-            }
-        }
+    fn size_bytes(&self) -> usize {
+        self.tree.size_in_bytes() + self.page_count() * PAGE_METADATA_BYTES
     }
 
-    fn index_size_bytes(&self) -> usize {
-        self.tree.size_in_bytes() + self.page_count() * PAGE_METADATA_BYTES
+    fn range<R: RangeBounds<K>>(&self, range: R) -> Self::RangeIter<'_> {
+        let lo = range.start_bound().cloned();
+        let hi = range.end_bound().cloned();
+        // Start the directory walk at the page whose registered first
+        // key is the floor of the lower bound — the page *containing*
+        // the bound may start below it.
+        let walk = match &lo {
+            Bound::Included(k) | Bound::Excluded(k) => match self.tree.floor(k) {
+                Some((start, _)) => {
+                    let start = *start;
+                    self.tree.range(start..)
+                }
+                None => self.tree.range(..),
+            },
+            Bound::Unbounded => self.tree.range(..),
+        };
+        FixedPageRange {
+            pages: &self.pages,
+            walk,
+            current: None,
+            lo,
+            hi,
+            done: false,
+        }
+    }
+}
+
+impl<K: Key, V: Clone> BuildableIndex<K, V> for FixedPageIndex<K, V> {
+    /// Page capacity (the paper sweeps this the way it sweeps the
+    /// FITing-Tree's error).
+    type Config = usize;
+    type BuildError = Infallible;
+
+    fn build_sorted(page_size: &usize, sorted: Vec<(K, V)>) -> Result<Self, Infallible> {
+        Ok(FixedPageIndex::bulk_load(*page_size, sorted))
     }
 }
 
@@ -320,7 +453,7 @@ mod tests {
         let pairs: Vec<(u64, u64)> = (0..50_000u64).map(|k| (k, k)).collect();
         let small_pages = FixedPageIndex::bulk_load(16, pairs.clone());
         let large_pages = FixedPageIndex::bulk_load(1024, pairs);
-        assert!(small_pages.index_size_bytes() > large_pages.index_size_bytes());
+        assert!(small_pages.size_bytes() > large_pages.size_bytes());
     }
 
     #[test]
@@ -345,22 +478,41 @@ mod tests {
         let mut idx = FixedPageIndex::bulk_load(8, (100..200u64).map(|k| (k, k)));
         idx.insert(5, 55);
         assert_eq!(idx.get(&5), Some(&55));
-        let mut first = None;
-        idx.for_each_in_range(&0, &u64::MAX, &mut |k, _| {
-            if first.is_none() {
-                first = Some(*k);
-            }
-        });
+        let first = idx.range(..).next().map(|(k, _)| k);
         assert_eq!(first, Some(5));
     }
 
     #[test]
     fn range_scan_spans_pages() {
         let idx = FixedPageIndex::bulk_load(8, (0..1000u64).map(|k| (k, k)));
-        assert_eq!(idx.range_count(&100, &299), 200);
-        let mut keys = Vec::new();
-        idx.for_each_in_range(&37, &42, &mut |k, _| keys.push(*k));
+        assert_eq!(idx.range_count(100..=299), 200);
+        let keys: Vec<u64> = idx.range(37..=42).map(|(k, _)| k).collect();
         assert_eq!(keys, vec![37, 38, 39, 40, 41, 42]);
+        // Buffered inserts interleave with page data in scans.
+        let mut idx = idx;
+        idx.insert(40, 999);
+        let vals: Vec<u64> = idx.range(39..=41).map(|(_, v)| v).collect();
+        assert_eq!(vals, vec![39, 999, 41]);
+    }
+
+    #[test]
+    fn remove_handles_first_keys_and_empty_pages() {
+        let mut idx = FixedPageIndex::bulk_load(4, (0..40u64).map(|k| (k, k)));
+        assert_eq!(idx.remove(&100), None);
+        // Remove a page's registered first key: page re-registers.
+        assert_eq!(idx.remove(&4), Some(4));
+        assert_eq!(idx.get(&5), Some(&5));
+        assert_eq!(idx.len(), 39);
+        // Drain a whole page: it leaves the directory.
+        let pages_before = idx.page_count();
+        for k in 5..8u64 {
+            assert_eq!(idx.remove(&k), Some(k));
+        }
+        assert!(idx.page_count() < pages_before);
+        // Every surviving key still reachable, in order.
+        let keys: Vec<u64> = idx.range(..).map(|(k, _)| k).collect();
+        let want: Vec<u64> = (0..40u64).filter(|k| !(4..8).contains(k)).collect();
+        assert_eq!(keys, want);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! The dense ("full") index baseline: one B+ tree entry per key.
 
-use crate::OrderedIndex;
 use fiting_btree::BPlusTree;
+use fiting_index_api::{clone_pair, BuildableIndex, SortedIndex};
 use fiting_tree::Key;
+use std::convert::Infallible;
+use std::ops::RangeBounds;
 
 /// A dense B+ tree index: every key appears in a leaf.
 ///
@@ -50,7 +52,14 @@ impl<K: Key, V> Default for FullIndex<K, V> {
     }
 }
 
-impl<K: Key, V> OrderedIndex<K, V> for FullIndex<K, V> {
+impl<K: Key, V: Clone> SortedIndex<K, V> for FullIndex<K, V> {
+    type RangeIter<'a>
+        = std::iter::Map<fiting_btree::Range<'a, K, V>, fn((&'a K, &'a V)) -> (K, V)>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+
     fn name(&self) -> &'static str {
         "Full"
     }
@@ -63,18 +72,31 @@ impl<K: Key, V> OrderedIndex<K, V> for FullIndex<K, V> {
         self.tree.insert(key, value)
     }
 
+    fn remove(&mut self, key: &K) -> Option<V> {
+        self.tree.remove(key)
+    }
+
     fn len(&self) -> usize {
         self.tree.len()
     }
 
-    fn for_each_in_range(&self, lo: &K, hi: &K, f: &mut dyn FnMut(&K, &V)) {
-        for (k, v) in self.tree.range(*lo..=*hi) {
-            f(k, v);
-        }
+    fn size_bytes(&self) -> usize {
+        self.tree.size_in_bytes()
     }
 
-    fn index_size_bytes(&self) -> usize {
-        self.tree.size_in_bytes()
+    fn range<R: RangeBounds<K>>(&self, range: R) -> Self::RangeIter<'_> {
+        self.tree
+            .range(range)
+            .map(clone_pair as fn((&K, &V)) -> (K, V))
+    }
+}
+
+impl<K: Key, V: Clone> BuildableIndex<K, V> for FullIndex<K, V> {
+    type Config = ();
+    type BuildError = Infallible;
+
+    fn build_sorted(_: &(), sorted: Vec<(K, V)>) -> Result<Self, Infallible> {
+        Ok(FullIndex::bulk_load(sorted))
     }
 }
 
@@ -96,7 +118,7 @@ mod tests {
     fn size_grows_linearly_with_keys() {
         let small = FullIndex::bulk_load((0..1_000u64).map(|k| (k, k)));
         let big = FullIndex::bulk_load((0..100_000u64).map(|k| (k, k)));
-        let ratio = big.index_size_bytes() as f64 / small.index_size_bytes() as f64;
+        let ratio = big.size_bytes() as f64 / small.size_bytes() as f64;
         assert!(ratio > 50.0 && ratio < 200.0, "ratio {ratio}");
     }
 }

@@ -13,8 +13,14 @@
 //! * [`BinarySearchIndex`] — plain binary search over the sorted data:
 //!   zero index bytes, `log2(n)` probes. The other end of the spectrum.
 //!
-//! All baselines and the FITing-Tree implement [`OrderedIndex`], the
-//! interface the benchmark harness drives.
+//! All baselines implement [`SortedIndex`] — the crate-neutral
+//! interface from `fiting-index-api` that the FITing-Tree, its delta
+//! variant, and the B+ tree substrate also implement, and that the
+//! benchmark harness and conformance suite drive. (It replaces the
+//! `OrderedIndex` trait that used to live here: `SortedIndex` adds
+//! `remove`, an associated-type range iterator, bulk construction via
+//! [`BuildableIndex`], and renames `index_size_bytes` to
+//! `size_bytes`.)
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,92 +33,43 @@ pub use binary::BinarySearchIndex;
 pub use fixed::FixedPageIndex;
 pub use full::FullIndex;
 
-use fiting_tree::{FitingTree, Key};
-
-/// The common interface the benchmark harness drives: point lookups,
-/// inserts, ordered range scans, and index-size accounting.
-pub trait OrderedIndex<K: Key, V> {
-    /// Display name for benchmark tables.
-    fn name(&self) -> &'static str;
-
-    /// Point lookup.
-    fn get(&self, key: &K) -> Option<&V>;
-
-    /// Insert, returning the previous value for an existing key.
-    fn insert(&mut self, key: K, value: V) -> Option<V>;
-
-    /// Number of entries.
-    fn len(&self) -> usize;
-
-    /// Whether the index holds no entries.
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Calls `f` for every entry with key in `[lo, hi]`, in key order.
-    fn for_each_in_range(&self, lo: &K, hi: &K, f: &mut dyn FnMut(&K, &V));
-
-    /// Bytes of index structure (excluding the table data itself). The
-    /// quantity on the x-axis of the paper's Figure 6.
-    fn index_size_bytes(&self) -> usize;
-
-    /// Number of entries in `[lo, hi]` (convenience over
-    /// [`for_each_in_range`](Self::for_each_in_range)).
-    fn range_count(&self, lo: &K, hi: &K) -> usize {
-        let mut n = 0;
-        self.for_each_in_range(lo, hi, &mut |_, _| n += 1);
-        n
-    }
-}
-
-impl<K: Key, V> OrderedIndex<K, V> for FitingTree<K, V> {
-    fn name(&self) -> &'static str {
-        "FITing-Tree"
-    }
-
-    fn get(&self, key: &K) -> Option<&V> {
-        FitingTree::get(self, key)
-    }
-
-    fn insert(&mut self, key: K, value: V) -> Option<V> {
-        FitingTree::insert(self, key, value)
-    }
-
-    fn len(&self) -> usize {
-        FitingTree::len(self)
-    }
-
-    fn for_each_in_range(&self, lo: &K, hi: &K, f: &mut dyn FnMut(&K, &V)) {
-        for (k, v) in self.range(*lo..=*hi) {
-            f(k, v);
-        }
-    }
-
-    fn index_size_bytes(&self) -> usize {
-        FitingTree::index_size_bytes(self)
-    }
-}
+// Re-exported so downstream code that drove `baselines::OrderedIndex`
+// can migrate without adding a dependency edge.
+pub use fiting_index_api::{BuildableIndex, DynSortedIndex, SortedIndex};
 
 #[cfg(test)]
 mod trait_tests {
     use super::*;
+    use fiting_index_api::DynSortedIndex;
     use fiting_tree::FitingTreeBuilder;
 
-    /// Exercises every implementation through the trait object interface
-    /// the harness uses.
-    fn drive(index: &mut dyn OrderedIndex<u64, u64>) {
-        assert_eq!(index.len(), 1000);
+    /// Exercises implementations through the object-safe interface the
+    /// harness uses.
+    fn drive(index: &mut dyn DynSortedIndex<u64, u64>) {
+        use std::ops::Bound;
+        assert_eq!(index.dyn_len(), 1000);
         for k in (0..1000u64).step_by(13) {
-            assert_eq!(index.get(&(k * 2)), Some(&k));
-            assert_eq!(index.get(&(k * 2 + 1)), None);
+            assert_eq!(index.dyn_get(&(k * 2)), Some(k));
+            assert_eq!(index.dyn_get(&(k * 2 + 1)), None);
         }
-        assert_eq!(index.insert(5, 555), None);
-        assert_eq!(index.get(&5), Some(&555));
-        assert_eq!(index.len(), 1001);
-        assert_eq!(index.range_count(&0, &20), 11 + 1); // evens 0..=20 plus key 5
+        assert_eq!(index.dyn_insert(5, 555), None);
+        assert_eq!(index.dyn_get(&5), Some(555));
+        assert_eq!(index.dyn_len(), 1001);
+        // evens 0..=20 plus key 5
+        assert_eq!(
+            index.dyn_range_count(Bound::Included(&0), Bound::Included(&20)),
+            11 + 1
+        );
         let mut collected = Vec::new();
-        index.for_each_in_range(&0, &8, &mut |k, v| collected.push((*k, *v)));
-        assert_eq!(collected, vec![(0, 0), (2, 1), (4, 2), (5, 555), (6, 3), (8, 4)]);
+        index.for_each_in_range(Bound::Included(&0), Bound::Included(&8), &mut |k, v| {
+            collected.push((k, v));
+        });
+        assert_eq!(
+            collected,
+            vec![(0, 0), (2, 1), (4, 2), (5, 555), (6, 3), (8, 4)]
+        );
+        assert_eq!(index.dyn_remove(&5), Some(555));
+        assert_eq!(index.dyn_len(), 1000);
     }
 
     #[test]
@@ -136,8 +93,8 @@ mod trait_tests {
         let full = FullIndex::bulk_load(pairs.clone());
         let fixed = FixedPageIndex::bulk_load(128, pairs.clone());
         let binary = BinarySearchIndex::bulk_load(pairs);
-        assert!(full.index_size_bytes() > fixed.index_size_bytes());
-        assert!(fixed.index_size_bytes() > fiting.index_size_bytes());
-        assert_eq!(binary.index_size_bytes(), 0);
+        assert!(SortedIndex::size_bytes(&full) > SortedIndex::size_bytes(&fixed));
+        assert!(SortedIndex::size_bytes(&fixed) > SortedIndex::size_bytes(&fiting));
+        assert_eq!(SortedIndex::size_bytes(&binary), 0);
     }
 }

@@ -2,7 +2,7 @@
 //! paper's Figure 7/12 operation).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fiting_baselines::{FixedPageIndex, FullIndex, OrderedIndex};
+use fiting_baselines::{FixedPageIndex, FullIndex, SortedIndex};
 use fiting_bench::enumerate_pairs;
 use fiting_datasets::Dataset;
 use fiting_tree::FitingTreeBuilder;
@@ -21,7 +21,11 @@ fn bench_insert(c: &mut Criterion) {
     for error in [64u64, 1024] {
         group.bench_with_input(BenchmarkId::new("fiting", error), &error, |b, &e| {
             b.iter_batched(
-                || FitingTreeBuilder::new(e).bulk_load(pairs.iter().copied()).unwrap(),
+                || {
+                    FitingTreeBuilder::new(e)
+                        .bulk_load(pairs.iter().copied())
+                        .unwrap()
+                },
                 |mut tree| {
                     for i in 0..BATCH {
                         black_box(tree.insert(top + 1 + i, i));

@@ -3,7 +3,7 @@
 //! regression-trackable form).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fiting_baselines::{BinarySearchIndex, FixedPageIndex, FullIndex, OrderedIndex};
+use fiting_baselines::{BinarySearchIndex, FixedPageIndex, FullIndex, SortedIndex};
 use fiting_bench::{enumerate_pairs, sample_probes};
 use fiting_datasets::Dataset;
 use fiting_tree::{FitingTreeBuilder, SearchStrategy};
@@ -20,7 +20,9 @@ fn bench_lookup(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("lookup_iot");
     for error in [64u64, 1024] {
-        let tree = FitingTreeBuilder::new(error).bulk_load(pairs.iter().copied()).unwrap();
+        let tree = FitingTreeBuilder::new(error)
+            .bulk_load(pairs.iter().copied())
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("fiting", error), &tree, |b, t| {
             b.iter(|| {
                 for &p in &probes {

@@ -6,7 +6,7 @@
 //! FITing-Tree's segment-merging iterator and the baselines' leaf scans.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fiting_baselines::{BinarySearchIndex, FullIndex, OrderedIndex};
+use fiting_baselines::{BinarySearchIndex, FullIndex, SortedIndex};
 use fiting_bench::enumerate_pairs;
 use fiting_datasets::Dataset;
 use fiting_tree::FitingTreeBuilder;
@@ -18,7 +18,9 @@ fn bench_range(c: &mut Criterion) {
     let mut keys = Dataset::Weblogs.generate(N, 42);
     keys.dedup();
     let pairs = enumerate_pairs(&keys);
-    let tree = FitingTreeBuilder::new(256).bulk_load(pairs.iter().copied()).unwrap();
+    let tree = FitingTreeBuilder::new(256)
+        .bulk_load(pairs.iter().copied())
+        .unwrap();
     let full = FullIndex::bulk_load(pairs.iter().copied());
     let bin = BinarySearchIndex::bulk_load(pairs.iter().copied());
 
@@ -40,14 +42,18 @@ fn bench_range(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("full", rows), |b| {
             b.iter(|| {
                 let mut acc = 0u64;
-                full.for_each_in_range(&lo, &hi, &mut |_, v| acc = acc.wrapping_add(*v));
+                for (_, v) in SortedIndex::range(&full, lo..=hi) {
+                    acc = acc.wrapping_add(v);
+                }
                 black_box(acc)
             })
         });
         group.bench_function(BenchmarkId::new("binary", rows), |b| {
             b.iter(|| {
                 let mut acc = 0u64;
-                bin.for_each_in_range(&lo, &hi, &mut |_, v| acc = acc.wrapping_add(*v));
+                for (_, v) in SortedIndex::range(&bin, lo..=hi) {
+                    acc = acc.wrapping_add(v);
+                }
                 black_box(acc)
             })
         });

@@ -20,9 +20,11 @@ fn bench_segmentation(c: &mut Criterion) {
     let big = points(500_000);
     group.throughput(Throughput::Elements(big.len() as u64));
     for error in [10u64, 100, 1000] {
-        group.bench_with_input(BenchmarkId::new("shrinking_cone", error), &error, |b, &e| {
-            b.iter(|| black_box(ShrinkingCone::segment(&big, e).len()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("shrinking_cone", error),
+            &error,
+            |b, &e| b.iter(|| black_box(ShrinkingCone::segment(&big, e).len())),
+        );
     }
     group.finish();
 

@@ -1,7 +1,7 @@
 //! Developer probe: decomposes FITing-Tree vs fixed-page lookup latency
 //! into directory-tree and in-page phases on this machine.
 
-use fiting_baselines::{FixedPageIndex, OrderedIndex};
+use fiting_baselines::{FixedPageIndex, SortedIndex};
 use fiting_bench::*;
 use fiting_datasets::Dataset;
 use fiting_tree::FitingTreeBuilder;
@@ -11,12 +11,24 @@ use std::time::Instant;
 fn main() {
     let n = 2_000_000;
     let keys = Dataset::Weblogs.generate(n, 42);
-    let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let pairs: Vec<(u64, u64)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect();
     let probes = sample_probes(&keys, 200_000, 7);
 
-    let tree = FitingTreeBuilder::new(1024).bulk_load(pairs.iter().copied()).unwrap();
-    let tree0 = FitingTreeBuilder::new(1024).buffer_size(0).bulk_load(pairs.iter().copied()).unwrap();
-    let tree_exp = FitingTreeBuilder::new(1024).search_strategy(fiting_tree::SearchStrategy::Exponential).bulk_load(pairs.iter().copied()).unwrap();
+    let tree = FitingTreeBuilder::new(1024)
+        .bulk_load(pairs.iter().copied())
+        .unwrap();
+    let tree0 = FitingTreeBuilder::new(1024)
+        .buffer_size(0)
+        .bulk_load(pairs.iter().copied())
+        .unwrap();
+    let tree_exp = FitingTreeBuilder::new(1024)
+        .search_strategy(fiting_tree::SearchStrategy::Exponential)
+        .bulk_load(pairs.iter().copied())
+        .unwrap();
     let fixed = FixedPageIndex::bulk_load(4096, pairs.iter().copied());
 
     for round in 0..3 {
@@ -29,12 +41,32 @@ fn main() {
     }
     // decompose: floor-only vs full
     let start = Instant::now();
-    for &p in &probes { black_box(tree.get_traced(&p)); }
+    for &p in &probes {
+        black_box(tree.get_traced(&p));
+    }
     let _ = start.elapsed();
-    let mut tn = 0u64; let mut sn = 0u64;
-    for &p in &probes { let (_, tr) = tree.get_traced(&p); tn += tr.tree_nanos; sn += tr.segment_nanos; }
-    println!("fiting phases: tree={:.0}ns seg={:.0}ns", tn as f64/probes.len() as f64, sn as f64/probes.len() as f64);
-    let mut tn = 0u64; let mut sn = 0u64;
-    for &p in &probes { let (_, tr) = fixed.get_traced(&p); tn += tr.0; sn += tr.1; }
-    println!("fixed  phases: tree={:.0}ns page={:.0}ns", tn as f64/probes.len() as f64, sn as f64/probes.len() as f64);
+    let mut tn = 0u64;
+    let mut sn = 0u64;
+    for &p in &probes {
+        let (_, tr) = tree.get_traced(&p);
+        tn += tr.tree_nanos;
+        sn += tr.segment_nanos;
+    }
+    println!(
+        "fiting phases: tree={:.0}ns seg={:.0}ns",
+        tn as f64 / probes.len() as f64,
+        sn as f64 / probes.len() as f64
+    );
+    let mut tn = 0u64;
+    let mut sn = 0u64;
+    for &p in &probes {
+        let (_, tr) = fixed.get_traced(&p);
+        tn += tr.0;
+        sn += tr.1;
+    }
+    println!(
+        "fixed  phases: tree={:.0}ns page={:.0}ns",
+        tn as f64 / probes.len() as f64,
+        sn as f64 / probes.len() as f64
+    );
 }

@@ -12,7 +12,7 @@
 //! Run: `cargo run --release -p fiting-bench --bin ablation`
 
 use fiting_bench::{
-    default_n, default_probes, default_seed, dedup_pairs, print_table, sample_probes, time_per_op,
+    dedup_pairs, default_n, default_probes, default_seed, print_table, sample_probes, time_per_op,
 };
 use fiting_datasets::Dataset;
 use fiting_tree::{FitingTreeBuilder, SearchStrategy};

@@ -25,7 +25,11 @@ fn main() {
     println!("# Figure 10 — cost model accuracy (Weblogs, {n} rows)");
 
     let keys = Dataset::Weblogs.generate(n, seed);
-    let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let pairs: Vec<(u64, u64)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect();
     let probes = sample_probes(&keys, probes_n, seed);
 
     let c = measure_cache_miss_ns();
@@ -40,7 +44,9 @@ fn main() {
 
     let mut rows = Vec::new();
     for &e in &errors {
-        let tree = FitingTreeBuilder::new(e).bulk_load(pairs.iter().copied()).unwrap();
+        let tree = FitingTreeBuilder::new(e)
+            .bulk_load(pairs.iter().copied())
+            .unwrap();
         let measured_ns = time_per_op(&probes, |p| tree.get(&p).copied());
         // The tree segments at the effective error e − e/2 (buffer takes
         // the other half), so evaluate the learned S_e there.

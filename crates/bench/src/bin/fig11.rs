@@ -8,14 +8,16 @@
 //! 256 GB of RAM — our scales are smaller, so that cliff is recorded in
 //! the size column instead.)
 //!
+//! All four systems are built and measured through the generic
+//! [`fiting_bench::driver`] — one loop, no per-type code.
+//!
 //! Run: `cargo run --release -p fiting-bench --bin fig11`
 
-use fiting_baselines::{BinarySearchIndex, FixedPageIndex, FullIndex, OrderedIndex};
+use fiting_bench::driver::{binary_spec, fiting_spec, fixed_spec, full_spec, lookup_ns};
 use fiting_bench::{
-    default_probes, default_seed, env_usize, fmt_bytes, print_table, sample_probes, time_per_op,
+    default_probes, default_seed, env_usize, fmt_bytes, print_table, sample_probes,
 };
 use fiting_datasets::Dataset;
-use fiting_tree::FitingTreeBuilder;
 
 fn main() {
     let base = env_usize("FITING_SCALE_BASE", 250_000);
@@ -23,33 +25,33 @@ fn main() {
     let seed = default_seed();
     println!("# Figure 11 — data scalability (Weblogs, error = page = 100, base {base} rows)");
 
+    let specs = [
+        fiting_spec(100),
+        fixed_spec(100),
+        full_spec(),
+        binary_spec(),
+    ];
     let mut rows = Vec::new();
     for scale in [1usize, 2, 4, 8, 16, 32] {
         let n = base * scale;
         let keys = Dataset::Weblogs.generate(n, seed);
-        let pairs: Vec<(u64, u64)> =
-            keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        let pairs: Vec<(u64, u64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as u64))
+            .collect();
         let probes = sample_probes(&keys, probes_n, seed);
 
-        let fiting = FitingTreeBuilder::new(100).bulk_load(pairs.iter().copied()).unwrap();
-        let fixed = FixedPageIndex::bulk_load(100, pairs.iter().copied());
-        let full = FullIndex::bulk_load(pairs.iter().copied());
-        let bin = BinarySearchIndex::bulk_load(pairs.iter().copied());
-
-        let t_fiting = time_per_op(&probes, |p| fiting.get(&p).copied());
-        let t_fixed = time_per_op(&probes, |p| fixed.get(&p).copied());
-        let t_full = time_per_op(&probes, |p| full.get(&p).copied());
-        let t_bin = time_per_op(&probes, |p| bin.get(&p).copied());
-
-        rows.push(vec![
-            scale.to_string(),
-            format!("{t_fiting:.0}"),
-            format!("{t_fixed:.0}"),
-            format!("{t_full:.0}"),
-            format!("{t_bin:.0}"),
-            fmt_bytes(fiting.index_size_bytes()),
-            fmt_bytes(full.index_size_bytes()),
-        ]);
+        let mut cells = vec![scale.to_string()];
+        let mut sizes = Vec::new();
+        for spec in &specs {
+            let index = spec.build(&pairs);
+            cells.push(format!("{:.0}", lookup_ns(&index, &probes)));
+            sizes.push(index.dyn_size_bytes());
+        }
+        cells.push(fmt_bytes(sizes[0])); // FITing-Tree
+        cells.push(fmt_bytes(sizes[2])); // Full
+        rows.push(cells);
     }
     print_table(
         "lookup latency (ns) by scale factor",

@@ -32,7 +32,11 @@ fn main() {
     println!("# Figure 12 — insert throughput vs buffer size (Weblogs, error {error}, {n} rows)");
 
     let keys = Dataset::Weblogs.generate(n, seed);
-    let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let pairs: Vec<(u64, u64)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect();
 
     // Fresh keys: gap midpoints.
     let mut rng = StdRng::seed_from_u64(seed ^ 0xf12);

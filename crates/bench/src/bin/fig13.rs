@@ -24,12 +24,18 @@ fn main() {
     println!("# Figure 13 — lookup breakdown: tree vs page time ({n} rows, {probes_n} probes)");
 
     let keys = Dataset::Weblogs.generate(n, seed);
-    let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let pairs: Vec<(u64, u64)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect();
     let probes = sample_probes(&keys, probes_n, seed);
 
     let mut rows = Vec::new();
     for error in error_sweep() {
-        let tree = FitingTreeBuilder::new(error).bulk_load(pairs.iter().copied()).unwrap();
+        let tree = FitingTreeBuilder::new(error)
+            .bulk_load(pairs.iter().copied())
+            .unwrap();
         let (mut ft_tree, mut ft_page) = (0u64, 0u64);
         for &p in &probes {
             let (_, trace) = tree.get_traced(&p);

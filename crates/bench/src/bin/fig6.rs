@@ -8,6 +8,10 @@
 //! equal latency, by orders of magnitude, and both converge to the full
 //! index's latency as the index grows.
 //!
+//! Every configuration is built and measured through the generic
+//! [`fiting_bench::driver`] — one code path for all structures, the
+//! paper's Section 7.1 fairness rule by construction.
+//!
 //! Maps is a non-clustered attribute with duplicates; as in the paper we
 //! index its sorted key list. Baselines index the deduplicated keys
 //! (which *favors* them on size); the FITing-Tree row additionally
@@ -15,13 +19,15 @@
 //!
 //! Run: `cargo run --release -p fiting-bench --bin fig6`
 
-use fiting_baselines::{BinarySearchIndex, FixedPageIndex, FullIndex, OrderedIndex};
+use fiting_bench::driver::{
+    binary_spec, fiting_gallop_spec, fiting_spec, fixed_spec, full_spec, lookup_row, IndexSpec,
+};
 use fiting_bench::{
-    default_n, default_probes, default_seed, dedup_pairs, error_sweep, fmt_bytes, print_table,
+    dedup_pairs, default_n, default_probes, default_seed, error_sweep, fmt_bytes, print_table,
     sample_probes, time_per_op,
 };
 use fiting_datasets::Dataset;
-use fiting_tree::{FitingTreeBuilder, SearchStrategy, SecondaryIndex};
+use fiting_tree::SecondaryIndex;
 
 fn main() {
     let n = default_n();
@@ -29,78 +35,39 @@ fn main() {
     let seed = default_seed();
     println!("# Figure 6 — lookup latency vs index size ({n} rows, {probes_n} probes)");
 
+    // The sweep: FITing-Tree (both search strategies) across errors,
+    // fixed-size pages across page sizes, one full index, one binary
+    // search.
+    let mut specs: Vec<IndexSpec> = Vec::new();
+    for error in error_sweep() {
+        specs.push(fiting_spec(error));
+        specs.push(fiting_gallop_spec(error));
+    }
+    for page in error_sweep() {
+        specs.push(fixed_spec(page as usize));
+    }
+    specs.push(full_spec());
+    specs.push(binary_spec());
+
     for ds in Dataset::headline() {
         let raw = ds.generate(n, seed);
         let pairs = dedup_pairs(raw.clone());
         let keys: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
         let probes = sample_probes(&keys, probes_n, seed);
-        let mut rows = Vec::new();
 
-        // FITing-Tree across the error sweep: binary window search (the
-        // paper's default) and galloping-from-prediction (its suggested
-        // alternative, which exploits prediction accuracy).
-        for error in error_sweep() {
-            let tree = FitingTreeBuilder::new(error)
-                .bulk_load(pairs.iter().copied())
-                .unwrap();
-            let ns = time_per_op(&probes, |p| tree.get(&p).copied());
-            rows.push(vec![
-                "FITing-Tree".into(),
-                format!("e={error}"),
-                fmt_bytes(tree.index_size_bytes()),
-                format!("{ns:.0}"),
-                tree.segment_count().to_string(),
-            ]);
-            let tree = FitingTreeBuilder::new(error)
-                .search_strategy(SearchStrategy::Exponential)
-                .bulk_load(pairs.iter().copied())
-                .unwrap();
-            let ns = time_per_op(&probes, |p| tree.get(&p).copied());
-            rows.push(vec![
-                "FITing-Tree (gallop)".into(),
-                format!("e={error}"),
-                fmt_bytes(tree.index_size_bytes()),
-                format!("{ns:.0}"),
-                tree.segment_count().to_string(),
-            ]);
-        }
-        // Fixed-size pages across the page-size sweep.
-        for page in error_sweep() {
-            let idx = FixedPageIndex::bulk_load(page as usize, pairs.iter().copied());
-            let ns = time_per_op(&probes, |p| idx.get(&p).copied());
-            rows.push(vec![
-                "Fixed".into(),
-                format!("page={page}"),
-                fmt_bytes(idx.index_size_bytes()),
-                format!("{ns:.0}"),
-                idx.page_count().to_string(),
-            ]);
-        }
-        // Full index: one point.
-        let full = FullIndex::bulk_load(pairs.iter().copied());
-        let ns = time_per_op(&probes, |p| full.get(&p).copied());
-        rows.push(vec![
-            "Full".into(),
-            "-".into(),
-            fmt_bytes(full.index_size_bytes()),
-            format!("{ns:.0}"),
-            "-".into(),
-        ]);
-        // Binary search: zero-size line.
-        let bin = BinarySearchIndex::bulk_load(pairs.iter().copied());
-        let ns = time_per_op(&probes, |p| bin.get(&p).copied());
-        rows.push(vec![
-            "Binary".into(),
-            "-".into(),
-            "0 B".into(),
-            format!("{ns:.0}"),
-            "-".into(),
-        ]);
+        let mut rows: Vec<Vec<String>> = specs
+            .iter()
+            .map(|spec| lookup_row(spec, &pairs, &probes))
+            .collect();
 
-        // Maps extra: the duplicate-aware non-clustered index.
+        // Maps extra: the duplicate-aware non-clustered index (a
+        // multi-value structure, outside the SortedIndex contract).
         if ds.has_duplicates() {
-            let dup_pairs: Vec<(u64, u64)> =
-                raw.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+            let dup_pairs: Vec<(u64, u64)> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| (k, i as u64))
+                .collect();
             for error in [64u64, 1024] {
                 let idx = SecondaryIndex::bulk_load(error, dup_pairs.iter().copied()).unwrap();
                 let ns = time_per_op(&probes, |p| idx.get(&p).next());
@@ -109,14 +76,13 @@ fn main() {
                     format!("e={error}"),
                     fmt_bytes(idx.index_size_bytes()),
                     format!("{ns:.0}"),
-                    idx.segment_count().to_string(),
                 ]);
             }
         }
 
         print_table(
             &format!("{} — latency vs index size", ds.name()),
-            &["System", "Param", "Index size", "ns/lookup", "Segments/pages"],
+            &["System", "Param", "Index size", "ns/lookup"],
             &rows,
         );
     }

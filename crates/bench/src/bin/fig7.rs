@@ -5,14 +5,17 @@
 //! as buffer; the full index inserts directly. Expected shape: the full
 //! index is fastest (no page splits), FITing-Tree and fixed-paging are
 //! comparable, with FITing-Tree occasionally ahead at small errors
-//! (more segments ⇒ rarer merges).
+//! (more segments ⇒ rarer merges). The delta-main variant rides along
+//! as our write-optimized extension.
+//!
+//! Every structure is built and driven through the generic
+//! [`fiting_bench::driver`] — no per-type code paths.
 //!
 //! Run: `cargo run --release -p fiting-bench --bin fig7`
 
-use fiting_baselines::{FixedPageIndex, FullIndex, OrderedIndex};
-use fiting_bench::{default_n, default_seed, dedup_pairs, print_table, throughput_mops};
+use fiting_bench::driver::{delta_spec, fiting_spec, fixed_spec, full_spec, insert_mops};
+use fiting_bench::{dedup_pairs, default_n, default_seed, print_table};
 use fiting_datasets::Dataset;
-use fiting_tree::FitingTreeBuilder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -48,27 +51,22 @@ fn main() {
         let mut rows = Vec::new();
 
         for error in [16u64, 64, 256, 1024] {
-            let mut tree = FitingTreeBuilder::new(error)
-                .bulk_load(pairs.iter().copied())
-                .unwrap();
-            let fiting = throughput_mops(&stream, |k| tree.insert(k, k));
-
-            let mut fixed = FixedPageIndex::bulk_load(error as usize, pairs.iter().copied());
-            let fixed_tp = throughput_mops(&stream, |k| fixed.insert(k, k));
-
-            let mut full = FullIndex::bulk_load(pairs.iter().copied());
-            let full_tp = throughput_mops(&stream, |k| full.insert(k, k));
-
-            rows.push(vec![
-                error.to_string(),
-                format!("{fiting:.2}"),
-                format!("{fixed_tp:.2}"),
-                format!("{full_tp:.2}"),
-            ]);
+            let specs = [
+                fiting_spec(error),
+                fixed_spec(error as usize),
+                full_spec(),
+                delta_spec(error, 4_096),
+            ];
+            let mut cells = vec![error.to_string()];
+            for spec in &specs {
+                let mut index = spec.build(&pairs);
+                cells.push(format!("{:.2}", insert_mops(&mut index, &stream)));
+            }
+            rows.push(cells);
         }
         print_table(
             &format!("{} — insert throughput (M ops/s)", ds.name()),
-            &["error", "FITing-Tree", "Fixed", "Full"],
+            &["error", "FITing-Tree", "Fixed", "Full", "Delta"],
             &rows,
         );
     }

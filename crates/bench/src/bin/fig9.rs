@@ -6,9 +6,12 @@
 //! error ≥ 100 a single segment covers everything and the index
 //! collapses to a few dozen bytes.
 //!
+//! Baseline sizes come through the generic [`fiting_bench::driver`];
+//! the duplicate-aware secondary index keeps its specialized path.
+//!
 //! Run: `cargo run --release -p fiting-bench --bin fig9`
 
-use fiting_baselines::{FixedPageIndex, FullIndex, OrderedIndex};
+use fiting_bench::driver::{fixed_spec, full_spec};
 use fiting_bench::{default_n, fmt_bytes, print_table};
 use fiting_datasets::step;
 use fiting_tree::SecondaryIndex;
@@ -23,7 +26,11 @@ fn main() {
     // clustered experiments do by position (secondary handles dups), and
     // give the baselines the same composite view for fairness.
     let keys = step(n, STEP);
-    let dup_pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let dup_pairs: Vec<(u64, u64)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect();
     // Baselines over (key, ordinal) composite 128-bit-ish keys is not in
     // the paper; they get the raw positions as unique synthetic keys
     // (key * step + offset), preserving the staircase shape.
@@ -33,7 +40,7 @@ fn main() {
         .map(|(i, &k)| (k * 1_000 + (i as u64 % STEP), i as u64))
         .collect();
 
-    let full = FullIndex::bulk_load(unique_pairs.iter().copied());
+    let full = full_spec().build(&unique_pairs);
     let mut rows = Vec::new();
     for error in [1u64, 10, 50, 99, 100, 150, 1_000, 10_000, 100_000] {
         // Pure bulk-load experiment: no insert buffer, so the whole
@@ -43,13 +50,13 @@ fn main() {
             dup_pairs.iter().copied(),
         )
         .unwrap();
-        let fixed = FixedPageIndex::bulk_load(error.max(2) as usize, unique_pairs.iter().copied());
+        let fixed = fixed_spec(error.max(2) as usize).build(&unique_pairs);
         rows.push(vec![
             error.to_string(),
             fmt_bytes(fiting.index_size_bytes()),
             fiting.segment_count().to_string(),
-            fmt_bytes(fixed.index_size_bytes()),
-            fmt_bytes(full.index_size_bytes()),
+            fmt_bytes(fixed.dyn_size_bytes()),
+            fmt_bytes(full.dyn_size_bytes()),
         ]);
     }
     print_table(

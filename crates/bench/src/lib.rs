@@ -22,6 +22,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod driver;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -136,7 +138,10 @@ pub fn fmt_bytes(bytes: usize) -> String {
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
     println!("| {} |", header.join(" | "));
-    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }
@@ -146,7 +151,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 /// "indexed attribute → row" table used across the benches.
 #[must_use]
 pub fn enumerate_pairs(keys: &[u64]) -> Vec<(u64, u64)> {
-    keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect()
+    keys.iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect()
 }
 
 /// Deduplicates sorted keys in place and re-enumerates (clustered

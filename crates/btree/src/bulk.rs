@@ -158,7 +158,11 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         let keys = children
             .iter()
             .skip(1)
-            .map(|c| c.subtree_min().expect("bulk-loaded child is non-empty").clone())
+            .map(|c| {
+                c.subtree_min()
+                    .expect("bulk-loaded child is non-empty")
+                    .clone()
+            })
             .collect();
         Box::new(Node::Internal(InternalNode { keys, children }))
     }
@@ -173,7 +177,8 @@ mod tests {
         for n in [0u64, 1, 2, 3, 4, 5, 15, 16, 17, 255, 256, 257, 4096, 10_000] {
             let t = BPlusTree::bulk_load((0..n).map(|k| (k, k * 3)));
             assert_eq!(t.len(), n as usize, "n={n}");
-            t.check_invariants().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
             for k in 0..n {
                 assert_eq!(t.get(&k), Some(&(k * 3)), "n={n} k={k}");
             }

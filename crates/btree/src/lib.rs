@@ -44,6 +44,7 @@ mod bulk;
 mod extra;
 mod iter;
 mod node;
+mod sorted_impl;
 mod tree;
 
 pub use iter::{Iter, Range};

@@ -102,9 +102,7 @@ impl<K, V> Node<K, V> {
         const NODE_HEADER: usize = 24; // enum tag + two Vec headers, amortized
         match self {
             Node::Internal(n) => {
-                NODE_HEADER
-                    + n.keys.len() * size_of::<K>()
-                    + n.children.len() * size_of::<usize>()
+                NODE_HEADER + n.keys.len() * size_of::<K>() + n.children.len() * size_of::<usize>()
             }
             Node::Leaf(n) => {
                 NODE_HEADER + n.keys.len() * size_of::<K>() + n.values.len() * size_of::<V>()

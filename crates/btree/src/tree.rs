@@ -318,7 +318,8 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
             },
             Node::Internal(inner) => {
                 let i = inner.keys.partition_point(|k| *k <= key);
-                let (old, child_split) = Self::insert_rec(&mut inner.children[i], key, value, order);
+                let (old, child_split) =
+                    Self::insert_rec(&mut inner.children[i], key, value, order);
                 if let Some(split) = child_split {
                     inner.keys.insert(i, split.sep);
                     inner.children.insert(i + 1, split.right);
@@ -360,7 +361,9 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         // Collapse a root that routed down to a single child.
         loop {
             let replace = match self.root.as_mut() {
-                Node::Internal(n) if n.children.len() == 1 => Some(n.children.pop().expect("one child")),
+                Node::Internal(n) if n.children.len() == 1 => {
+                    Some(n.children.pop().expect("one child"))
+                }
                 _ => None,
             };
             match replace {
@@ -565,7 +568,11 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
                         return Err("leaf keys/values length mismatch".into());
                     }
                     if !is_root && leaf.keys.len() < order / 2 {
-                        return Err(format!("underfull leaf: {} < {}", leaf.keys.len(), order / 2));
+                        return Err(format!(
+                            "underfull leaf: {} < {}",
+                            leaf.keys.len(),
+                            order / 2
+                        ));
                     }
                     if leaf.keys.len() > order {
                         return Err("overfull leaf".into());
@@ -621,7 +628,10 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         let mut count = 0;
         walk(&self.root, None, None, self.order, true, &mut count)?;
         if count != self.len {
-            return Err(format!("len mismatch: counted {count}, recorded {}", self.len));
+            return Err(format!(
+                "len mismatch: counted {count}, recorded {}",
+                self.len
+            ));
         }
         Ok(())
     }
@@ -737,7 +747,8 @@ mod tests {
         for (n, &k) in order.iter().enumerate() {
             assert_eq!(t.remove(&k), Some(k), "removing {k}");
             assert_eq!(t.len(), keys.len() - n - 1);
-            t.check_invariants().unwrap_or_else(|e| panic!("after removing {k}: {e}"));
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("after removing {k}: {e}"));
         }
         assert!(t.is_empty());
     }

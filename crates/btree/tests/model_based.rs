@@ -46,9 +46,7 @@ fn run_ops(order: usize, ops: Vec<Op>) {
                 assert_eq!(tree.floor(&k), want);
             }
             Op::Ceiling(k) => {
-                let want = model
-                    .range((Bound::Included(k), Bound::Unbounded))
-                    .next();
+                let want = model.range((Bound::Included(k), Bound::Unbounded)).next();
                 assert_eq!(tree.ceiling(&k), want);
             }
             Op::Range(a, b) => {

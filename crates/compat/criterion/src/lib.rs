@@ -1,0 +1,285 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! This build environment has no network access to crates.io, so the
+//! workspace vendors the **API subset its benches use**: groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! throughput annotation, and the `criterion_group!` /
+//! `criterion_main!` macros. Swap this path dependency for the real
+//! `criterion = "0.5"` in `[workspace.dependencies]` when a registry is
+//! reachable; no bench file needs to change.
+//!
+//! Instead of criterion's bootstrap statistics, each benchmark runs a
+//! short warm-up plus `sample_size` timed samples and prints
+//! mean / min / max nanoseconds per iteration — enough to eyeball
+//! regressions, not enough for publication numbers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state (a far smaller cousin of
+/// `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup { c: self, name }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.sample_size, id, f);
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's standard labeling.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A bare parameter as the label.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted anywhere an id is expected (`&str`, `String`, or
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Work-per-iteration annotation (printed, not post-processed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; the stand-in runs
+/// one batch per sample regardless.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup.
+    SmallInput,
+    /// Large per-iteration setup.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the work done per iteration (printed alongside results).
+    pub fn throughput(&mut self, t: Throughput) {
+        match t {
+            Throughput::Elements(n) => println!("  throughput unit: {n} elements/iter"),
+            Throughput::Bytes(n) => println!("  throughput unit: {n} bytes/iter"),
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<ID, F>(&mut self, id: ID, f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_one(self.c.sample_size, &label, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` once per sample.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up out of measurement.
+        black_box(f());
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed());
+    }
+
+    /// Times `routine` on a fresh `setup()` product per sample, with the
+    /// setup excluded from measurement.
+    pub fn iter_batched<S, O, FS, FR>(&mut self, mut setup: FS, mut routine: FR, _size: BatchSize)
+    where
+        FS: FnMut() -> S,
+        FR: FnMut(S) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_one<F>(sample_size: usize, label: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+    };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    if b.samples.is_empty() {
+        println!("  {label}: no samples recorded");
+        return;
+    }
+    let ns: Vec<f64> = b.samples.iter().map(|d| d.as_nanos() as f64).collect();
+    let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+    let min = ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ns.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "  {label}: mean {mean:.0} ns  (min {min:.0}, max {max:.0}, n={})",
+        ns.len()
+    );
+}
+
+/// Declares a group function; mirrors criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("plain", |b| b.iter(|| black_box(2u64 + 2)));
+        group.bench_function(BenchmarkId::new("param", 7), |b| {
+            b.iter_batched(
+                || vec![1u64; 4],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = target
+    }
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,422 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! This build environment has no network access to crates.io, so the
+//! workspace vendors the **API subset its tests use**: the `proptest!`
+//! macro, `Strategy` with `prop_map`, `any`, range and tuple
+//! strategies, `prop_oneof!`, `collection::{vec, btree_set}`, and the
+//! `prop_assert*` macros. Swap this path dependency for the real
+//! `proptest = "1"` in `[workspace.dependencies]` when a registry is
+//! reachable; no test file needs to change.
+//!
+//! Differences from the real crate that matter:
+//!
+//! * **No shrinking.** A failing case reports the sampled inputs via
+//!   the ordinary `assert!` panic message but does not minimize them.
+//! * **Deterministic seeds.** Case `i` of every test samples from a
+//!   generator seeded with `i`, so failures reproduce exactly across
+//!   runs (the real crate defaults to OS randomness + a regression
+//!   file).
+
+#![forbid(unsafe_code)]
+
+/// Test-case generation state: a small deterministic PRNG
+/// (SplitMix64-seeded xoshiro256++).
+pub mod test_runner {
+    /// Per-case random source.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// Generator for the `case`-th invocation of a property.
+        #[must_use]
+        pub fn for_case(case: u64) -> Self {
+            let mut state = case.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0xDEAD_BEEF_CAFE_F00D;
+            TestRng {
+                s: [
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                ],
+            }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+
+        /// Uniform draw below `n` (Lemire multiply-shift).
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0);
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+    }
+}
+
+/// Strategies: composable recipes for sampling test inputs.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Value`.
+    ///
+    /// Object-safe (`prop_map`/`boxed` carry `Self: Sized`), so
+    /// `Box<dyn Strategy<Value = T>>` works for heterogeneous unions.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Full-range strategy for a primitive, returned by
+    /// [`any`](crate::arbitrary::any).
+    pub struct Any<T> {
+        pub(crate) _ty: std::marker::PhantomData<T>,
+    }
+
+    macro_rules! impl_any {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                #[allow(clippy::cast_possible_truncation)]
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_any!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
+    /// Weighted union of strategies, built by `prop_oneof!`.
+    pub struct OneOf<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds from `(weight, strategy)` arms.
+        #[must_use]
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof needs positive total weight");
+            OneOf { arms, total }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, strat) in &self.arms {
+                let w = u64::from(*w);
+                if pick < w {
+                    return strat.sample(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights sum covered above")
+        }
+    }
+}
+
+/// `any::<T>()` — the full-range strategy for a primitive.
+pub mod arbitrary {
+    use crate::strategy::Any;
+
+    /// Full-range strategy for `T`.
+    #[must_use]
+    pub fn any<T>() -> Any<T> {
+        Any {
+            _ty: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Vec of `size` elements drawn from `element`, `size` drawn from
+    /// the given range.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// BTreeSet with *up to* the sampled number of elements (duplicates
+    /// collapse, as in the real crate).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// Output of [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test file conventionally glob-imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Per-test configuration (only `cases` is honored).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Runs each property `cases` times.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// Weighted (`w => strat`) or uniform union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
+}
+
+/// Assert inside a property (no shrinking in the stand-in; plain
+/// `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declares property tests: each named function runs `cases` times
+/// with inputs sampled from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                for case in 0..u64::from(config.cases) {
+                    let mut proptest_rng = $crate::test_runner::TestRng::for_case(case);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&$strat, &mut proptest_rng);
+                    )+
+                    $body
+                }
+            }
+        )+
+    };
+    ($($rest:tt)+) => {
+        $crate::proptest! {
+            #![proptest_config($crate::prelude::ProptestConfig::default())]
+            $($rest)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn square(x: u32) -> u64 {
+        u64::from(x) * u64::from(x)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn squares_are_monotone(a in 0u32..1000, b in 0u32..1000) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(square(lo) <= square(hi));
+        }
+
+        #[test]
+        fn oneof_and_collections_compose(
+            ops in crate::collection::vec(
+                prop_oneof![
+                    3 => (any::<u16>(), any::<u16>()).prop_map(|(a, b)| u32::from(a) + u32::from(b)),
+                    1 => (0u32..10).prop_map(|x| x),
+                ],
+                0..50,
+            ),
+            set in crate::collection::btree_set(0u32..100, 1..20),
+        ) {
+            prop_assert!(ops.len() < 50);
+            prop_assert!(set.len() < 20);
+            prop_assert!(set.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case(7);
+        let mut b = crate::test_runner::TestRng::for_case(7);
+        prop_assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

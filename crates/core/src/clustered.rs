@@ -429,9 +429,11 @@ impl<K: Key, V> FitingTree<K, V> {
         let mut prev_max: Option<K> = None;
         let mut first = true;
         for (anchor, &slot) in self.tree.iter() {
-            let seg = self.segments.get(slot).and_then(|s| s.as_ref()).ok_or_else(|| {
-                format!("directory entry {anchor:?} points at dead slot {slot}")
-            })?;
+            let seg = self
+                .segments
+                .get(slot)
+                .and_then(|s| s.as_ref())
+                .ok_or_else(|| format!("directory entry {anchor:?} points at dead slot {slot}"))?;
             if seg.start_key != *anchor {
                 return Err(format!(
                     "segment anchored at {anchor:?} believes its start is {:?}",
@@ -460,10 +462,7 @@ impl<K: Key, V> FitingTree<K, V> {
                 }
             }
             for (k, _) in &seg.data {
-                if seg
-                    .get(*k, self.seg_error, self.strategy)
-                    .is_none()
-                {
+                if seg.get(*k, self.seg_error, self.strategy).is_none() {
                     return Err(format!(
                         "error guarantee violated: page key {k:?} not found within window"
                     ));
@@ -474,7 +473,10 @@ impl<K: Key, V> FitingTree<K, V> {
             first = false;
         }
         if counted != self.len {
-            return Err(format!("len mismatch: counted {counted}, recorded {}", self.len));
+            return Err(format!(
+                "len mismatch: counted {counted}, recorded {}",
+                self.len
+            ));
         }
         Ok(())
     }
@@ -487,6 +489,55 @@ impl<K: Key, V: std::fmt::Debug> std::fmt::Debug for FitingTree<K, V> {
             .field("error", &self.error)
             .field("segments", &self.segment_count())
             .finish()
+    }
+}
+
+impl<K: Key, V: Clone> fiting_index_api::SortedIndex<K, V> for FitingTree<K, V> {
+    type RangeIter<'a>
+        = std::iter::Map<crate::range::RangeIter<'a, K, V>, fn((&'a K, &'a V)) -> (K, V)>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+
+    fn name(&self) -> &'static str {
+        "FITing-Tree"
+    }
+
+    fn get(&self, key: &K) -> Option<&V> {
+        FitingTree::get(self, key)
+    }
+
+    fn insert(&mut self, key: K, value: V) -> Option<V> {
+        FitingTree::insert(self, key, value)
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        FitingTree::remove(self, key)
+    }
+
+    fn len(&self) -> usize {
+        FitingTree::len(self)
+    }
+
+    fn size_bytes(&self) -> usize {
+        FitingTree::index_size_bytes(self)
+    }
+
+    fn range<R: std::ops::RangeBounds<K>>(&self, range: R) -> Self::RangeIter<'_> {
+        FitingTree::range(self, range).map(fiting_index_api::clone_pair as fn((&K, &V)) -> (K, V))
+    }
+}
+
+impl<K: Key, V: Clone> fiting_index_api::BuildableIndex<K, V> for FitingTree<K, V> {
+    type Config = crate::builder::FitingTreeBuilder;
+    type BuildError = crate::error::BuildError;
+
+    fn build_sorted(
+        config: &Self::Config,
+        sorted: Vec<(K, V)>,
+    ) -> Result<Self, crate::error::BuildError> {
+        config.clone().bulk_load(sorted)
     }
 }
 
@@ -543,9 +594,7 @@ mod tests {
         let mut dedup = keys;
         dedup.dedup();
         let pairs: Vec<(u64, u64)> = dedup.iter().map(|&k| (k, k)).collect();
-        let tight = FitingTreeBuilder::new(8)
-            .bulk_load(pairs.clone())
-            .unwrap();
+        let tight = FitingTreeBuilder::new(8).bulk_load(pairs.clone()).unwrap();
         let loose = FitingTreeBuilder::new(512).bulk_load(pairs).unwrap();
         assert!(tight.segment_count() > loose.segment_count());
         tight.check_invariants().unwrap();

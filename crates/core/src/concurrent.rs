@@ -1,106 +1,45 @@
-//! A thread-safe wrapper around [`FitingTree`] — an extension beyond the
-//! paper, whose evaluation is single-threaded per core.
+//! Concurrent front-end for shared, multi-threaded use — an extension
+//! beyond the paper, whose evaluation is single-threaded per core.
 //!
-//! The wrapper takes a `parking_lot` reader-writer lock around the whole
-//! index: cheap shared lookups, exclusive writers. This is deliberately
-//! coarse — the paper leaves concurrent FITing-Trees to future work, and
-//! a crabbing/latching design belongs inside the directory tree, not
-//! bolted on here. The wrapper exists so the examples and downstream
-//! users can share an index across threads safely.
+//! Earlier revisions wrapped the whole index in a single
+//! `parking_lot::RwLock`, serializing every write against every read.
+//! The front-end is now the crate-neutral
+//! [`ShardedIndex`](fiting_index_api::ShardedIndex): the key space is
+//! range-partitioned into shards (boundaries sampled at bulk load),
+//! each behind its own reader-writer lock, so point operations on
+//! different shards proceed in parallel and a writer blocks only one
+//! shard's readers. Cross-shard range scans and batched inserts visit
+//! shards in ascending order, one lock at a time.
+//!
+//! [`ConcurrentFitingTree`] is kept as a thin alias so existing code
+//! and examples keep compiling; `ConcurrentFitingTree::from(tree)`
+//! still wraps an already-built index behind one lock (a single
+//! shard), which is exactly the old behavior.
 
 use crate::clustered::FitingTree;
-use crate::key::Key;
-use parking_lot::RwLock;
-use std::sync::Arc;
+use fiting_index_api::ShardedIndex;
 
-/// Shared-ownership, reader-writer-locked FITing-Tree.
+/// Shared-ownership, sharded, reader-writer-locked FITing-Tree.
 ///
 /// ```
 /// use fiting_tree::{ConcurrentFitingTree, FitingTreeBuilder};
+/// use fiting_index_api::ShardedIndex;
 /// use std::thread;
 ///
-/// let index = ConcurrentFitingTree::from(
-///     FitingTreeBuilder::new(32)
-///         .bulk_load((0..1000u64).map(|k| (k, k)))
-///         .unwrap(),
-/// );
+/// // Four shards, boundaries sampled from the bulk-load data.
+/// let index: ConcurrentFitingTree<u64, u64> = ShardedIndex::bulk_load(
+///     &FitingTreeBuilder::new(32),
+///     4,
+///     (0..1000u64).map(|k| (k, k)).collect(),
+/// )
+/// .unwrap();
 /// let reader = index.clone();
 /// let t = thread::spawn(move || reader.get(&500));
 /// index.insert(1_000, 1_000);
 /// assert_eq!(t.join().unwrap(), Some(500));
+/// assert_eq!(index.len(), 1_001);
 /// ```
-pub struct ConcurrentFitingTree<K: Key, V> {
-    inner: Arc<RwLock<FitingTree<K, V>>>,
-}
-
-impl<K: Key, V> Clone for ConcurrentFitingTree<K, V> {
-    fn clone(&self) -> Self {
-        ConcurrentFitingTree {
-            inner: Arc::clone(&self.inner),
-        }
-    }
-}
-
-impl<K: Key, V> From<FitingTree<K, V>> for ConcurrentFitingTree<K, V> {
-    fn from(tree: FitingTree<K, V>) -> Self {
-        ConcurrentFitingTree {
-            inner: Arc::new(RwLock::new(tree)),
-        }
-    }
-}
-
-impl<K: Key, V: Clone> ConcurrentFitingTree<K, V> {
-    /// Point lookup under a shared lock; clones the value out.
-    #[must_use]
-    pub fn get(&self, key: &K) -> Option<V> {
-        self.inner.read().get(key).cloned()
-    }
-
-    /// Collects a range scan under a shared lock.
-    #[must_use]
-    pub fn range_collect(&self, range: impl std::ops::RangeBounds<K>) -> Vec<(K, V)> {
-        self.inner
-            .read()
-            .range(range)
-            .map(|(k, v)| (*k, v.clone()))
-            .collect()
-    }
-}
-
-impl<K: Key, V> ConcurrentFitingTree<K, V> {
-    /// Insert under an exclusive lock.
-    pub fn insert(&self, key: K, value: V) -> Option<V> {
-        self.inner.write().insert(key, value)
-    }
-
-    /// Remove under an exclusive lock.
-    pub fn remove(&self, key: &K) -> Option<V> {
-        self.inner.write().remove(key)
-    }
-
-    /// Number of entries.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.inner.read().len()
-    }
-
-    /// Whether the index is empty.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
-    }
-
-    /// Runs `f` with shared access to the underlying tree (for stats,
-    /// iteration, or anything not covered by the convenience methods).
-    pub fn with_read<R>(&self, f: impl FnOnce(&FitingTree<K, V>) -> R) -> R {
-        f(&self.inner.read())
-    }
-
-    /// Runs `f` with exclusive access to the underlying tree.
-    pub fn with_write<R>(&self, f: impl FnOnce(&mut FitingTree<K, V>) -> R) -> R {
-        f(&mut self.inner.write())
-    }
-}
+pub type ConcurrentFitingTree<K, V> = ShardedIndex<K, V, FitingTree<K, V>>;
 
 #[cfg(test)]
 mod tests {
@@ -108,13 +47,19 @@ mod tests {
     use crate::builder::FitingTreeBuilder;
     use std::thread;
 
+    fn sharded(n: u64, shards: usize) -> ConcurrentFitingTree<u64, u64> {
+        ShardedIndex::bulk_load(
+            &FitingTreeBuilder::new(64),
+            shards,
+            (0..n).map(|k| (k * 2, k)).collect(),
+        )
+        .unwrap()
+    }
+
     #[test]
     fn concurrent_readers_and_writers() {
-        let index = ConcurrentFitingTree::from(
-            FitingTreeBuilder::new(64)
-                .bulk_load((0..10_000u64).map(|k| (k * 2, k)))
-                .unwrap(),
-        );
+        let index = sharded(10_000, 8);
+        assert_eq!(index.shard_count(), 8);
         let mut handles = Vec::new();
         for t in 0..4 {
             let reader = index.clone();
@@ -140,20 +85,37 @@ mod tests {
         }
         wh.join().unwrap();
         assert_eq!(index.len(), 10_500);
-        index.with_read(|t| t.check_invariants().unwrap());
+        index.for_each_shard(|t| t.check_invariants().unwrap());
     }
 
     #[test]
-    fn with_write_exposes_full_api() {
+    fn from_wraps_one_shard_with_full_api() {
         let index: ConcurrentFitingTree<u64, u64> =
             ConcurrentFitingTree::from(FitingTreeBuilder::new(16).build_empty().unwrap());
-        index.with_write(|t| {
-            for k in 0..100 {
-                t.insert(k, k);
-            }
-        });
-        assert_eq!(index.range_collect(10..13), vec![(10, 10), (11, 11), (12, 12)]);
+        assert_eq!(index.shard_count(), 1);
+        for k in 0..100 {
+            index.insert(k, k);
+        }
+        assert_eq!(
+            index.range_collect(10..13),
+            vec![(10, 10), (11, 11), (12, 12)]
+        );
         assert_eq!(index.remove(&10), Some(10));
         assert!(!index.is_empty());
+        index.with_shard_read(&0, |t| t.check_invariants().unwrap());
+    }
+
+    #[test]
+    fn cross_shard_scans_and_batched_inserts() {
+        let index = sharded(10_000, 8);
+        // A scan spanning every shard.
+        let all = index.range_collect(..);
+        assert_eq!(all.len(), 10_000);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        // Batched insert touching all shards, one lock per shard.
+        let fresh = index.insert_many((0..1_000u64).map(|k| (k * 20 + 1, k)));
+        assert_eq!(fresh, 1_000);
+        assert_eq!(index.len(), 11_000);
+        index.for_each_shard(|t| t.check_invariants().unwrap());
     }
 }

@@ -233,7 +233,11 @@ mod tests {
         let mut keys = curvy_keys(50_000);
         keys.dedup();
         let model = SegmentCountModel::learn(&keys, &[8, 32, 128, 512, 2048]);
-        let s: Vec<f64> = model.errors().iter().map(|&e| model.segments_at(e)).collect();
+        let s: Vec<f64> = model
+            .errors()
+            .iter()
+            .map(|&e| model.segments_at(e))
+            .collect();
         for w in s.windows(2) {
             assert!(w[1] <= w[0], "segment count increased with error: {s:?}");
         }

@@ -137,7 +137,8 @@ impl<K: Key, V: Clone> DeltaFitingTree<K, V> {
 
     fn maybe_merge(&mut self) {
         if self.delta_budget > 0 && self.delta.len() >= self.delta_budget {
-            self.merge().expect("merge preserves configuration validity");
+            self.merge()
+                .expect("merge preserves configuration validity");
         }
     }
 
@@ -148,10 +149,7 @@ impl<K: Key, V: Clone> DeltaFitingTree<K, V> {
             return Ok(());
         }
         let delta = std::mem::take(&mut self.delta).into_sorted_vec();
-        let main = std::mem::replace(
-            &mut self.main,
-            FitingTreeBuilder::new(1).build_empty()?,
-        );
+        let main = std::mem::replace(&mut self.main, FitingTreeBuilder::new(1).build_empty()?);
         let error = main.error();
         let strategy_builder = FitingTreeBuilder::new(error);
 
@@ -194,6 +192,44 @@ impl<K: Key, V: Clone> DeltaFitingTree<K, V> {
         &self.main
     }
 
+    /// Ordered scan over the live entries with keys in `range` (delta
+    /// overlaid on main, tombstones applied).
+    pub fn range<R: std::ops::RangeBounds<K>>(
+        &self,
+        range: R,
+    ) -> impl Iterator<Item = (K, V)> + '_ {
+        let lo = range.start_bound().cloned();
+        let hi = range.end_bound().cloned();
+        let mut main_iter = self.main.range((lo, hi)).peekable();
+        let mut delta_iter = self.delta.range((lo, hi)).peekable();
+        std::iter::from_fn(move || loop {
+            match (main_iter.peek(), delta_iter.peek()) {
+                (Some(&(mk, _)), Some(&(dk, _))) => {
+                    if mk < dk {
+                        let (k, v) = main_iter.next().expect("peeked");
+                        return Some((*k, v.clone()));
+                    }
+                    if mk == dk {
+                        main_iter.next(); // shadowed
+                    }
+                    match delta_iter.next().expect("peeked") {
+                        (k, Pending::Put(v)) => return Some((*k, v.clone())),
+                        (_, Pending::Delete) => continue,
+                    }
+                }
+                (Some(_), None) => {
+                    let (k, v) = main_iter.next().expect("peeked");
+                    return Some((*k, v.clone()));
+                }
+                (None, Some(_)) => match delta_iter.next().expect("peeked") {
+                    (k, Pending::Put(v)) => return Some((*k, v.clone())),
+                    (_, Pending::Delete) => continue,
+                },
+                (None, None) => return None,
+            }
+        })
+    }
+
     /// Ordered scan over the live entries (delta overlaid on main).
     pub fn iter(&self) -> impl Iterator<Item = (K, V)> + '_ {
         let mut main_iter = self.main.iter().peekable();
@@ -224,6 +260,79 @@ impl<K: Key, V: Clone> DeltaFitingTree<K, V> {
                 (None, None) => return None,
             }
         })
+    }
+}
+
+/// Build parameters for a [`DeltaFitingTree`] behind the generic
+/// [`BuildableIndex`](fiting_index_api::BuildableIndex) interface.
+#[derive(Debug, Clone)]
+pub struct DeltaConfig {
+    /// Configuration for the main FITing-Tree.
+    pub builder: FitingTreeBuilder,
+    /// Pending entries that trigger an automatic merge (0 disables).
+    pub delta_budget: usize,
+}
+
+impl DeltaConfig {
+    /// Main index with error budget `error`, auto-merging every
+    /// `delta_budget` pending writes.
+    #[must_use]
+    pub fn new(error: u64, delta_budget: usize) -> Self {
+        DeltaConfig {
+            builder: FitingTreeBuilder::new(error),
+            delta_budget,
+        }
+    }
+}
+
+impl<K: Key, V: Clone> fiting_index_api::SortedIndex<K, V> for DeltaFitingTree<K, V> {
+    // The overlay merge is an unnameable `from_fn` closure iterator, so
+    // this implementation boxes — the price of synthesizing owned
+    // entries from two underlying cursors.
+    type RangeIter<'a>
+        = Box<dyn Iterator<Item = (K, V)> + 'a>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+
+    fn name(&self) -> &'static str {
+        "FITing-Tree (delta)"
+    }
+
+    fn get(&self, key: &K) -> Option<&V> {
+        DeltaFitingTree::get(self, key)
+    }
+
+    fn insert(&mut self, key: K, value: V) -> Option<V> {
+        DeltaFitingTree::insert(self, key, value)
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        DeltaFitingTree::remove(self, key)
+    }
+
+    fn len(&self) -> usize {
+        DeltaFitingTree::len(self)
+    }
+
+    /// Main-index segment metadata plus the delta B+ tree — the delta
+    /// is index structure (it shadows, it does not store table data).
+    fn size_bytes(&self) -> usize {
+        self.main.index_size_bytes() + self.delta.size_in_bytes()
+    }
+
+    fn range<R: std::ops::RangeBounds<K>>(&self, range: R) -> Self::RangeIter<'_> {
+        Box::new(DeltaFitingTree::range(self, range))
+    }
+}
+
+impl<K: Key, V: Clone> fiting_index_api::BuildableIndex<K, V> for DeltaFitingTree<K, V> {
+    type Config = DeltaConfig;
+    type BuildError = BuildError;
+
+    fn build_sorted(config: &DeltaConfig, sorted: Vec<(K, V)>) -> Result<Self, BuildError> {
+        DeltaFitingTree::bulk_load(config.builder.clone(), sorted, config.delta_budget)
     }
 }
 

@@ -27,7 +27,10 @@ impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildError::UnsortedInput { at } => {
-                write!(f, "bulk-load keys must be strictly increasing (violated at index {at})")
+                write!(
+                    f,
+                    "bulk-load keys must be strictly increasing (violated at index {at})"
+                )
             }
             BuildError::BufferConsumesError { error, buffer_size } => write!(
                 f,

@@ -1,129 +1,7 @@
-//! Indexable key types.
+//! Indexable key types — re-exported from the crate-neutral
+//! `fiting-index-api`, where [`Key`] moved so that every index
+//! structure (and the `SortedIndex` trait itself) shares one
+//! definition. Kept as a module so `crate::key::Key` paths and the
+//! public `fiting_tree::Key` re-export stay stable.
 
-use std::fmt::Debug;
-
-/// A key a FITing-Tree can index: totally ordered, cheap to copy, and
-/// projectable to `f64` for interpolation.
-///
-/// The projection must be **monotone**: `a <= b` implies
-/// `a.to_f64() <= b.to_f64()`. It need not be injective — distinct keys
-/// may project to the same `f64` (e.g. u64 keys above 2⁵³); the index
-/// only uses the projection to *predict* a position and always verifies
-/// with exact `Ord` comparisons, so lossy projection costs accuracy (a
-/// wider effective error), never correctness.
-pub trait Key: Copy + Ord + Debug {
-    /// Monotone projection into interpolation space.
-    fn to_f64(self) -> f64;
-}
-
-macro_rules! impl_key_int {
-    ($($t:ty),*) => {$(
-        impl Key for $t {
-            #[inline]
-            fn to_f64(self) -> f64 {
-                self as f64
-            }
-        }
-    )*};
-}
-
-impl_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
-
-/// A totally ordered, NaN-free `f64` wrapper so floating-point attributes
-/// (coordinates, sensor readings) can be indexed.
-///
-/// Construction rejects NaN; ordering is then the usual numeric order
-/// (`total_cmp`, which for non-NaN values matches `<`/`==` except that
-/// `-0.0 < 0.0`).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct OrderedF64(f64);
-
-impl OrderedF64 {
-    /// Wraps a finite-or-infinite (non-NaN) value.
-    ///
-    /// Returns `None` for NaN.
-    #[must_use]
-    pub fn new(v: f64) -> Option<Self> {
-        if v.is_nan() {
-            None
-        } else {
-            Some(OrderedF64(v))
-        }
-    }
-
-    /// The wrapped value.
-    #[must_use]
-    pub fn get(self) -> f64 {
-        self.0
-    }
-}
-
-impl Eq for OrderedF64 {}
-
-impl PartialOrd for OrderedF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for OrderedF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
-
-impl Key for OrderedF64 {
-    #[inline]
-    fn to_f64(self) -> f64 {
-        self.0
-    }
-}
-
-impl TryFrom<f64> for OrderedF64 {
-    type Error = &'static str;
-
-    fn try_from(v: f64) -> Result<Self, Self::Error> {
-        OrderedF64::new(v).ok_or("NaN is not an indexable key")
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn integer_projection_is_monotone() {
-        let keys = [0u64, 1, 1 << 20, u64::MAX / 2, u64::MAX];
-        for w in keys.windows(2) {
-            assert!(w[0].to_f64() <= w[1].to_f64());
-        }
-        assert_eq!((-5i64).to_f64(), -5.0);
-    }
-
-    #[test]
-    fn huge_u64_projection_is_lossy_but_monotone() {
-        // Above 2^53 the projection collapses neighbours — allowed.
-        let a = (1u64 << 60) + 1;
-        let b = (1u64 << 60) + 2;
-        assert!(a.to_f64() <= b.to_f64());
-    }
-
-    #[test]
-    fn ordered_f64_rejects_nan() {
-        assert!(OrderedF64::new(f64::NAN).is_none());
-        assert!(OrderedF64::try_from(f64::NAN).is_err());
-        assert!(OrderedF64::new(f64::INFINITY).is_some());
-    }
-
-    #[test]
-    fn ordered_f64_sorts_numerically() {
-        let mut v = [
-            OrderedF64::new(3.5).unwrap(),
-            OrderedF64::new(-1.0).unwrap(),
-            OrderedF64::new(2.0).unwrap(),
-        ];
-        v.sort();
-        assert_eq!(v[0].get(), -1.0);
-        assert_eq!(v[2].get(), 3.5);
-    }
-}
+pub use fiting_index_api::{Key, OrderedF64};

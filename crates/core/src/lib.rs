@@ -35,8 +35,15 @@
 //! * [`DeltaFitingTree`] — the write-optimized delta-main layering the
 //!   paper sketches at the end of Section 5 (extension): batch all
 //!   writes in a dense delta, merge into the main index in one pass.
-//! * [`ConcurrentFitingTree`] — a reader-writer-locked wrapper for shared
-//!   use (extension; the paper's evaluation is single-threaded per core).
+//! * [`ConcurrentFitingTree`] — sharded concurrent front-end for shared
+//!   use (extension; the paper's evaluation is single-threaded per
+//!   core): an alias for [`ShardedIndex`] over [`FitingTree`] shards,
+//!   range-partitioned with one reader-writer lock per shard.
+//!
+//! Every structure here implements the crate-neutral
+//! [`SortedIndex`] trait from `fiting-index-api` (re-exported below),
+//! the interface the benchmark harness and the conformance suite
+//! drive.
 //!
 //! # Quickstart
 //!
@@ -76,8 +83,9 @@ mod stats;
 pub use builder::FitingTreeBuilder;
 pub use clustered::FitingTree;
 pub use concurrent::ConcurrentFitingTree;
-pub use delta::DeltaFitingTree;
+pub use delta::{DeltaConfig, DeltaFitingTree};
 pub use error::{BuildError, InsertError};
+pub use fiting_index_api::{BuildableIndex, DynSortedIndex, ShardedIndex, SortedIndex};
 pub use key::{Key, OrderedF64};
 pub use range::RangeIter;
 pub use secondary::{RowId, SecondaryIndex};

@@ -256,7 +256,13 @@ impl<K: Key, V> Segment<K, V> {
     /// Inserts into the segment: replaces in place if the key exists
     /// (page or buffer), otherwise appends to the sorted buffer.
     /// Returns the previous value if any.
-    pub fn insert(&mut self, key: K, value: V, seg_error: u64, strategy: SearchStrategy) -> Option<V> {
+    pub fn insert(
+        &mut self,
+        key: K,
+        value: V,
+        seg_error: u64,
+        strategy: SearchStrategy,
+    ) -> Option<V> {
         if let Some(i) = self.search_data(key, seg_error, strategy) {
             return Some(std::mem::replace(&mut self.data[i].1, value));
         }

@@ -110,9 +110,15 @@ fn dataset_shaped_workloads() {
         fiting_datasets::Dataset::Iot,
     ] {
         let keys = ds.generate(50_000, 99);
-        let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        let pairs: Vec<(u64, u64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as u64))
+            .collect();
         for error in [16u64, 128, 1024] {
-            let mut tree = FitingTreeBuilder::new(error).bulk_load(pairs.clone()).unwrap();
+            let mut tree = FitingTreeBuilder::new(error)
+                .bulk_load(pairs.clone())
+                .unwrap();
             for (i, &k) in keys.iter().enumerate().step_by(101) {
                 assert_eq!(tree.get(&k), Some(&(i as u64)), "{} e={error}", ds.name());
             }
@@ -131,7 +137,11 @@ fn dataset_shaped_workloads() {
 #[test]
 fn secondary_index_agrees_with_multimap() {
     let keys = fiting_datasets::Dataset::Maps.generate(30_000, 5);
-    let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let pairs: Vec<(u64, u64)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect();
     let idx = SecondaryIndex::bulk_load(64, pairs.clone()).unwrap();
     let mut model: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
     for (k, r) in pairs {

@@ -5,9 +5,17 @@ fn main() {
         ("maps", fiting_datasets::maps(n, 21)),
         ("weblogs", fiting_datasets::weblogs(n, 21)),
     ] {
-        let scales: Vec<u64> = (0..=6).flat_map(|p| [10u64.pow(p), 3*10u64.pow(p)]).collect();
-        let row: Vec<String> = scales.iter()
-            .map(|&e| format!("{e}:{:.3}", fiting_datasets::nonlinearity::non_linearity_ratio(&keys, e)))
+        let scales: Vec<u64> = (0..=6)
+            .flat_map(|p| [10u64.pow(p), 3 * 10u64.pow(p)])
+            .collect();
+        let row: Vec<String> = scales
+            .iter()
+            .map(|&e| {
+                format!(
+                    "{e}:{:.3}",
+                    fiting_datasets::nonlinearity::non_linearity_ratio(&keys, e)
+                )
+            })
             .collect();
         println!("{name:8} {}", row.join(" "));
     }

@@ -135,8 +135,11 @@ mod tests {
         }
         hist.sort_unstable_by(|a, b| b.cmp(a));
         let top10: usize = hist[..10].iter().sum();
+        // At least double the uniform share (0.1): clustered at every
+        // RNG stream, not just a lucky hotspot draw (observed range
+        // across seeds is ~0.24–0.39).
         assert!(
-            top10 as f64 / n as f64 > 0.3,
+            top10 as f64 / n as f64 > 0.2,
             "top-decile share {:.2} — not clustered",
             top10 as f64 / n as f64
         );

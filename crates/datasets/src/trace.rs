@@ -170,7 +170,10 @@ mod tests {
         std::fs::write(&path, "# fiting-trace v1 3\n1\n2\n").unwrap();
         assert!(matches!(
             load_trace(&path),
-            Err(TraceError::CountMismatch { expected: 3, actual: 2 })
+            Err(TraceError::CountMismatch {
+                expected: 3,
+                actual: 2
+            })
         ));
         std::fs::remove_file(&path).ok();
     }

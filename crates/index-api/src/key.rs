@@ -1,0 +1,191 @@
+//! Indexable key types.
+//!
+//! Moved here from the `fiting-tree` core crate so that every index
+//! structure in the workspace — and the [`SortedIndex`](crate::SortedIndex)
+//! trait itself — can share one definition without depending on the
+//! FITing-Tree implementation. `fiting_tree::Key` remains available as a
+//! re-export.
+
+use std::fmt::Debug;
+
+/// A key a sorted index can hold: totally ordered, cheap to copy, and
+/// projectable to `f64` for interpolation.
+///
+/// The projection must be **monotone**: `a <= b` implies
+/// `a.to_f64() <= b.to_f64()`. It need not be injective — distinct keys
+/// may project to the same `f64` (e.g. u64 keys above 2⁵³, or any u128
+/// span wider than 53 bits); the learned index only uses the projection
+/// to *predict* a position and always verifies with exact `Ord`
+/// comparisons, so lossy projection costs accuracy (a wider effective
+/// error), never correctness.
+pub trait Key: Copy + Ord + Debug {
+    /// Monotone projection into interpolation space.
+    fn to_f64(self) -> f64;
+}
+
+macro_rules! impl_key_int {
+    ($($t:ty),*) => {$(
+        impl Key for $t {
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+        }
+    )*};
+}
+
+impl_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// 128-bit keys (timestamp nanoseconds, UUID prefixes) project through
+// the same `as` cast. Unlike the 64-bit case this is *heavily* lossy —
+// only the top 53 bits survive — but `as f64` rounds to nearest, which
+// preserves `<=` ordering, and u128::MAX (~3.4e38) is far below
+// f64::MAX, so the projection saturates gracefully instead of
+// overflowing to infinity.
+impl_key_int!(u128, i128);
+
+/// A totally ordered, NaN-free `f64` wrapper so floating-point attributes
+/// (coordinates, sensor readings) can be indexed.
+///
+/// Construction rejects NaN; ordering is then the usual numeric order
+/// (`total_cmp`, which for non-NaN values matches `<`/`==` except that
+/// `-0.0 < 0.0`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderedF64(f64);
+
+impl OrderedF64 {
+    /// Wraps a finite-or-infinite (non-NaN) value.
+    ///
+    /// Returns `None` for NaN.
+    #[must_use]
+    pub fn new(v: f64) -> Option<Self> {
+        if v.is_nan() {
+            None
+        } else {
+            Some(OrderedF64(v))
+        }
+    }
+
+    /// The wrapped value.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Key for OrderedF64 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self.0
+    }
+}
+
+impl TryFrom<f64> for OrderedF64 {
+    type Error = &'static str;
+
+    fn try_from(v: f64) -> Result<Self, Self::Error> {
+        OrderedF64::new(v).ok_or("NaN is not an indexable key")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_projection_is_monotone() {
+        let keys = [0u64, 1, 1 << 20, u64::MAX / 2, u64::MAX];
+        for w in keys.windows(2) {
+            assert!(w[0].to_f64() <= w[1].to_f64());
+        }
+        assert_eq!((-5i64).to_f64(), -5.0);
+    }
+
+    #[test]
+    fn huge_u64_projection_is_lossy_but_monotone() {
+        // Above 2^53 the projection collapses neighbours — allowed.
+        let a = (1u64 << 60) + 1;
+        let b = (1u64 << 60) + 2;
+        assert!(a.to_f64() <= b.to_f64());
+    }
+
+    #[test]
+    fn u128_projection_is_monotone_and_finite() {
+        // Timestamp-nanosecond scale (~2^90) and UUID-prefix scale
+        // (~2^122) both stay finite and ordered.
+        let keys = [
+            0u128,
+            1,
+            1 << 53,
+            (1 << 53) + 1,
+            1 << 90,
+            (1 << 90) + 1_000_000,
+            1 << 122,
+            u128::MAX / 2,
+            u128::MAX - 1,
+            u128::MAX,
+        ];
+        for w in keys.windows(2) {
+            assert!(
+                w[0].to_f64() <= w[1].to_f64(),
+                "{:?} > {:?}",
+                w[0].to_f64(),
+                w[1].to_f64()
+            );
+        }
+        assert!(u128::MAX.to_f64().is_finite());
+    }
+
+    #[test]
+    fn i128_projection_is_monotone_across_zero() {
+        let keys = [
+            i128::MIN,
+            i128::MIN / 2,
+            -(1i128 << 90),
+            -1,
+            0,
+            1,
+            1 << 90,
+            i128::MAX / 2,
+            i128::MAX,
+        ];
+        for w in keys.windows(2) {
+            assert!(w[0].to_f64() <= w[1].to_f64());
+        }
+        assert!(i128::MIN.to_f64().is_finite());
+        assert!(i128::MAX.to_f64().is_finite());
+    }
+
+    #[test]
+    fn ordered_f64_rejects_nan() {
+        assert!(OrderedF64::new(f64::NAN).is_none());
+        assert!(OrderedF64::try_from(f64::NAN).is_err());
+        assert!(OrderedF64::new(f64::INFINITY).is_some());
+    }
+
+    #[test]
+    fn ordered_f64_sorts_numerically() {
+        let mut v = [
+            OrderedF64::new(3.5).unwrap(),
+            OrderedF64::new(-1.0).unwrap(),
+            OrderedF64::new(2.0).unwrap(),
+        ];
+        v.sort();
+        assert_eq!(v[0].get(), -1.0);
+        assert_eq!(v[2].get(), 3.5);
+    }
+}

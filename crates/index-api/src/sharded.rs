@@ -1,0 +1,420 @@
+//! Sharded concurrent front-end over any [`SortedIndex`].
+//!
+//! The previous concurrency story was one `RwLock` around the whole
+//! index: every write serialized every read. [`ShardedIndex`]
+//! range-partitions the key space into `S` shards — boundaries chosen
+//! from the bulk-load sample — each behind its own reader-writer lock,
+//! so point operations on different shards never contend and writers
+//! block only the readers of one shard.
+//!
+//! Design notes:
+//!
+//! * **Static range partitioning.** Boundaries are fixed at
+//!   construction from evenly spaced positions in the sorted bulk-load
+//!   data. Skewed *growth* after load can imbalance shards; rebalancing
+//!   is future work (see ROADMAP "Open items").
+//! * **Lock order.** Multi-shard operations ([`range_collect`],
+//!   [`insert_many`], [`len`]) visit shards in ascending index order
+//!   and hold at most one lock at a time, so they cannot deadlock with
+//!   each other — at the cost of cross-shard snapshot consistency:
+//!   a `range_collect` concurrent with writes sees each *shard*
+//!   atomically, not the whole index.
+//! * **Shared handle.** `Clone` clones an `Arc` handle, mirroring how
+//!   the old `ConcurrentFitingTree` wrapper was shared across threads.
+//!
+//! [`range_collect`]: ShardedIndex::range_collect
+//! [`insert_many`]: ShardedIndex::insert_many
+//! [`len`]: ShardedIndex::len
+
+use crate::key::Key;
+use crate::sorted::{BuildableIndex, SortedIndex};
+use parking_lot::RwLock;
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+/// Bytes of front-end metadata per shard in the Section 6.2 accounting
+/// convention: one boundary key + one shard pointer, 8 bytes each.
+pub const SHARD_METADATA_BYTES: usize = 16;
+
+struct Inner<K, I> {
+    /// `bounds[i]` is the smallest key routed to shard `i + 1`;
+    /// `shards.len() == bounds.len() + 1`, and shard 0 has no lower
+    /// bound (keys below every boundary, including an empty-load
+    /// index's whole key space, route there).
+    bounds: Vec<K>,
+    shards: Vec<RwLock<I>>,
+}
+
+/// A range-partitioned, per-shard-locked concurrent front-end over any
+/// [`SortedIndex`] implementation.
+///
+/// ```
+/// use fiting_index_api::{ShardedIndex, SortedIndex};
+/// # use fiting_index_api::doctest_support::VecIndex;
+/// use std::thread;
+///
+/// let pairs: Vec<(u64, u64)> = (0..10_000).map(|k| (k * 2, k)).collect();
+/// let index: ShardedIndex<u64, u64, VecIndex<u64, u64>> =
+///     ShardedIndex::bulk_load(&(), 4, pairs).unwrap();
+/// assert_eq!(index.shard_count(), 4);
+///
+/// let reader = index.clone();
+/// let t = thread::spawn(move || reader.get(&500));
+/// index.insert(501, 999);
+/// assert_eq!(t.join().unwrap(), Some(250));
+/// assert_eq!(index.get(&501), Some(999));
+/// assert_eq!(index.range_collect(4_998..=5_004).len(), 4);
+/// ```
+pub struct ShardedIndex<K: Key, V: Clone, I: SortedIndex<K, V>> {
+    inner: Arc<Inner<K, I>>,
+    _values: std::marker::PhantomData<fn() -> V>,
+}
+
+impl<K: Key, V: Clone, I: SortedIndex<K, V>> Clone for ShardedIndex<K, V, I> {
+    fn clone(&self) -> Self {
+        ShardedIndex {
+            inner: Arc::clone(&self.inner),
+            _values: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Wraps an already-built index as a single-shard front-end — the exact
+/// semantics of the old whole-index-lock `ConcurrentFitingTree`.
+impl<K: Key, V: Clone, I: SortedIndex<K, V>> From<I> for ShardedIndex<K, V, I> {
+    fn from(index: I) -> Self {
+        ShardedIndex {
+            inner: Arc::new(Inner {
+                bounds: Vec::new(),
+                shards: vec![RwLock::new(index)],
+            }),
+            _values: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<K: Key, V: Clone, I: BuildableIndex<K, V>> ShardedIndex<K, V, I> {
+    /// Bulk loads `sorted` (strictly increasing keys) into at most
+    /// `shard_count` shards, choosing boundaries from evenly spaced
+    /// sample positions in the data.
+    ///
+    /// Fewer shards are built when the data has fewer distinct boundary
+    /// candidates than requested (e.g. an empty load builds one shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count == 0`.
+    pub fn bulk_load(
+        config: &I::Config,
+        shard_count: usize,
+        sorted: Vec<(K, V)>,
+    ) -> Result<Self, I::BuildError> {
+        assert!(shard_count >= 1, "need at least one shard");
+        let n = sorted.len();
+        // Boundary sample: the key at each i/shard_count quantile,
+        // skipping candidates that would leave a shard empty (quantiles
+        // collapse when n < shard_count or the data is heavily
+        // duplicated toward the front).
+        let mut bounds: Vec<K> = Vec::new();
+        if n > 0 {
+            for i in 1..shard_count {
+                let at = i * n / shard_count;
+                if at == 0 {
+                    continue;
+                }
+                let candidate = sorted[at].0;
+                if candidate > sorted[0].0 && bounds.last().is_none_or(|&last| last < candidate) {
+                    bounds.push(candidate);
+                }
+            }
+        }
+
+        let mut shards = Vec::with_capacity(bounds.len() + 1);
+        let mut rest = sorted;
+        // Split back-to-front so each `split_off` is O(tail).
+        let mut tails: Vec<Vec<(K, V)>> = Vec::with_capacity(bounds.len());
+        for b in bounds.iter().rev() {
+            let at = rest.partition_point(|(k, _)| k < b);
+            tails.push(rest.split_off(at));
+        }
+        shards.push(RwLock::new(I::build_sorted(config, rest)?));
+        for chunk in tails.into_iter().rev() {
+            shards.push(RwLock::new(I::build_sorted(config, chunk)?));
+        }
+        debug_assert_eq!(shards.len(), bounds.len() + 1);
+        Ok(ShardedIndex {
+            inner: Arc::new(Inner { bounds, shards }),
+            _values: std::marker::PhantomData,
+        })
+    }
+}
+
+impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    fn shard_for(&self, key: &K) -> usize {
+        self.inner.bounds.partition_point(|b| b <= key)
+    }
+
+    /// Point lookup under the owning shard's read lock; clones the
+    /// value out.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.inner.shards[self.shard_for(key)]
+            .read()
+            .get(key)
+            .cloned()
+    }
+
+    /// Upsert under the owning shard's write lock.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.inner.shards[self.shard_for(&key)]
+            .write()
+            .insert(key, value)
+    }
+
+    /// Remove under the owning shard's write lock.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.inner.shards[self.shard_for(key)].write().remove(key)
+    }
+
+    /// Batched insert: groups the batch by destination shard, then
+    /// takes each destination's write lock **once** — for `b` keys
+    /// across `s` shards, `min(b, s)` lock acquisitions instead of `b`.
+    ///
+    /// Returns the number of keys that were new (not overwrites).
+    pub fn insert_many<It: IntoIterator<Item = (K, V)>>(&self, batch: It) -> usize {
+        let mut groups: Vec<Vec<(K, V)>> = (0..self.shard_count()).map(|_| Vec::new()).collect();
+        for (k, v) in batch {
+            groups[self.shard_for(&k)].push((k, v));
+        }
+        let mut fresh = 0;
+        for (i, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut shard = self.inner.shards[i].write();
+            for (k, v) in group {
+                if shard.insert(k, v).is_none() {
+                    fresh += 1;
+                }
+            }
+        }
+        fresh
+    }
+
+    /// Collects a cross-shard range scan, visiting each overlapping
+    /// shard under its read lock in ascending key order.
+    ///
+    /// Each shard is read atomically; concurrent writers may be
+    /// interleaved *between* shards (see the module docs).
+    #[must_use]
+    pub fn range_collect<R: RangeBounds<K>>(&self, range: R) -> Vec<(K, V)> {
+        let lo: Bound<K> = range.start_bound().cloned();
+        let hi: Bound<K> = range.end_bound().cloned();
+        let first = match &lo {
+            Bound::Included(k) | Bound::Excluded(k) => self.shard_for(k),
+            Bound::Unbounded => 0,
+        };
+        let last = match &hi {
+            // `shard_for` over-approximates for an excluded endpoint on
+            // a boundary; the per-shard range filter discards the
+            // excess.
+            Bound::Included(k) | Bound::Excluded(k) => self.shard_for(k),
+            Bound::Unbounded => self.shard_count() - 1,
+        };
+        if last < first {
+            // Inverted range: empty, matching every single-structure
+            // SortedIndex implementation.
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for shard in &self.inner.shards[first..=last] {
+            out.extend(shard.read().range((lo, hi)));
+        }
+        out
+    }
+
+    /// Total entries across shards (each shard counted under its read
+    /// lock, one at a time).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether no shard holds any entry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Bytes of index structure: every shard's own accounting plus
+    /// [`SHARD_METADATA_BYTES`] per shard for the routing table.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        let shards: usize = self
+            .inner
+            .shards
+            .iter()
+            .map(|s| s.read().size_bytes())
+            .sum();
+        shards + self.shard_count() * SHARD_METADATA_BYTES
+    }
+
+    /// Display name, derived from the shard structure's name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!(
+            "Sharded<{}>x{}",
+            self.inner.shards[0].read().name(),
+            self.shard_count()
+        )
+    }
+
+    /// Runs `f` on every shard in key order under its read lock (for
+    /// stats and invariant checks).
+    pub fn for_each_shard(&self, mut f: impl FnMut(&I)) {
+        for shard in &self.inner.shards {
+            f(&shard.read());
+        }
+    }
+
+    /// Runs `f` with shared access to the shard that owns `key`.
+    pub fn with_shard_read<R>(&self, key: &K, f: impl FnOnce(&I) -> R) -> R {
+        f(&self.inner.shards[self.shard_for(key)].read())
+    }
+
+    /// Runs `f` with exclusive access to the shard that owns `key`.
+    pub fn with_shard_write<R>(&self, key: &K, f: impl FnOnce(&mut I) -> R) -> R {
+        f(&mut self.inner.shards[self.shard_for(key)].write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doctest_support::VecIndex;
+    use std::thread;
+
+    fn load(n: u64, shards: usize) -> ShardedIndex<u64, u64, VecIndex<u64, u64>> {
+        ShardedIndex::bulk_load(&(), shards, (0..n).map(|k| (k * 2, k)).collect()).unwrap()
+    }
+
+    #[test]
+    fn routing_respects_boundaries() {
+        let idx = load(10_000, 8);
+        assert_eq!(idx.shard_count(), 8);
+        for k in (0..10_000u64).step_by(97) {
+            assert_eq!(idx.get(&(k * 2)), Some(k));
+            assert_eq!(idx.get(&(k * 2 + 1)), None);
+        }
+        assert_eq!(idx.len(), 10_000);
+    }
+
+    #[test]
+    fn single_shard_and_empty_degenerate() {
+        let idx = load(100, 1);
+        assert_eq!(idx.shard_count(), 1);
+        assert_eq!(idx.len(), 100);
+
+        let empty: ShardedIndex<u64, u64, VecIndex<u64, u64>> =
+            ShardedIndex::bulk_load(&(), 4, Vec::new()).unwrap();
+        assert_eq!(empty.shard_count(), 1, "no boundary candidates");
+        assert!(empty.is_empty());
+        assert_eq!(empty.insert(5, 5), None);
+        assert_eq!(empty.get(&5), Some(5));
+        assert_eq!(empty.range_collect(..).len(), 1);
+    }
+
+    #[test]
+    fn cross_shard_ranges_match_model() {
+        let idx = load(5_000, 7);
+        let model: Vec<(u64, u64)> = (0..5_000).map(|k| (k * 2, k)).collect();
+        for (lo, hi) in [
+            (0u64, 9_998u64),
+            (1_111, 7_777),
+            (4_000, 4_002),
+            (9_999, 10_000),
+        ] {
+            let got = idx.range_collect(lo..=hi);
+            let want: Vec<(u64, u64)> = model
+                .iter()
+                .copied()
+                .filter(|&(k, _)| k >= lo && k <= hi)
+                .collect();
+            assert_eq!(got, want, "range {lo}..={hi}");
+        }
+        assert_eq!(idx.range_collect(..), model);
+        assert_eq!(idx.range_collect(..20).len(), 10);
+        assert_eq!(idx.range_collect(9_990..).len(), 5);
+    }
+
+    #[test]
+    fn inverted_ranges_are_empty_not_panics() {
+        // Bound tuples spell out the inversion (a plain `9_000..10`
+        // literal trips clippy::reversed_empty_ranges).
+        let reversed = (Bound::Included(9_000u64), Bound::Excluded(10u64));
+        // Endpoints on different shards, reversed.
+        let idx = load(5_000, 8);
+        assert_eq!(idx.range_collect(reversed), Vec::new());
+        assert_eq!(
+            idx.range_collect((Bound::Excluded(9_000u64), Bound::Included(10u64))),
+            Vec::new()
+        );
+        // Same behavior on the single-shard compatibility path.
+        let one = load(5_000, 1);
+        assert_eq!(one.range_collect(reversed), Vec::new());
+    }
+
+    #[test]
+    fn insert_many_groups_by_shard() {
+        let idx = load(1_000, 4);
+        let fresh = idx.insert_many((0..500u64).map(|k| (k * 4 + 1, k)));
+        assert_eq!(fresh, 500);
+        // Overwrites are not fresh: 1 and 5 already exist, 2_001 is new.
+        let fresh = idx.insert_many(vec![(1, 9), (5, 9), (2_001, 9)]);
+        assert_eq!(fresh, 1);
+        assert_eq!(idx.len(), 1_501);
+        assert_eq!(idx.get(&1), Some(9));
+    }
+
+    #[test]
+    fn shared_handles_see_each_others_writes() {
+        let idx = load(1_000, 4);
+        let writer = idx.clone();
+        let t = thread::spawn(move || {
+            for k in 0..500u64 {
+                writer.insert(k * 2 + 1, k);
+            }
+        });
+        t.join().unwrap();
+        assert_eq!(idx.len(), 1_500);
+    }
+
+    #[test]
+    fn size_accounts_for_routing_metadata() {
+        let idx = load(1_000, 4);
+        let mut shard_total = 0;
+        idx.for_each_shard(|s| shard_total += s.size_bytes());
+        assert_eq!(idx.size_bytes(), shard_total + 4 * SHARD_METADATA_BYTES);
+        assert!(idx.name().starts_with("Sharded<"));
+    }
+
+    #[test]
+    fn skewed_boundaries_dedup() {
+        // All keys equal quantiles: duplicate boundary candidates must
+        // collapse rather than produce empty shards out of order.
+        let pairs: Vec<(u64, u64)> = (0..4).map(|k| (k, k)).collect();
+        let idx: ShardedIndex<u64, u64, VecIndex<u64, u64>> =
+            ShardedIndex::bulk_load(&(), 16, pairs).unwrap();
+        assert!(idx.shard_count() <= 4);
+        assert_eq!(idx.len(), 4);
+        for k in 0..4u64 {
+            assert_eq!(idx.get(&k), Some(k));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The unified sorted-index trait family.
+//!
+//! [`SortedIndex`] is the contract every index structure in the
+//! workspace implements — the FITing-Tree and its delta variant, the
+//! B+ tree substrate, and all three of the paper's baselines. The
+//! benchmark harness, the conformance suite, and the sharded concurrent
+//! front-end all drive this trait, reproducing the paper's fairness
+//! rule ("we keep the underlying tree implementation the same for all
+//! baselines", Section 7.1) at the type level.
+
+use crate::key::Key;
+use std::ops::{Bound, RangeBounds};
+
+/// A mutable sorted map from [`Key`]s to values: the common interface
+/// over every index structure in the workspace.
+///
+/// # Contract
+///
+/// * **Key order.** Implementations hold at most one value per key and
+///   iterate in strictly increasing key order. Keys obey the [`Key`]
+///   monotone-projection contract.
+/// * **Upsert.** [`insert`](Self::insert) returns the previous value
+///   when the key was present (and must not change
+///   [`len`](Self::len) in that case).
+/// * **Size accounting.** [`size_bytes`](Self::size_bytes) counts
+///   *index structure only* — directory nodes, segment or page
+///   metadata — never the table data the index points into. This is
+///   the paper's Section 6.2 convention (8-byte keys, slopes, and
+///   pointers) and the quantity on the x-axis of Figure 6; a structure
+///   that searches the raw data directly (binary search) reports 0.
+/// * **Ranges.** [`range`](Self::range) yields owned `(K, V)` pairs so
+///   that overlay structures (delta-main) can synthesize entries; the
+///   iterator type is an associated type so tree-backed structures can
+///   expose their native cursors without boxing.
+pub trait SortedIndex<K: Key, V: Clone> {
+    /// Iterator returned by [`range`](Self::range), in increasing key
+    /// order.
+    type RangeIter<'a>: Iterator<Item = (K, V)>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+
+    /// Display name for benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Point lookup.
+    fn get(&self, key: &K) -> Option<&V>;
+
+    /// Upsert; returns the previous value for an existing key.
+    fn insert(&mut self, key: K, value: V) -> Option<V>;
+
+    /// Removes a key; returns its value if it was present.
+    fn remove(&mut self, key: &K) -> Option<V>;
+
+    /// Number of entries.
+    fn len(&self) -> usize;
+
+    /// Bytes of index structure, per the Section 6.2 accounting rules
+    /// (see the trait docs).
+    fn size_bytes(&self) -> usize;
+
+    /// Ordered scan over the entries whose keys fall in `range`.
+    fn range<R: RangeBounds<K>>(&self, range: R) -> Self::RangeIter<'_>;
+
+    /// Whether the index holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Collects a range scan into a vector.
+    fn range_collect<R: RangeBounds<K>>(&self, range: R) -> Vec<(K, V)> {
+        self.range(range).collect()
+    }
+
+    /// Number of entries in `range`.
+    fn range_count<R: RangeBounds<K>>(&self, range: R) -> usize {
+        self.range(range).count()
+    }
+}
+
+/// A [`SortedIndex`] that can be constructed in one pass from sorted
+/// input — the paper's Section 3 bulk load, abstracted so generic
+/// drivers (and [`ShardedIndex`](crate::ShardedIndex)) can build any
+/// structure.
+pub trait BuildableIndex<K: Key, V: Clone>: SortedIndex<K, V> + Sized {
+    /// Structure-specific build parameters (error budget, page size,
+    /// tree order, …). `Clone` so one config can build many shards.
+    type Config: Clone;
+
+    /// Construction failure (`Infallible` for structures that cannot
+    /// fail).
+    type BuildError: std::fmt::Debug;
+
+    /// Builds from **strictly increasing** `(key, value)` pairs.
+    ///
+    /// Implementations may panic or error on unsorted/duplicate input;
+    /// callers are expected to sort + dedup first.
+    fn build_sorted(config: &Self::Config, sorted: Vec<(K, V)>) -> Result<Self, Self::BuildError>;
+}
+
+/// Object-safe companion to [`SortedIndex`], blanket-implemented for
+/// every implementor, so harnesses can drive heterogeneous structures
+/// through `&mut dyn DynSortedIndex<K, V>` without monomorphizing per
+/// type.
+///
+/// Method names carry a `dyn_` prefix (and range scans become the
+/// internal-iteration [`for_each_in_range`](Self::for_each_in_range))
+/// so that importing both traits never makes method resolution
+/// ambiguous.
+pub trait DynSortedIndex<K: Key, V: Clone> {
+    /// Display name for benchmark tables.
+    fn dyn_name(&self) -> &'static str;
+
+    /// Point lookup, cloning the value out.
+    fn dyn_get(&self, key: &K) -> Option<V>;
+
+    /// Upsert; returns the previous value for an existing key.
+    fn dyn_insert(&mut self, key: K, value: V) -> Option<V>;
+
+    /// Removes a key; returns its value if it was present.
+    fn dyn_remove(&mut self, key: &K) -> Option<V>;
+
+    /// Number of entries.
+    fn dyn_len(&self) -> usize;
+
+    /// Bytes of index structure (Section 6.2 accounting).
+    fn dyn_size_bytes(&self) -> usize;
+
+    /// Calls `f` for every entry in `[lo, hi]` key order.
+    fn for_each_in_range(&self, lo: Bound<&K>, hi: Bound<&K>, f: &mut dyn FnMut(K, V));
+
+    /// Whether the index holds no entries.
+    fn dyn_is_empty(&self) -> bool {
+        self.dyn_len() == 0
+    }
+
+    /// Number of entries in `[lo, hi]`.
+    fn dyn_range_count(&self, lo: Bound<&K>, hi: Bound<&K>) -> usize {
+        let mut n = 0;
+        self.for_each_in_range(lo, hi, &mut |_, _| n += 1);
+        n
+    }
+}
+
+impl<K: Key, V: Clone, I: SortedIndex<K, V>> DynSortedIndex<K, V> for I {
+    fn dyn_name(&self) -> &'static str {
+        self.name()
+    }
+
+    fn dyn_get(&self, key: &K) -> Option<V> {
+        self.get(key).cloned()
+    }
+
+    fn dyn_insert(&mut self, key: K, value: V) -> Option<V> {
+        self.insert(key, value)
+    }
+
+    fn dyn_remove(&mut self, key: &K) -> Option<V> {
+        self.remove(key)
+    }
+
+    fn dyn_len(&self) -> usize {
+        self.len()
+    }
+
+    fn dyn_size_bytes(&self) -> usize {
+        self.size_bytes()
+    }
+
+    fn for_each_in_range(&self, lo: Bound<&K>, hi: Bound<&K>, f: &mut dyn FnMut(K, V)) {
+        for (k, v) in self.range((lo, hi)) {
+            f(k, v);
+        }
+    }
+}
+
+/// Maps a borrowed `(&K, &V)` pair to an owned one — the adapter every
+/// tree-backed [`SortedIndex::range`] implementation threads through
+/// `Iterator::map` as a plain `fn` pointer so its iterator type stays
+/// nameable.
+pub fn clone_pair<'a, K: Copy, V: Clone>((k, v): (&'a K, &'a V)) -> (K, V) {
+    (*k, v.clone())
+}
+
+/// Maps a borrowed slice entry `&(K, V)` to an owned pair — the `fn`
+/// pointer companion to [`clone_pair`] for slice-backed structures.
+pub fn clone_entry<K: Copy, V: Clone>(entry: &(K, V)) -> (K, V) {
+    (entry.0, entry.1.clone())
+}
+
+/// The subslice of a slice sorted by key that `range` covers — the
+/// shared [`SortedIndex::range`] kernel for slice-backed structures
+/// (binary search baseline, reference `VecIndex`).
+pub fn sorted_slice_range<K: Ord, V, R: RangeBounds<K>>(data: &[(K, V)], range: R) -> &[(K, V)] {
+    let start = data.partition_point(|(k, _)| match range.start_bound() {
+        Bound::Included(lo) => k < lo,
+        Bound::Excluded(lo) => k <= lo,
+        Bound::Unbounded => false,
+    });
+    let end = data.partition_point(|(k, _)| match range.end_bound() {
+        Bound::Included(hi) => k <= hi,
+        Bound::Excluded(hi) => k < hi,
+        Bound::Unbounded => true,
+    });
+    // Inverted bounds produce an empty slice rather than a panic.
+    &data[start..end.max(start)]
+}

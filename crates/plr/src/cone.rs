@@ -173,6 +173,7 @@ mod tests {
     fn rejects_point_outside_band() {
         let mut c = Cone::new(0.0, 0);
         c.update(10.0, 10, 1); // slope ∈ [0.9, 1.1]
+
         // At x=20 the cone spans positions [18, 22]; y=30 is out for both
         // tests, y=21 is inside the cone, y=23 is outside the cone but
         // within error of its edge — feasible only.

@@ -288,9 +288,7 @@ mod tests {
 
     #[test]
     fn reconstruction_matches_count_and_validates() {
-        let keys: Vec<f64> = (0..600)
-            .map(|k| (k as f64).powf(1.3) * 2.0)
-            .collect();
+        let keys: Vec<f64> = (0..600).map(|k| (k as f64).powf(1.3) * 2.0).collect();
         let points = points_from_sorted_keys(&keys);
         for error in [2u64, 8, 32] {
             let segs = optimal_segmentation(&points, error);

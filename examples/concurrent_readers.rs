@@ -3,9 +3,16 @@
 //! ingests live events while reader threads serve point and range
 //! queries.
 //!
+//! `ConcurrentFitingTree` is the sharded front-end
+//! (`ShardedIndex<K, V, FitingTree>`): the key space is
+//! range-partitioned at bulk load and each shard sits behind its own
+//! reader-writer lock, so the appending writer contends only with
+//! readers of the hottest (latest) shard.
+//!
 //! Run: `cargo run --release --example concurrent_readers`
 
 use fiting::datasets;
+use fiting::index_api::ShardedIndex;
 use fiting::tree::{ConcurrentFitingTree, FitingTreeBuilder};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -15,10 +22,17 @@ use std::time::Duration;
 fn main() {
     let history = datasets::weblogs(500_000, 5);
     let last = *history.last().unwrap();
-    let tree = FitingTreeBuilder::new(128)
-        .bulk_load(history.iter().enumerate().map(|(i, &t)| (t, i as u64)))
-        .unwrap();
-    let index = ConcurrentFitingTree::from(tree);
+    let index: ConcurrentFitingTree<u64, u64> = ShardedIndex::bulk_load(
+        &FitingTreeBuilder::new(128),
+        8,
+        history
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u64))
+            .collect(),
+    )
+    .unwrap();
+    println!("serving from {} shards", index.shard_count());
 
     let stop = Arc::new(AtomicBool::new(false));
 
@@ -69,13 +83,17 @@ fn main() {
         let (hits, scanned) = r.join().unwrap();
         println!("reader {i}: {hits} point hits, {scanned} rows scanned in trailing windows");
     }
-    index.with_read(|t| {
-        t.check_invariants().expect("index consistent after concurrent churn");
-        println!(
-            "final: {} keys, {} segments, {} bytes of index",
-            t.len(),
-            t.segment_count(),
-            t.index_size_bytes()
-        );
+    let mut segments = 0;
+    index.for_each_shard(|t| {
+        t.check_invariants()
+            .expect("index consistent after concurrent churn");
+        segments += t.segment_count();
     });
+    println!(
+        "final: {} keys, {} segments across {} shards, {} bytes of index",
+        index.len(),
+        segments,
+        index.shard_count(),
+        index.size_bytes()
+    );
 }

@@ -38,7 +38,11 @@ fn main() {
     for i in 0..10_000u64 {
         index.insert(last + 1 + i * 37, n_history as u64 + i);
     }
-    println!("after live appends: {} events, {} segments", index.len(), index.segment_count());
+    println!(
+        "after live appends: {} events, {} segments",
+        index.len(),
+        index.segment_count()
+    );
 
     // Dashboard query: events per hour over the trailing day.
     let day_start = last.saturating_sub(24 * MS_PER_HOUR);

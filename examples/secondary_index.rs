@@ -33,7 +33,11 @@ fn main() {
     // Exact-match: all features at one longitude (duplicates!).
     let probe = longitudes[500_000];
     let rows: Vec<u64> = index.get(&probe).collect();
-    println!("\nrows at longitude {probe}: {} matches (e.g. {:?})", rows.len(), &rows[..rows.len().min(5)]);
+    println!(
+        "\nrows at longitude {probe}: {} matches (e.g. {:?})",
+        rows.len(),
+        &rows[..rows.len().min(5)]
+    );
 
     // Band query: everything within ±0.01 degrees.
     let band = 100_000u64; // 0.01 degree in fixed-point
@@ -53,9 +57,7 @@ fn main() {
     println!("\nband width -> matching rows:");
     for exp in [3u32, 4, 5, 6, 7] {
         let w = 10u64.pow(exp);
-        let c = index
-            .range(probe.saturating_sub(w)..=probe + w)
-            .count();
+        let c = index.range(probe.saturating_sub(w)..=probe + w).count();
         println!("  ±{:>9} fixed-point units: {c:>8}", w);
     }
 }

@@ -18,14 +18,22 @@ use std::time::Instant;
 fn main() {
     let n = 1_000_000;
     let history = datasets::taxi_pickup_time(n, 9);
-    let pairs: Vec<(u64, u64)> = history.iter().enumerate().map(|(i, &t)| (t, i as u64)).collect();
+    let pairs: Vec<(u64, u64)> = history
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t, i as u64))
+        .collect();
 
     // Pin the workload to disk so this run is replayable.
     let trace_path = std::env::temp_dir().join("fiting-stream-ingest.trace");
     trace::save_trace(&trace_path, &history).expect("writable temp dir");
     let replay = trace::load_trace(&trace_path).expect("readable trace");
     assert_eq!(replay, history);
-    println!("workload pinned to {} ({} keys)", trace_path.display(), replay.len());
+    println!(
+        "workload pinned to {} ({} keys)",
+        trace_path.display(),
+        replay.len()
+    );
 
     // The write stream: late-arriving events interleaved into the
     // existing key range.

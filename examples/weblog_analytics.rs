@@ -7,14 +7,18 @@
 //!
 //! Run: `cargo run --release --example weblog_analytics`
 
-use fiting::baselines::{FullIndex, OrderedIndex};
+use fiting::baselines::{FullIndex, SortedIndex};
 use fiting::datasets;
 use fiting::tree::cost::{CostModel, SegmentCountModel};
 use fiting::tree::FitingTreeBuilder;
 
 fn main() {
     let keys = datasets::weblogs(2_000_000, 11);
-    let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let pairs: Vec<(u64, u64)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect();
 
     // Learn how compressible this dataset is: segments as a function of
     // the error threshold (one O(n) ShrinkingCone pass per candidate).
@@ -31,7 +35,9 @@ fn main() {
     let budget = 64.0 * 1024.0;
     match cost.pick_error_for_size(&model, budget) {
         Some(e) => {
-            let tree = FitingTreeBuilder::new(e).bulk_load(pairs.iter().copied()).unwrap();
+            let tree = FitingTreeBuilder::new(e)
+                .bulk_load(pairs.iter().copied())
+                .unwrap();
             println!(
                 "\nbudget 64 KB -> error {e}: actual index {} bytes, {} segments",
                 tree.index_size_bytes(),
@@ -44,7 +50,9 @@ fn main() {
     // Scenario 2: lookup SLA of 1500 ns.
     match cost.pick_error_for_latency(&model, 1_500.0) {
         Some(e) => {
-            let tree = FitingTreeBuilder::new(e).bulk_load(pairs.iter().copied()).unwrap();
+            let tree = FitingTreeBuilder::new(e)
+                .bulk_load(pairs.iter().copied())
+                .unwrap();
             let est = cost.lookup_latency_ns(e, e / 2, model.segments_at(e));
             println!(
                 "SLA 1500 ns -> error {e}: estimated {est:.0} ns, index {} bytes",
@@ -56,12 +64,14 @@ fn main() {
 
     // The comparison the paper leads with: same data, dense index.
     let full = FullIndex::bulk_load(pairs.iter().copied());
-    let fiting = FitingTreeBuilder::new(256).bulk_load(pairs.iter().copied()).unwrap();
+    let fiting = FitingTreeBuilder::new(256)
+        .bulk_load(pairs.iter().copied())
+        .unwrap();
     println!(
         "\ndense B+ tree: {} bytes; FITing-Tree(e=256): {} bytes — {}x smaller",
-        full.index_size_bytes(),
+        full.size_bytes(),
         fiting.index_size_bytes(),
-        full.index_size_bytes() / fiting.index_size_bytes().max(1)
+        full.size_bytes() / fiting.index_size_bytes().max(1)
     );
 
     // Both answer the same queries.

@@ -3,6 +3,9 @@
 //! Re-exports every workspace crate under one root so the examples and
 //! cross-crate integration tests have a single dependency:
 //!
+//! * [`index_api`] — the crate-neutral `SortedIndex` / `BuildableIndex`
+//!   / `DynSortedIndex` trait family every structure implements, plus
+//!   the sharded concurrent front-end `ShardedIndex`.
 //! * [`tree`] — the FITing-Tree itself (clustered + non-clustered index,
 //!   insert path, cost model). This is the paper's contribution.
 //! * [`plr`] — bounded-error piecewise-linear segmentation
@@ -22,5 +25,10 @@
 pub use fiting_baselines as baselines;
 pub use fiting_btree as btree;
 pub use fiting_datasets as datasets;
+pub use fiting_index_api as index_api;
 pub use fiting_plr as plr;
 pub use fiting_tree as tree;
+
+pub use fiting_index_api::{
+    BuildableIndex, DynSortedIndex, Key, OrderedF64, ShardedIndex, SortedIndex,
+};

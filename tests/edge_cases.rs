@@ -7,7 +7,9 @@ use std::collections::BTreeMap;
 
 #[test]
 fn single_key_and_tiny_indexes() {
-    let t = FitingTreeBuilder::new(10).bulk_load([(42u64, 1u64)]).unwrap();
+    let t = FitingTreeBuilder::new(10)
+        .bulk_load([(42u64, 1u64)])
+        .unwrap();
     assert_eq!(t.get(&42), Some(&1));
     assert_eq!(t.get(&41), None);
     assert_eq!(t.get(&43), None);
@@ -27,7 +29,9 @@ fn extreme_key_magnitudes_survive_lossy_projection() {
     let base = 1u64 << 60;
     let pairs: Vec<(u64, u64)> = (0..10_000u64).map(|i| (base + i * 3, i)).collect();
     for error in [4u64, 64, 1024] {
-        let mut t = FitingTreeBuilder::new(error).bulk_load(pairs.clone()).unwrap();
+        let mut t = FitingTreeBuilder::new(error)
+            .bulk_load(pairs.clone())
+            .unwrap();
         for (k, v) in pairs.iter().step_by(97) {
             assert_eq!(t.get(k), Some(v), "error {error} key {k}");
         }
@@ -86,7 +90,10 @@ fn all_identical_keys_secondary() {
     let idx = SecondaryIndex::bulk_load(100, pairs).unwrap();
     assert_eq!(idx.count(&7), 10_000);
     assert_eq!(idx.count(&8), 0);
-    assert!(idx.segment_count() > 1, "a 10k-deep run cannot be one segment at error 100");
+    assert!(
+        idx.segment_count() > 1,
+        "a 10k-deep run cannot be one segment at error 100"
+    );
     idx.check_invariants().unwrap();
 }
 
@@ -94,10 +101,18 @@ fn all_identical_keys_secondary() {
 fn segmentation_of_pathological_shapes() {
     let shapes: Vec<Vec<f64>> = vec![
         // Giant jump mid-stream.
-        (0..1000).map(|i| if i < 500 { i as f64 } else { 1e15 + i as f64 }).collect(),
+        (0..1000)
+            .map(|i| if i < 500 { i as f64 } else { 1e15 + i as f64 })
+            .collect(),
         // Long plateau then steep ramp.
         (0..1000)
-            .map(|i| if i < 500 { (i / 100) as f64 } else { (i * i) as f64 })
+            .map(|i| {
+                if i < 500 {
+                    (i / 100) as f64
+                } else {
+                    (i * i) as f64
+                }
+            })
             .collect(),
         // Alternating micro-steps.
         (0..1000).map(|i| (i / 2 * 2) as f64).collect(),
@@ -144,7 +159,8 @@ fn churn_soak_against_model() {
             }
         }
         if i % 10_000 == 0 {
-            tree.check_invariants().unwrap_or_else(|e| panic!("op {i}: {e}"));
+            tree.check_invariants()
+                .unwrap_or_else(|e| panic!("op {i}: {e}"));
         }
     }
     assert_eq!(tree.len(), model.len());

@@ -2,16 +2,20 @@
 //! → cost model, exercised together the way the benchmark harness and a
 //! downstream user would.
 
-use fiting::baselines::{BinarySearchIndex, FixedPageIndex, FullIndex, OrderedIndex};
+use fiting::baselines::{BinarySearchIndex, FixedPageIndex, FullIndex};
 use fiting::datasets::Dataset;
 use fiting::plr::{validate::validate_segmentation, Point, ShrinkingCone};
 use fiting::tree::cost::{CostModel, SegmentCountModel};
 use fiting::tree::{FitingTreeBuilder, SecondaryIndex};
+use fiting::DynSortedIndex;
 
 fn dataset_pairs(ds: Dataset, n: usize) -> Vec<(u64, u64)> {
     let mut keys = ds.generate(n, 77);
     keys.dedup();
-    keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect()
+    keys.iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect()
 }
 
 #[test]
@@ -45,28 +49,36 @@ fn all_index_structures_answer_identically() {
     let pairs = dataset_pairs(Dataset::Weblogs, 60_000);
     let keys: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
 
-    let mut fiting = FitingTreeBuilder::new(64).bulk_load(pairs.iter().copied()).unwrap();
+    let mut fiting = FitingTreeBuilder::new(64)
+        .bulk_load(pairs.iter().copied())
+        .unwrap();
     let mut full = FullIndex::bulk_load(pairs.iter().copied());
     let mut fixed = FixedPageIndex::bulk_load(64, pairs.iter().copied());
     let mut binary = BinarySearchIndex::bulk_load(pairs.iter().copied());
 
-    let indexes: [&mut dyn OrderedIndex<u64, u64>; 4] =
+    let indexes: [&mut dyn DynSortedIndex<u64, u64>; 4] =
         [&mut fiting, &mut full, &mut fixed, &mut binary];
     let mut results: Vec<Vec<Option<u64>>> = Vec::new();
     for idx in indexes {
         let mut per = Vec::new();
         for &k in keys.iter().step_by(101) {
-            per.push(idx.get(&k).copied());
-            per.push(idx.get(&(k + 1)).copied());
+            per.push(idx.dyn_get(&k));
+            per.push(idx.dyn_get(&(k + 1)));
         }
         // Mixed churn.
         for &k in keys.iter().step_by(977) {
-            idx.insert(k + 1, k);
+            idx.dyn_insert(k + 1, k);
         }
         for &k in keys.iter().step_by(101) {
-            per.push(idx.get(&(k + 1)).copied());
+            per.push(idx.dyn_get(&(k + 1)));
         }
-        per.push(Some(idx.range_count(&keys[100], &keys[5_000]) as u64));
+        for &k in keys.iter().step_by(1201) {
+            idx.dyn_remove(&(k + 1));
+        }
+        use std::ops::Bound;
+        per.push(Some(
+            idx.dyn_range_count(Bound::Included(&keys[100]), Bound::Included(&keys[5_000])) as u64,
+        ));
         results.push(per);
     }
     for pair in results.windows(2) {
@@ -87,7 +99,9 @@ fn cost_model_configurations_are_feasible_end_to_end() {
     // model is pessimistic, so estimated ≥ actual).
     for budget in [8.0 * 1024.0, 64.0 * 1024.0, 1024.0 * 1024.0] {
         if let Some(e) = cost.pick_error_for_size(&model, budget) {
-            let tree = FitingTreeBuilder::new(e).bulk_load(pairs.iter().copied()).unwrap();
+            let tree = FitingTreeBuilder::new(e)
+                .bulk_load(pairs.iter().copied())
+                .unwrap();
             assert!(
                 (tree.index_size_bytes() as f64) <= budget,
                 "budget {budget}: picked e={e}, actual {} bytes",
@@ -102,7 +116,9 @@ fn secondary_and_clustered_agree_on_unique_keys() {
     // On duplicate-free data a secondary index answers exactly like a
     // clustered one.
     let pairs = dataset_pairs(Dataset::Uniform, 40_000);
-    let clustered = FitingTreeBuilder::new(32).bulk_load(pairs.iter().copied()).unwrap();
+    let clustered = FitingTreeBuilder::new(32)
+        .bulk_load(pairs.iter().copied())
+        .unwrap();
     let secondary = SecondaryIndex::bulk_load(32, pairs.iter().copied()).unwrap();
     for &(k, v) in pairs.iter().step_by(53) {
         assert_eq!(clustered.get(&k), Some(&v));
@@ -122,9 +138,11 @@ fn paper_headline_size_claim_holds() {
     // than the dense index on every headline dataset.
     for ds in Dataset::headline() {
         let pairs = dataset_pairs(ds, 200_000);
-        let fiting = FitingTreeBuilder::new(256).bulk_load(pairs.iter().copied()).unwrap();
+        let fiting = FitingTreeBuilder::new(256)
+            .bulk_load(pairs.iter().copied())
+            .unwrap();
         let full = FullIndex::bulk_load(pairs.iter().copied());
-        let ratio = full.index_size_bytes() as f64 / fiting.index_size_bytes().max(1) as f64;
+        let ratio = full.dyn_size_bytes() as f64 / fiting.index_size_bytes().max(1) as f64;
         assert!(
             ratio > 50.0,
             "{}: dense/FITing size ratio only {ratio:.1}",
@@ -136,7 +154,11 @@ fn paper_headline_size_claim_holds() {
 #[test]
 fn step_dataset_reproduces_figure9_cliff() {
     let keys = fiting::datasets::step(50_000, 100);
-    let dup_pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let dup_pairs: Vec<(u64, u64)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect();
     let below = SecondaryIndex::bulk_load_with(
         FitingTreeBuilder::new(50).buffer_size(0),
         dup_pairs.iter().copied(),
@@ -147,6 +169,10 @@ fn step_dataset_reproduces_figure9_cliff() {
         dup_pairs.iter().copied(),
     )
     .unwrap();
-    assert!(below.segment_count() >= 500, "below: {}", below.segment_count());
+    assert!(
+        below.segment_count() >= 500,
+        "below: {}",
+        below.segment_count()
+    );
     assert_eq!(above.segment_count(), 1, "above the step size: one segment");
 }
