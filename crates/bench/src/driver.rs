@@ -126,6 +126,21 @@ pub fn insert_mops(index: &mut DynIndex, stream: &[u64]) -> f64 {
     throughput_mops(stream, |k| index.dyn_insert(k, k))
 }
 
+/// Batched insert throughput in million ops/second: `stream` is cut
+/// into chunks of `batch` keys and applied through
+/// [`DynSortedIndex::insert_many_dyn`], the trait-object bulk path the
+/// service layer also uses.
+#[must_use]
+pub fn batched_insert_mops(index: &mut DynIndex, stream: &[u64], batch: usize) -> f64 {
+    assert!(batch >= 1 && !stream.is_empty());
+    let start = std::time::Instant::now();
+    for chunk in stream.chunks(batch) {
+        let pairs: Vec<(u64, u64)> = chunk.iter().map(|&k| (k, k)).collect();
+        std::hint::black_box(index.insert_many_dyn(pairs));
+    }
+    stream.len() as f64 / start.elapsed().as_secs_f64() / 1e6
+}
+
 /// One standard measurement row: `[label, param, size, ns/lookup]`.
 #[must_use]
 pub fn lookup_row(spec: &IndexSpec, pairs: &[(u64, u64)], probes: &[u64]) -> Vec<String> {
@@ -165,6 +180,9 @@ mod tests {
             let inserted = insert_mops(&mut index, &[1, 3, 5]);
             assert!(inserted > 0.0);
             assert_eq!(index.dyn_len(), 5_003, "{}", spec.label);
+            let batched = batched_insert_mops(&mut index, &[7, 9, 11, 13, 15], 2);
+            assert!(batched > 0.0);
+            assert_eq!(index.dyn_len(), 5_008, "{}", spec.label);
             let row = lookup_row(spec, &pairs, &probes);
             assert_eq!(row.len(), 4);
         }

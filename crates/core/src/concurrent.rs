@@ -18,6 +18,7 @@
 
 use crate::clustered::FitingTree;
 use fiting_index_api::ShardedIndex;
+use fiting_index_service::IndexService;
 
 /// Shared-ownership, sharded, reader-writer-locked FITing-Tree.
 ///
@@ -40,6 +41,31 @@ use fiting_index_api::ShardedIndex;
 /// assert_eq!(index.len(), 1_001);
 /// ```
 pub type ConcurrentFitingTree<K, V> = ShardedIndex<K, V, FitingTree<K, V>>;
+
+/// The command-pipeline service over a sharded FITing-Tree: bounded
+/// per-shard queues, batching/coalescing workers, ticket completions,
+/// and backpressure — the front-end to put under an RPC server.
+///
+/// ```
+/// use fiting_tree::{FitingService, FitingTreeBuilder, ShardedIndex};
+/// use fiting_index_service::ServiceConfig;
+///
+/// let index = ShardedIndex::bulk_load(
+///     &FitingTreeBuilder::new(32),
+///     4,
+///     (0..10_000u64).map(|k| (k * 2, k)).collect(),
+/// )
+/// .unwrap();
+/// let service = FitingService::start(index, ServiceConfig::default());
+/// let client = service.client();
+///
+/// let hit = client.get(500);
+/// let fresh = client.insert_many((0..100u64).map(|k| (k * 2 + 1, k)).collect());
+/// assert_eq!(hit.wait(), Ok(Some(250)));
+/// assert_eq!(fresh.wait(), Ok(100));
+/// assert_eq!(service.shutdown().len(), 10_100);
+/// ```
+pub type FitingService<K, V> = IndexService<K, V, FitingTree<K, V>>;
 
 #[cfg(test)]
 mod tests {

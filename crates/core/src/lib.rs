@@ -39,6 +39,11 @@
 //!   use (extension; the paper's evaluation is single-threaded per
 //!   core): an alias for [`ShardedIndex`] over [`FitingTree`] shards,
 //!   range-partitioned with one reader-writer lock per shard.
+//! * [`FitingService`] — the command-pipeline service over those
+//!   shards (extension): bounded per-shard queues, workers that batch
+//!   reads and coalesce writes, ticket completions, backpressure —
+//!   an alias for `fiting_index_service::IndexService` over
+//!   [`FitingTree`] shards.
 //!
 //! Every structure here implements the crate-neutral
 //! [`SortedIndex`] trait from `fiting-index-api` (re-exported below),
@@ -82,7 +87,7 @@ mod stats;
 
 pub use builder::FitingTreeBuilder;
 pub use clustered::FitingTree;
-pub use concurrent::ConcurrentFitingTree;
+pub use concurrent::{ConcurrentFitingTree, FitingService};
 pub use delta::{DeltaConfig, DeltaFitingTree};
 pub use error::{BuildError, InsertError};
 pub use fiting_index_api::{BuildableIndex, DynSortedIndex, ShardedIndex, SortedIndex};

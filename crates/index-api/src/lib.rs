@@ -40,7 +40,7 @@ mod sharded;
 mod sorted;
 
 pub use key::{Key, OrderedF64};
-pub use sharded::{ShardedIndex, SHARD_METADATA_BYTES};
+pub use sharded::{ShardStats, ShardedIndex, SHARD_METADATA_BYTES};
 pub use sorted::{
     clone_entry, clone_pair, sorted_slice_range, BuildableIndex, DynSortedIndex, SortedIndex,
 };

@@ -36,6 +36,21 @@ use std::sync::Arc;
 /// convention: one boundary key + one shard pointer, 8 bytes each.
 pub const SHARD_METADATA_BYTES: usize = 16;
 
+/// Point-in-time snapshot of one shard's occupancy, taken under that
+/// shard's read lock by [`ShardedIndex::shard_stats`].
+///
+/// Feeds two consumers: the service layer's per-shard observability
+/// (queue depth next to shard occupancy) and the future rebalancing
+/// work, which needs imbalance to be *visible* before boundaries can be
+/// moved (see ROADMAP "Shard rebalancing").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Entries currently held by the shard.
+    pub entries: usize,
+    /// The shard structure's own Section 6.2 byte accounting.
+    pub size_bytes: usize,
+}
+
 struct Inner<K, I> {
     /// `bounds[i]` is the smallest key routed to shard `i + 1`;
     /// `shards.len() == bounds.len() + 1`, and shard 0 has no lower
@@ -160,6 +175,14 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
         self.inner.bounds.partition_point(|b| b <= key)
     }
 
+    /// Index of the shard that owns `key` — the routing function,
+    /// exposed so layers above (the command-pipeline service) can
+    /// partition work per shard without taking any lock.
+    #[must_use]
+    pub fn shard_of(&self, key: &K) -> usize {
+        self.shard_for(key)
+    }
+
     /// Point lookup under the owning shard's read lock; clones the
     /// value out.
     #[must_use]
@@ -183,8 +206,11 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
     }
 
     /// Batched insert: groups the batch by destination shard, then
-    /// takes each destination's write lock **once** — for `b` keys
-    /// across `s` shards, `min(b, s)` lock acquisitions instead of `b`.
+    /// takes each destination's write lock **once** and applies that
+    /// group through [`SortedIndex::insert_many`] — for `b` keys
+    /// across `s` shards, `min(b, s)` lock acquisitions instead of `b`,
+    /// plus whatever batch amortization the shard structure's own
+    /// `insert_many` provides.
     ///
     /// Returns the number of keys that were new (not overwrites).
     pub fn insert_many<It: IntoIterator<Item = (K, V)>>(&self, batch: It) -> usize {
@@ -197,12 +223,7 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
             if group.is_empty() {
                 continue;
             }
-            let mut shard = self.inner.shards[i].write();
-            for (k, v) in group {
-                if shard.insert(k, v).is_none() {
-                    fresh += 1;
-                }
-            }
+            fresh += self.inner.shards[i].write().insert_many(group);
         }
         fresh
     }
@@ -291,6 +312,55 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
     /// Runs `f` with exclusive access to the shard that owns `key`.
     pub fn with_shard_write<R>(&self, key: &K, f: impl FnOnce(&mut I) -> R) -> R {
         f(&mut self.inner.shards[self.shard_for(key)].write())
+    }
+
+    /// Runs `f` with shared access to shard `shard` (one read-lock
+    /// acquisition) — the hook the service layer's per-shard workers
+    /// use to answer a whole drained batch of point reads at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shard_count()`.
+    pub fn with_shard_read_at<R>(&self, shard: usize, f: impl FnOnce(&I) -> R) -> R {
+        f(&self.inner.shards[shard].read())
+    }
+
+    /// Runs `f` with exclusive access to shard `shard` (one write-lock
+    /// acquisition) — the hook the service layer's per-shard workers
+    /// use to apply a coalesced run of writes at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shard_count()`.
+    pub fn with_shard_write_at<R>(&self, shard: usize, f: impl FnOnce(&mut I) -> R) -> R {
+        f(&mut self.inner.shards[shard].write())
+    }
+
+    /// Per-shard entry counts, in shard order (each shard read under
+    /// its own lock, one at a time) — the quick imbalance probe.
+    #[must_use]
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.inner.shards.iter().map(|s| s.read().len()).collect()
+    }
+
+    /// Per-shard [`ShardStats`] snapshots, in shard order.
+    ///
+    /// Like every multi-shard read, each shard is sampled atomically
+    /// but the vector as a whole is not a consistent cut under
+    /// concurrent writes.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| {
+                let shard = s.read();
+                ShardStats {
+                    entries: shard.len(),
+                    size_bytes: shard.size_bytes(),
+                }
+            })
+            .collect()
     }
 }
 

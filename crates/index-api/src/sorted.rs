@@ -77,6 +77,26 @@ pub trait SortedIndex<K: Key, V: Clone> {
     fn range_count<R: RangeBounds<K>>(&self, range: R) -> usize {
         self.range(range).count()
     }
+
+    /// Batched upsert; returns the number of keys that were new (not
+    /// overwrites).
+    ///
+    /// The default stable-sorts the batch by key — so duplicate keys
+    /// keep their submission order and the last write wins — then
+    /// inserts sequentially, which already helps structures whose
+    /// insert path has locality (segment buffers, tree leaves).
+    /// Implementations with a cheaper bulk path (delta buffers, leaf
+    /// merge) may override.
+    fn insert_many(&mut self, mut batch: Vec<(K, V)>) -> usize {
+        batch.sort_by_key(|&(k, _)| k);
+        let mut fresh = 0;
+        for (k, v) in batch {
+            if self.insert(k, v).is_none() {
+                fresh += 1;
+            }
+        }
+        fresh
+    }
 }
 
 /// A [`SortedIndex`] that can be constructed in one pass from sorted
@@ -141,6 +161,25 @@ pub trait DynSortedIndex<K: Key, V: Clone> {
         self.for_each_in_range(lo, hi, &mut |_, _| n += 1);
         n
     }
+
+    /// Batched upsert through the trait object; returns the number of
+    /// keys that were new.
+    ///
+    /// The default stable-sorts by key (duplicates keep submission
+    /// order, last write wins) and inserts sequentially; the blanket
+    /// impl forwards to [`SortedIndex::insert_many`] so structure
+    /// overrides apply behind `dyn` too. Lets the bench driver and the
+    /// service layer batch through heterogeneous indexes.
+    fn insert_many_dyn(&mut self, mut batch: Vec<(K, V)>) -> usize {
+        batch.sort_by_key(|&(k, _)| k);
+        let mut fresh = 0;
+        for (k, v) in batch {
+            if self.dyn_insert(k, v).is_none() {
+                fresh += 1;
+            }
+        }
+        fresh
+    }
 }
 
 impl<K: Key, V: Clone, I: SortedIndex<K, V>> DynSortedIndex<K, V> for I {
@@ -172,6 +211,10 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> DynSortedIndex<K, V> for I {
         for (k, v) in self.range((lo, hi)) {
             f(k, v);
         }
+    }
+
+    fn insert_many_dyn(&mut self, batch: Vec<(K, V)>) -> usize {
+        self.insert_many(batch)
     }
 }
 

@@ -1,0 +1,256 @@
+//! The caller-facing handle: routing, submission, backpressure, and
+//! the typed convenience front-end.
+//!
+//! A [`Client`] is a cheap `Arc` clone — hand one to every connection /
+//! thread. Submission is two-level:
+//!
+//! * [`submit`](Client::submit) / [`try_submit`](Client::try_submit)
+//!   take a raw [`Command`] and route it to the owning shard's queue —
+//!   `submit` blocks when that queue is full (backpressure),
+//!   `try_submit` hands the command back as
+//!   [`Busy`](TryPushError::Busy) so the caller can shed load.
+//! * The typed methods ([`get`](Client::get), [`insert`](Client::insert),
+//!   [`remove`](Client::remove), [`range`](Client::range),
+//!   [`insert_many`](Client::insert_many)) build the command, submit
+//!   it, and return its [`Ticket`]. If the service is already shut
+//!   down the ticket comes back pre-canceled rather than erroring —
+//!   one code path for callers either way.
+//!
+//! # Ordering
+//!
+//! Commands routed to the same shard execute in submission order, so
+//! operations on a single key from a single submitter are applied in
+//! program order and a `get` observes every earlier write to that key.
+//! Across shards there is no global order, and two command shapes span
+//! shards:
+//!
+//! * A `Range` is routed by its **lower bound**; shards past the first
+//!   are read directly at execution time, bypassing their queues. A
+//!   pipelined scan therefore observes the submitter's earlier writes
+//!   only for keys owned by the lower bound's shard — writes still
+//!   queued on later shards may be missed. Wait on the write tickets
+//!   first when a scan must see them.
+//! * A raw `Command::InsertMany` whose batch spans shards is routed by
+//!   its *first* key and executed as one cross-shard call — keys
+//!   living on other shards bypass those shards' queues and may race
+//!   queued commands for the same keys.
+//!   [`insert_many`](Client::insert_many) instead splits the batch per
+//!   shard and fans completion back into one ticket, preserving the
+//!   per-key ordering guarantee; prefer it unless the batch is known
+//!   to be shard-local.
+
+use crate::command::Command;
+use crate::queue::{Closed, TryPushError};
+use crate::ticket::{ticket, Completer, Outcome, Ticket};
+use crate::ServiceShared;
+use fiting_index_api::{Key, SortedIndex};
+use std::ops::{Bound, RangeBounds};
+use std::sync::atomic::Ordering as AtomicOrdering;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A shared submission handle to a running
+/// [`IndexService`](crate::IndexService).
+pub struct Client<K: Key, V: Clone, I: SortedIndex<K, V>> {
+    pub(crate) shared: Arc<ServiceShared<K, V, I>>,
+}
+
+impl<K: Key, V: Clone, I: SortedIndex<K, V>> Clone for Client<K, V, I> {
+    fn clone(&self) -> Self {
+        Client {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<K, V, I> Client<K, V, I>
+where
+    K: Key + Send + 'static,
+    V: Clone + Send + 'static,
+    I: SortedIndex<K, V>,
+{
+    /// The shard queue `cmd` routes to.
+    fn route(&self, cmd: &Command<K, V>) -> usize {
+        let index = &self.shared.index;
+        match cmd {
+            Command::Get { key, .. }
+            | Command::Insert { key, .. }
+            | Command::Remove { key, .. } => index.shard_of(key),
+            Command::Range { lo, .. } => match lo {
+                Bound::Included(k) | Bound::Excluded(k) => index.shard_of(k),
+                Bound::Unbounded => 0,
+            },
+            Command::InsertMany { batch, .. } => {
+                batch.first().map_or(0, |(k, _)| index.shard_of(k))
+            }
+        }
+    }
+
+    /// Routes `cmd` to its shard queue, blocking while that queue is
+    /// full. Fails only after shutdown, handing the command back (its
+    /// ticket is canceled when the returned command is dropped).
+    pub fn submit(&self, cmd: Command<K, V>) -> Result<(), Closed<Command<K, V>>> {
+        let shard = self.route(&cmd);
+        // Count before pushing (undoing on rejection) so a stats
+        // snapshot can never observe `processed > enqueued`.
+        let enqueued = &self.shared.counters[shard].enqueued;
+        enqueued.fetch_add(1, AtomicOrdering::Relaxed);
+        self.shared.queues[shard].push(cmd).inspect_err(|_| {
+            enqueued.fetch_sub(1, AtomicOrdering::Relaxed);
+        })
+    }
+
+    /// Routes `cmd` without blocking: [`TryPushError::Busy`] hands the
+    /// command back when the shard queue is at capacity — the explicit
+    /// backpressure signal.
+    pub fn try_submit(&self, cmd: Command<K, V>) -> Result<(), TryPushError<Command<K, V>>> {
+        let shard = self.route(&cmd);
+        let enqueued = &self.shared.counters[shard].enqueued;
+        enqueued.fetch_add(1, AtomicOrdering::Relaxed);
+        self.shared.queues[shard].try_push(cmd).inspect_err(|_| {
+            enqueued.fetch_sub(1, AtomicOrdering::Relaxed);
+        })
+    }
+
+    /// Submits a point lookup; blocks only on backpressure.
+    #[must_use]
+    pub fn get(&self, key: K) -> Ticket<Option<V>> {
+        let (cmd, t) = Command::get(key);
+        let _ = self.submit(cmd);
+        t
+    }
+
+    /// Submits an upsert; the ticket resolves with the replaced value.
+    #[must_use]
+    pub fn insert(&self, key: K, value: V) -> Ticket<Option<V>> {
+        let (cmd, t) = Command::insert(key, value);
+        let _ = self.submit(cmd);
+        t
+    }
+
+    /// Submits a delete; the ticket resolves with the removed value.
+    #[must_use]
+    pub fn remove(&self, key: K) -> Ticket<Option<V>> {
+        let (cmd, t) = Command::remove(key);
+        let _ = self.submit(cmd);
+        t
+    }
+
+    /// Submits a range scan; the ticket resolves with the pairs in key
+    /// order.
+    #[must_use]
+    pub fn range<R: RangeBounds<K>>(&self, range: R) -> Ticket<Vec<(K, V)>> {
+        let (cmd, t) = Command::range(range);
+        let _ = self.submit(cmd);
+        t
+    }
+
+    /// Submits a batched upsert, split per destination shard so every
+    /// key goes through its owning shard's queue (full per-key
+    /// ordering). The single ticket resolves with the total fresh-key
+    /// count once every shard's sub-batch has been applied.
+    ///
+    /// If shutdown interrupts the fan-out, the ticket resolves
+    /// [`Canceled`](crate::Canceled) — some sub-batches may still have
+    /// been applied (at-most-once *reporting*, like any RPC cut off
+    /// mid-flight).
+    #[must_use]
+    pub fn insert_many(&self, batch: Vec<(K, V)>) -> Ticket<usize> {
+        let (t, done) = ticket();
+        let shards = self.shared.index.shard_count();
+        let mut groups: Vec<Vec<(K, V)>> = (0..shards).map(|_| Vec::new()).collect();
+        for (k, v) in batch {
+            groups[self.shared.index.shard_of(&k)].push((k, v));
+        }
+        let groups: Vec<(usize, Vec<(K, V)>)> = groups
+            .into_iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .collect();
+        if groups.is_empty() {
+            done.complete(0);
+            return t;
+        }
+        let agg = Arc::new(Aggregate::new(groups.len(), done));
+        for (shard, group) in groups {
+            let agg = Arc::clone(&agg);
+            let cmd = Command::InsertMany {
+                batch: group,
+                done: Completer::from_fn(move |o| agg.resolve_one(o)),
+            };
+            // `route` sends a single-shard batch to `shard`; a Closed
+            // rejection drops the sub-completer, canceling the
+            // aggregate.
+            debug_assert_eq!(self.route(&cmd), shard);
+            let _ = self.submit(cmd);
+        }
+        t
+    }
+
+    /// Number of shards (and therefore queues/workers) behind this
+    /// client.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shared.index.shard_count()
+    }
+
+    /// Racy snapshot of each shard queue's depth — the live
+    /// backpressure signal, cheap enough to poll per request.
+    #[must_use]
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shared.queues.iter().map(|q| q.len()).collect()
+    }
+
+    /// Whether the service has shut down (all further submissions
+    /// fail).
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.shared.queues.first().is_none_or(|q| q.is_closed())
+    }
+}
+
+/// Fans `n` per-shard sub-completions back into one `usize` ticket,
+/// summing fresh counts; any canceled sub-completion cancels the whole
+/// ticket once all `n` have resolved.
+struct Aggregate {
+    state: Mutex<AggregateState>,
+}
+
+struct AggregateState {
+    pending: usize,
+    fresh: usize,
+    canceled: bool,
+    done: Option<Completer<usize>>,
+}
+
+impl Aggregate {
+    fn new(pending: usize, done: Completer<usize>) -> Self {
+        Aggregate {
+            state: Mutex::new(AggregateState {
+                pending,
+                fresh: 0,
+                canceled: false,
+                done: Some(done),
+            }),
+        }
+    }
+
+    fn resolve_one(&self, outcome: Outcome<usize>) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.pending -= 1;
+        match outcome {
+            Outcome::Done(n) => state.fresh += n,
+            Outcome::Canceled => state.canceled = true,
+        }
+        if state.pending == 0 {
+            let done = state.done.take().expect("aggregate resolves once");
+            let fresh = state.fresh;
+            let canceled = state.canceled;
+            drop(state);
+            if canceled {
+                done.cancel();
+            } else {
+                done.complete(fresh);
+            }
+        }
+    }
+}

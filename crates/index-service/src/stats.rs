@@ -1,0 +1,183 @@
+//! Pipeline observability: per-shard counters the workers maintain and
+//! the snapshot types [`IndexService::stats`](crate::IndexService::stats)
+//! assembles.
+//!
+//! The counters are plain relaxed atomics — they order nothing, they
+//! only count — and the snapshot combines them with the queue depth and
+//! the underlying shard's [`ShardStats`], so one call shows where load
+//! is piling up *and* where data is piling up (the imbalance signal the
+//! ROADMAP's rebalancing item needs).
+
+use fiting_index_api::ShardStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters for one shard worker (internal; snapshot via
+/// [`ShardServiceStats`]).
+#[derive(Debug, Default)]
+pub(crate) struct WorkerCounters {
+    /// Commands accepted into the shard's queue.
+    pub enqueued: AtomicU64,
+    /// Commands fully executed (their tickets resolved).
+    pub processed: AtomicU64,
+    /// Queue drains that produced at least one command.
+    pub batches: AtomicU64,
+    /// Largest single drain seen.
+    pub largest_batch: AtomicU64,
+    /// Write-lock acquisitions taken for runs of ≥ 1 write commands.
+    pub write_runs: AtomicU64,
+    /// Read-lock acquisitions taken for runs of ≥ 1 point reads.
+    pub read_runs: AtomicU64,
+    /// Individual `Insert`/`InsertMany` pairs applied through a
+    /// coalesced batch path instead of one-lock-per-op.
+    pub coalesced_writes: AtomicU64,
+}
+
+impl WorkerCounters {
+    pub(crate) fn note_batch(&self, len: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.processed.fetch_add(len as u64, Ordering::Relaxed);
+        self.largest_batch.fetch_max(len as u64, Ordering::Relaxed);
+    }
+}
+
+/// Snapshot of one shard's pipeline state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardServiceStats {
+    /// Shard index in routing order.
+    pub shard: usize,
+    /// Commands currently waiting in the shard's queue.
+    pub queue_depth: usize,
+    /// The queue's fixed capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Entries and Section 6.2 bytes in the underlying shard.
+    pub index: ShardStats,
+    /// Commands accepted into the queue so far.
+    pub enqueued: u64,
+    /// Commands executed so far.
+    pub processed: u64,
+    /// Non-empty queue drains so far.
+    pub batches: u64,
+    /// Largest single drain.
+    pub largest_batch: u64,
+    /// Write-lock acquisitions for coalesced write runs.
+    pub write_runs: u64,
+    /// Read-lock acquisitions for batched point-read runs.
+    pub read_runs: u64,
+    /// Writes applied through a coalesced batch path.
+    pub coalesced_writes: u64,
+}
+
+impl ShardServiceStats {
+    pub(crate) fn from_counters(
+        shard: usize,
+        queue_depth: usize,
+        queue_capacity: usize,
+        index: ShardStats,
+        c: &WorkerCounters,
+    ) -> Self {
+        ShardServiceStats {
+            shard,
+            queue_depth,
+            queue_capacity,
+            index,
+            enqueued: c.enqueued.load(Ordering::Relaxed),
+            processed: c.processed.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            largest_batch: c.largest_batch.load(Ordering::Relaxed),
+            write_runs: c.write_runs.load(Ordering::Relaxed),
+            read_runs: c.read_runs.load(Ordering::Relaxed),
+            coalesced_writes: c.coalesced_writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Whole-service snapshot: one [`ShardServiceStats`] per shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Per-shard snapshots, in shard order.
+    pub shards: Vec<ShardServiceStats>,
+}
+
+impl ServiceStats {
+    /// Commands executed across all shards.
+    #[must_use]
+    pub fn total_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.processed).sum()
+    }
+
+    /// Commands waiting across all shards.
+    #[must_use]
+    pub fn total_queued(&self) -> usize {
+        self.shards.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// Mean commands per non-empty drain across all shards — how much
+    /// batching the pipeline actually achieved.
+    #[must_use]
+    pub fn mean_batch_len(&self) -> f64 {
+        let batches: u64 = self.shards.iter().map(|s| s.batches).sum();
+        if batches == 0 {
+            return 0.0;
+        }
+        self.total_processed() as f64 / batches as f64
+    }
+
+    /// Ratio of the fullest shard's entries to the mean — 1.0 is
+    /// perfectly balanced; the rebalancing item's trigger metric.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        let lens: Vec<usize> = self.shards.iter().map(|s| s.index.entries).collect();
+        let total: usize = lens.iter().sum();
+        if total == 0 || lens.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / lens.len() as f64;
+        *lens.iter().max().unwrap() as f64 / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_across_shards() {
+        let c = WorkerCounters::default();
+        c.note_batch(4);
+        c.note_batch(2);
+        let snap = ShardServiceStats::from_counters(
+            0,
+            1,
+            64,
+            ShardStats {
+                entries: 30,
+                size_bytes: 100,
+            },
+            &c,
+        );
+        assert_eq!(snap.processed, 6);
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.largest_batch, 4);
+
+        let mut other = snap;
+        other.shard = 1;
+        other.index.entries = 10;
+        other.queue_depth = 3;
+        let stats = ServiceStats {
+            shards: vec![snap, other],
+        };
+        assert_eq!(stats.total_processed(), 12);
+        assert_eq!(stats.total_queued(), 4);
+        assert!((stats.mean_batch_len() - 3.0).abs() < 1e-9);
+        // 30 vs 10 entries: max/mean = 30/20.
+        assert!((stats.imbalance() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_service_degenerates_cleanly() {
+        let stats = ServiceStats { shards: Vec::new() };
+        assert_eq!(stats.mean_batch_len(), 0.0);
+        assert_eq!(stats.imbalance(), 1.0);
+        assert_eq!(stats.total_processed(), 0);
+    }
+}

@@ -1,0 +1,350 @@
+//! Completion handles: the [`Ticket`] a submitter holds and the
+//! [`Completer`] that travels with the command through the pipeline.
+//!
+//! The pair is the pipeline's only synchronization primitive beyond the
+//! queues themselves, and it is deliberately **std-only** (one `Mutex` +
+//! `Condvar` per ticket, no executor): a future `tokio` front-end wraps
+//! a oneshot sender in [`Completer::from_fn`] instead of replacing the
+//! pipeline.
+//!
+//! Lifecycle guarantees:
+//!
+//! * Every [`Completer`] resolves its ticket **exactly once** — with a
+//!   value via [`complete`](Completer::complete), or as [`Canceled`]
+//!   via [`cancel`](Completer::cancel) or by being dropped. A command
+//!   dropped on the floor (worker panic, queue teardown) therefore
+//!   cancels rather than hangs its submitter.
+//! * [`Ticket::wait`] blocks until resolution; [`Ticket::try_take`]
+//!   never blocks. Shutdown drains every queued command, so waiting on
+//!   a submitted ticket never deadlocks against service teardown.
+
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// The command's completer was dropped before completing: the service
+/// was torn down (or a worker died) with the command still in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Canceled;
+
+impl std::fmt::Display for Canceled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("command canceled before completion")
+    }
+}
+
+impl std::error::Error for Canceled {}
+
+/// How a command resolved: with a value, or canceled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome<T> {
+    /// The command executed and produced `T`.
+    Done(T),
+    /// The command was dropped before executing.
+    Canceled,
+}
+
+impl<T> Outcome<T> {
+    /// Converts into the `Result` form [`Ticket::wait`] returns.
+    pub fn into_result(self) -> Result<T, Canceled> {
+        match self {
+            Outcome::Done(v) => Ok(v),
+            Outcome::Canceled => Err(Canceled),
+        }
+    }
+}
+
+enum State<T> {
+    Pending,
+    Resolved(Outcome<T>),
+    Taken,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    resolved: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn fulfill(&self, outcome: Outcome<T>) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        debug_assert!(
+            matches!(*state, State::Pending),
+            "a Completer resolves exactly once"
+        );
+        *state = State::Resolved(outcome);
+        drop(state);
+        self.resolved.notify_all();
+    }
+}
+
+/// Creates a connected [`Ticket`] / [`Completer`] pair.
+#[must_use]
+pub fn ticket<T: Send + 'static>() -> (Ticket<T>, Completer<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State::Pending),
+        resolved: Condvar::new(),
+    });
+    let sink = Arc::clone(&shared);
+    (
+        Ticket { shared },
+        Completer::from_fn(move |outcome| sink.fulfill(outcome)),
+    )
+}
+
+/// The submitter's half: blocks on ([`wait`](Self::wait)) or polls
+/// ([`try_take`](Self::try_take)) the command's result.
+///
+/// ```
+/// use fiting_index_service::ticket;
+///
+/// let (t, c) = ticket::<u32>();
+/// assert!(!t.is_resolved());
+/// c.complete(7);
+/// assert_eq!(t.wait(), Ok(7));
+/// ```
+pub struct Ticket<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Ticket<T> {
+    /// Whether the command has resolved (completed or canceled).
+    #[must_use]
+    pub fn is_resolved(&self) -> bool {
+        !matches!(
+            *self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+            State::Pending
+        )
+    }
+
+    /// Takes the result if the command has resolved; `None` while it is
+    /// still pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value was already taken by an earlier
+    /// `try_take`/`wait_timeout` call (a submitter-side logic error).
+    pub fn try_take(&mut self) -> Option<Result<T, Canceled>> {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match *state {
+            State::Pending => None,
+            State::Taken => panic!("ticket value already taken"),
+            State::Resolved(_) => match std::mem::replace(&mut *state, State::Taken) {
+                State::Resolved(outcome) => Some(outcome.into_result()),
+                _ => unreachable!(),
+            },
+        }
+    }
+
+    /// Blocks until the command resolves; `Err(Canceled)` if its
+    /// completer was dropped without completing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value was already taken via
+    /// [`try_take`](Self::try_take)/[`wait_timeout`](Self::wait_timeout).
+    pub fn wait(self) -> Result<T, Canceled> {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match *state {
+                State::Pending => {
+                    state = self
+                        .shared
+                        .resolved
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                State::Taken => panic!("ticket value already taken"),
+                State::Resolved(_) => match std::mem::replace(&mut *state, State::Taken) {
+                    State::Resolved(outcome) => return outcome.into_result(),
+                    _ => unreachable!(),
+                },
+            }
+        }
+    }
+
+    /// Blocks up to `timeout` for resolution; `None` on timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value was already taken.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<T, Canceled>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match *state {
+                State::Pending => {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    let (s, _) = self
+                        .shared
+                        .resolved
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    state = s;
+                }
+                State::Taken => panic!("ticket value already taken"),
+                State::Resolved(_) => match std::mem::replace(&mut *state, State::Taken) {
+                    State::Resolved(outcome) => return Some(outcome.into_result()),
+                    _ => unreachable!(),
+                },
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("resolved", &self.is_resolved())
+            .finish()
+    }
+}
+
+type Sink<T> = Box<dyn FnOnce(Outcome<T>) + Send>;
+
+/// The pipeline's half: resolves the paired [`Ticket`] exactly once.
+///
+/// Internally a boxed one-shot sink rather than a hard-wired ticket
+/// reference, so completions can also fan into an aggregate (the
+/// client's cross-shard `insert_many` sums per-shard fresh counts) or,
+/// later, an async channel.
+pub struct Completer<T> {
+    sink: Option<Sink<T>>,
+}
+
+impl<T> Completer<T> {
+    /// Wraps an arbitrary one-shot sink. The sink is invoked exactly
+    /// once — with [`Outcome::Canceled`] if the completer is dropped
+    /// unresolved.
+    pub fn from_fn(sink: impl FnOnce(Outcome<T>) + Send + 'static) -> Self {
+        Completer {
+            sink: Some(Box::new(sink)),
+        }
+    }
+
+    /// Resolves the ticket with `value`.
+    pub fn complete(mut self, value: T) {
+        if let Some(sink) = self.sink.take() {
+            sink(Outcome::Done(value));
+        }
+    }
+
+    /// Resolves the ticket as [`Canceled`] (same as dropping, but
+    /// explicit at call sites that decline a command on purpose).
+    pub fn cancel(mut self) {
+        if let Some(sink) = self.sink.take() {
+            sink(Outcome::Canceled);
+        }
+    }
+}
+
+impl<T> Drop for Completer<T> {
+    fn drop(&mut self) {
+        if let Some(sink) = self.sink.take() {
+            sink(Outcome::Canceled);
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Completer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Completer")
+            .field("resolved", &self.sink.is_none())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn complete_then_wait() {
+        let (t, c) = ticket::<u32>();
+        c.complete(41);
+        assert_eq!(t.wait(), Ok(41));
+    }
+
+    #[test]
+    fn wait_blocks_until_cross_thread_completion() {
+        let (t, c) = ticket::<String>();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            c.complete("done".to_string());
+        });
+        assert_eq!(t.wait(), Ok("done".to_string()));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn dropping_completer_cancels() {
+        let (t, c) = ticket::<u32>();
+        drop(c);
+        assert_eq!(t.wait(), Err(Canceled));
+
+        let (t, c) = ticket::<u32>();
+        c.cancel();
+        assert_eq!(t.wait(), Err(Canceled));
+    }
+
+    #[test]
+    fn try_take_polls_without_blocking() {
+        let (mut t, c) = ticket::<u32>();
+        assert_eq!(t.try_take(), None);
+        assert!(!t.is_resolved());
+        c.complete(5);
+        assert!(t.is_resolved());
+        assert_eq!(t.try_take(), Some(Ok(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn double_take_panics() {
+        let (mut t, c) = ticket::<u32>();
+        c.complete(1);
+        assert_eq!(t.try_take(), Some(Ok(1)));
+        let _ = t.try_take();
+    }
+
+    #[test]
+    fn wait_timeout_times_out_then_succeeds() {
+        let (mut t, c) = ticket::<u32>();
+        assert_eq!(t.wait_timeout(Duration::from_millis(10)), None);
+        c.complete(9);
+        assert_eq!(t.wait_timeout(Duration::from_millis(10)), Some(Ok(9)));
+    }
+
+    #[test]
+    fn from_fn_feeds_custom_sinks() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let hits = Arc::new(AtomicU32::new(0));
+        let sink = Arc::clone(&hits);
+        let c = Completer::from_fn(move |o| {
+            if let Outcome::Done(v) = o {
+                sink.fetch_add(v, Ordering::SeqCst);
+            }
+        });
+        c.complete(12);
+        assert_eq!(hits.load(Ordering::SeqCst), 12);
+    }
+}

@@ -1,0 +1,121 @@
+//! The per-shard worker loop: drain, coalesce, execute, complete.
+//!
+//! Each shard has exactly one worker thread, so commands routed to a
+//! shard execute **in submission order** — that single-consumer
+//! discipline is what turns the queue into a per-key ordering
+//! guarantee. Within one drained batch the worker groups maximal runs
+//! of like commands:
+//!
+//! * a run of point writes (`Insert`/`Remove`) executes under **one**
+//!   write-lock acquisition instead of one per op;
+//! * a run of point reads (`Get`) executes under **one** read-lock
+//!   acquisition;
+//! * `InsertMany` goes through a single
+//!   [`ShardedIndex::insert_many`] call (cross-shard capable, one lock
+//!   per destination shard);
+//! * `Range` executes through [`ShardedIndex::range_collect`], which
+//!   takes shard read locks in ascending order, one at a time.
+//!
+//! The worker never holds two locks at once — every cross-shard call
+//! it makes acquires ascending and releases before the next — so
+//! workers cannot deadlock each other. The loop exits when its queue
+//! reports closed-and-drained; every command drained before that point
+//! has its ticket resolved, which is the shutdown guarantee
+//! [`IndexService::shutdown`](crate::IndexService::shutdown) documents.
+//!
+//! [`ShardedIndex::insert_many`]: fiting_index_api::ShardedIndex::insert_many
+//! [`ShardedIndex::range_collect`]: fiting_index_api::ShardedIndex::range_collect
+
+use crate::command::Command;
+use crate::ServiceShared;
+use fiting_index_api::{Key, SortedIndex};
+use std::sync::atomic::Ordering;
+
+/// The body of shard `shard`'s worker thread.
+pub(crate) fn run<K: Key, V: Clone, I: SortedIndex<K, V>>(
+    shard: usize,
+    shared: &ServiceShared<K, V, I>,
+) {
+    let queue = &shared.queues[shard];
+    loop {
+        let batch = queue.pop_batch(shared.config.max_batch, shared.config.batch_window);
+        if batch.is_empty() {
+            // Closed and fully drained: every accepted command has
+            // been executed and completed.
+            return;
+        }
+        shared.counters[shard].note_batch(batch.len());
+        execute_batch(shard, shared, batch);
+    }
+}
+
+fn execute_batch<K: Key, V: Clone, I: SortedIndex<K, V>>(
+    shard: usize,
+    shared: &ServiceShared<K, V, I>,
+    batch: Vec<Command<K, V>>,
+) {
+    let counters = &shared.counters[shard];
+    let mut cmds = batch.into_iter().peekable();
+    while let Some(cmd) = cmds.next() {
+        match cmd {
+            Command::Range { lo, hi, done } => {
+                done.complete(shared.index.range_collect((lo, hi)));
+            }
+            Command::InsertMany { batch, done } => {
+                counters
+                    .coalesced_writes
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                counters.write_runs.fetch_add(1, Ordering::Relaxed);
+                done.complete(shared.index.insert_many(batch));
+            }
+            Command::Get { key, done } => {
+                // Maximal run of point reads: answer them all under a
+                // single read-lock acquisition.
+                let mut run = vec![(key, done)];
+                while matches!(cmds.peek(), Some(Command::Get { .. })) {
+                    match cmds.next() {
+                        Some(Command::Get { key, done }) => run.push((key, done)),
+                        _ => unreachable!(),
+                    }
+                }
+                counters.read_runs.fetch_add(1, Ordering::Relaxed);
+                shared.index.with_shard_read_at(shard, |idx| {
+                    for (key, done) in run {
+                        done.complete(idx.get(&key).cloned());
+                    }
+                });
+            }
+            first @ (Command::Insert { .. } | Command::Remove { .. }) => {
+                // Maximal run of point writes: apply them all — in
+                // submission order, so per-key results stay exact —
+                // under a single write-lock acquisition.
+                let mut run = vec![first];
+                while matches!(
+                    cmds.peek(),
+                    Some(Command::Insert { .. } | Command::Remove { .. })
+                ) {
+                    run.push(cmds.next().expect("peeked"));
+                }
+                counters.write_runs.fetch_add(1, Ordering::Relaxed);
+                if run.len() > 1 {
+                    counters
+                        .coalesced_writes
+                        .fetch_add(run.len() as u64, Ordering::Relaxed);
+                }
+                shared.index.with_shard_write_at(shard, |idx| {
+                    for cmd in run {
+                        match cmd {
+                            Command::Insert { key, value, done } => {
+                                done.complete(idx.insert(key, value));
+                            }
+                            Command::Remove { key, done } => {
+                                done.complete(idx.remove(&key));
+                            }
+                            _ => unreachable!("run holds only point writes"),
+                        }
+                    }
+                });
+            }
+        }
+    }
+}

@@ -6,6 +6,9 @@
 //! * [`index_api`] — the crate-neutral `SortedIndex` / `BuildableIndex`
 //!   / `DynSortedIndex` trait family every structure implements, plus
 //!   the sharded concurrent front-end `ShardedIndex`.
+//! * [`service`] — the command-pipeline service layer over
+//!   `ShardedIndex`: typed commands, bounded per-shard queues,
+//!   batching/coalescing workers, ticket completions, backpressure.
 //! * [`tree`] — the FITing-Tree itself (clustered + non-clustered index,
 //!   insert path, cost model). This is the paper's contribution.
 //! * [`plr`] — bounded-error piecewise-linear segmentation
@@ -26,9 +29,13 @@ pub use fiting_baselines as baselines;
 pub use fiting_btree as btree;
 pub use fiting_datasets as datasets;
 pub use fiting_index_api as index_api;
+pub use fiting_index_service as service;
 pub use fiting_plr as plr;
 pub use fiting_tree as tree;
 
 pub use fiting_index_api::{
-    BuildableIndex, DynSortedIndex, Key, OrderedF64, ShardedIndex, SortedIndex,
+    BuildableIndex, DynSortedIndex, Key, OrderedF64, ShardStats, ShardedIndex, SortedIndex,
+};
+pub use fiting_index_service::{
+    Canceled, Client, Command, Completer, IndexService, ServiceConfig, ServiceStats, Ticket,
 };

@@ -12,7 +12,7 @@
 use fiting::baselines::{BinarySearchIndex, FixedPageIndex, FullIndex};
 use fiting::btree::BPlusTree;
 use fiting::tree::{DeltaConfig, DeltaFitingTree, FitingTree, FitingTreeBuilder};
-use fiting::{BuildableIndex, ShardedIndex, SortedIndex};
+use fiting::{BuildableIndex, DynSortedIndex, ShardedIndex, SortedIndex};
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
@@ -23,6 +23,57 @@ fn battery<I: SortedIndex<u64, u64>>(name: &str, build: impl Fn(Vec<(u64, u64)>)
     overwrite_and_remove(name, &build);
     boundary_crossing_ranges(name, &build);
     churn_agrees_with_model(name, &build);
+    batched_inserts_match_model(name, &build);
+}
+
+fn batched_inserts_match_model<I: SortedIndex<u64, u64>>(
+    name: &str,
+    build: &impl Fn(Vec<(u64, u64)>) -> I,
+) {
+    let pairs: Vec<(u64, u64)> = (0..1_000u64).map(|k| (k * 2, k)).collect();
+    let mut idx = build(pairs.clone());
+    let mut model: BTreeMap<u64, u64> = pairs.into_iter().collect();
+
+    // Unsorted batch mixing fresh keys and overwrites; a duplicate key
+    // (9) must resolve last-write-wins.
+    let batch = vec![(9, 1), (4, 90), (1_999, 2), (9, 3), (0, 91), (777, 4)];
+    let mut fresh_model = 0;
+    for &(k, v) in &batch {
+        if model.insert(k, v).is_none() {
+            fresh_model += 1;
+        }
+    }
+    let fresh = idx.insert_many(batch);
+    assert_eq!(fresh, fresh_model, "{name}: insert_many fresh count");
+    assert_eq!(
+        idx.get(&9),
+        Some(&3),
+        "{name}: duplicate key last-write-wins"
+    );
+    assert_eq!(idx.get(&4), Some(&90), "{name}: overwrite applied");
+    assert_eq!(idx.len(), model.len(), "{name}: len after insert_many");
+
+    // Same contract through the trait object.
+    let dyn_idx: &mut dyn DynSortedIndex<u64, u64> = &mut idx;
+    let batch = vec![(5, 50), (9, 9), (3, 30)];
+    let mut fresh_model = 0;
+    for &(k, v) in &batch {
+        if model.insert(k, v).is_none() {
+            fresh_model += 1;
+        }
+    }
+    assert_eq!(
+        dyn_idx.insert_many_dyn(batch),
+        fresh_model,
+        "{name}: insert_many_dyn fresh count"
+    );
+    assert_eq!(dyn_idx.dyn_len(), model.len(), "{name}");
+    let want: Vec<(u64, u64)> = model.into_iter().collect();
+    assert_eq!(
+        idx.range_collect(..),
+        want,
+        "{name}: contents after batches"
+    );
 }
 
 fn empty_index<I: SortedIndex<u64, u64>>(name: &str, build: &impl Fn(Vec<(u64, u64)>) -> I) {
@@ -213,6 +264,39 @@ fn size_accounting_contract() {
     assert_eq!(
         sharded.size_bytes(),
         shard_sum + sharded.shard_count() * fiting::index_api::SHARD_METADATA_BYTES
+    );
+}
+
+/// Shard occupancy must be observable: `shard_lens` / `shard_stats`
+/// see skewed growth (the rebalancing item's input signal), and the
+/// per-shard sizes reconcile with the front-end's total.
+#[test]
+fn shard_stats_expose_imbalance() {
+    let pairs: Vec<(u64, u64)> = (0..10_000u64).map(|k| (k * 2, k)).collect();
+    let index: ShardedIndex<u64, u64, FitingTree<u64, u64>> =
+        ShardedIndex::bulk_load(&FitingTreeBuilder::new(64), 4, pairs).unwrap();
+    let before = index.shard_stats();
+    assert_eq!(before.len(), index.shard_count());
+    assert_eq!(index.shard_lens().iter().sum::<usize>(), 10_000);
+    for (len, stats) in index.shard_lens().iter().zip(&before) {
+        assert_eq!(*len, stats.entries);
+    }
+
+    // Append-heavy growth: everything routes past the last boundary.
+    index.insert_many((0..3_000u64).map(|k| (100_000 + k * 2, k)));
+    assert_eq!(index.shard_of(&200_000), index.shard_count() - 1);
+    let after = index.shard_stats();
+    assert_eq!(
+        after.last().unwrap().entries,
+        before.last().unwrap().entries + 3_000,
+        "growth lands in (and is visible on) the last shard"
+    );
+    assert_eq!(after[0].entries, before[0].entries, "first shard untouched");
+
+    let shard_bytes: usize = after.iter().map(|s| s.size_bytes).sum();
+    assert_eq!(
+        index.size_bytes(),
+        shard_bytes + index.shard_count() * fiting::index_api::SHARD_METADATA_BYTES
     );
 }
 
