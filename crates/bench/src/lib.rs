@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod driver;
+pub mod json;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

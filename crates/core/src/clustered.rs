@@ -2,11 +2,12 @@
 //! attribute, segments stored in a B+ tree keyed by segment start.
 
 use crate::builder::FitingTreeBuilder;
+use crate::directory::FlatDirectory;
 use crate::error::BuildError;
 use crate::key::Key;
 use crate::range::RangeIter;
 use crate::segment::{SearchStrategy, Segment};
-use crate::stats::{FitingTreeStats, LookupTrace};
+use crate::stats::{DirectoryPath, FitingTreeStats, LookupTrace};
 use crate::SEGMENT_METADATA_BYTES;
 use fiting_btree::BPlusTree;
 use fiting_plr::{Point, ShrinkingCone};
@@ -28,8 +29,17 @@ pub struct FitingTree<K: Key, V> {
     pub(crate) seg_error: u64,
     pub(crate) strategy: SearchStrategy,
     pub(crate) tree_order: usize,
-    /// Segment directory: anchor key → arena slot.
+    /// Mutation-side segment directory: anchor key → arena slot.
+    /// Structural updates (segment split/merge/insert/remove) land here
+    /// in O(log S); **lookups never descend it** — they go through the
+    /// flat mirror below.
     pub(crate) tree: BPlusTree<K, usize>,
+    /// Read-side segment directory: a dense SoA mirror of `tree`,
+    /// rebuilt by [`rebuild_directory`](Self::rebuild_directory) after
+    /// every structural mutation. All point and range lookups locate
+    /// their segment here with an interpolation-seeded branchless
+    /// bounded search instead of a pointer-chasing tree descent.
+    pub(crate) dir: FlatDirectory<K>,
     /// Segment arena; slots are recycled through `free`.
     pub(crate) segments: Vec<Option<Segment<K, V>>>,
     pub(crate) free: Vec<usize>,
@@ -62,6 +72,7 @@ impl<K: Key, V> FitingTree<K, V> {
             strategy,
             tree_order,
             tree: BPlusTree::with_order(tree_order),
+            dir: FlatDirectory::new(),
             segments: Vec::new(),
             free: Vec::new(),
             len: 0,
@@ -119,7 +130,20 @@ impl<K: Key, V> FitingTree<K, V> {
             self.segments.push(Some(seg));
         }
         self.tree = BPlusTree::bulk_load_with(entries, self.tree_order, 1.0);
+        self.rebuild_directory();
         Ok(self)
+    }
+
+    /// Re-mirrors the mutation-side B+ tree into the flat read-side
+    /// directory — one dense O(S) pass, called after every structural
+    /// mutation (bulk load, segment split/merge/insert/remove). Between
+    /// calls the flat directory is immutable, which is what lets the
+    /// lookup path search it branchlessly with no locks or pointer
+    /// chases.
+    fn rebuild_directory(&mut self) {
+        debug_assert!(self.segments.len() <= u32::MAX as usize);
+        self.dir
+            .rebuild(self.tree.iter().map(|(k, &slot)| (*k, slot as u32)));
     }
 
     /// Number of key/value pairs in the index.
@@ -161,15 +185,31 @@ impl<K: Key, V> FitingTree<K, V> {
     /// Locates the arena slot of the segment responsible for `key`:
     /// the floor segment, falling back to the first segment for keys
     /// below every anchor.
+    ///
+    /// This is the read hot path: it searches the flat SoA directory
+    /// (interpolation seed → gallop → branchless binary) and never
+    /// descends the pointer-based B+ tree.
+    #[inline]
     fn locate(&self, key: &K) -> Option<usize> {
-        self.tree
-            .floor(key)
-            .or_else(|| self.tree.first())
-            .map(|(_, &slot)| slot)
+        self.locate_traced(key).map(|(slot, _)| slot)
     }
 
-    /// Point lookup (paper Algorithm 3): tree descent, interpolation,
-    /// bounded local search, buffer check.
+    /// [`locate`](Self::locate) plus the [`DirectoryPath`] marker of
+    /// the structure that produced the slot. The marker is attached at
+    /// the routing site — each arm of this function names the directory
+    /// it actually searched — so rerouting lookups through the B+ tree
+    /// cannot keep reporting [`DirectoryPath::FlatDirectory`] without
+    /// the dishonesty being visible right here, and the trace-level
+    /// test in `tests/hotpath_differential.rs` pins the expected value.
+    #[inline]
+    fn locate_traced(&self, key: &K) -> Option<(usize, DirectoryPath)> {
+        self.dir
+            .locate(*key)
+            .map(|slot| (slot, DirectoryPath::FlatDirectory))
+    }
+
+    /// Point lookup (paper Algorithm 3): flat-directory search,
+    /// interpolation, bounded local search, buffer check.
     #[must_use]
     pub fn get(&self, key: &K) -> Option<&V> {
         let slot = self.locate(key)?;
@@ -195,15 +235,21 @@ impl<K: Key, V> FitingTree<K, V> {
     }
 
     /// Instrumented lookup for the Figure 13 breakdown: returns the value
-    /// and the time spent in each of the two phases (directory-tree
-    /// search vs in-segment search).
+    /// and the time spent in each of the two phases (segment location
+    /// vs in-segment search), plus which directory the locate step
+    /// reported searching — [`DirectoryPath::FlatDirectory`] on the
+    /// current hot path (see [`locate_traced`](Self::locate_traced) for
+    /// how the marker is kept honest).
     #[must_use]
     pub fn get_traced(&self, key: &K) -> (Option<&V>, LookupTrace) {
         let t0 = Instant::now();
-        let slot = self.locate(key);
+        // Same routing as `get`; the marker reports which directory the
+        // locate step searched.
+        let located = self.locate_traced(key);
         let tree_nanos = t0.elapsed().as_nanos() as u64;
+        let via = located.map_or(DirectoryPath::FlatDirectory, |(_, via)| via);
         let t1 = Instant::now();
-        let value = slot.and_then(|s| {
+        let value = located.and_then(|(s, _)| {
             self.segments[s]
                 .as_ref()
                 .expect("directory points at live segment")
@@ -215,6 +261,7 @@ impl<K: Key, V> FitingTree<K, V> {
             LookupTrace {
                 tree_nanos,
                 segment_nanos,
+                via,
             },
         )
     }
@@ -227,6 +274,7 @@ impl<K: Key, V> FitingTree<K, V> {
             // Empty index: open the first segment.
             let slot = self.alloc_slot(Segment::new(key, 0.0, vec![(key, value)]));
             self.tree.insert(key, slot);
+            self.rebuild_directory();
             self.len += 1;
             return None;
         };
@@ -246,10 +294,15 @@ impl<K: Key, V> FitingTree<K, V> {
 
     /// Removes `key`, returning its value. **Extension over the paper**
     /// (which does not discuss deletes): buffer entries are dropped
-    /// directly; page removals widen that segment's search window and
-    /// trigger re-segmentation once they exceed half the segmentation
-    /// budget, so the lookup bound stays `O(error)`.
-    pub fn remove(&mut self, key: &K) -> Option<V> {
+    /// directly; page removals are O(1) tombstones (slots keep their
+    /// position, so predictions stay exact — the value is cloned out of
+    /// the dense page) and trigger re-segmentation once they exceed
+    /// half the segmentation budget, so pages shed dead slots and the
+    /// lookup bound stays `O(error)`.
+    pub fn remove(&mut self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
         let slot = self.locate(key)?;
         let seg = self.segments[slot]
             .as_mut()
@@ -263,6 +316,7 @@ impl<K: Key, V> FitingTree<K, V> {
             self.segments[slot] = None;
             self.free.push(slot);
             self.tree.remove(&anchor);
+            self.rebuild_directory();
         } else if seg.removed > self.seg_error / 2 {
             self.resegment(slot);
         }
@@ -282,11 +336,14 @@ impl<K: Key, V> FitingTree<K, V> {
     }
 
     /// Index structure size in bytes, following the paper's accounting:
-    /// directory tree + [`SEGMENT_METADATA_BYTES`] per segment. The table
-    /// data itself is *not* index overhead (it exists regardless).
+    /// directory tree + flat read-side directory +
+    /// [`SEGMENT_METADATA_BYTES`] per segment. The table data itself is
+    /// *not* index overhead (it exists regardless).
     #[must_use]
     pub fn index_size_bytes(&self) -> usize {
-        self.tree.size_in_bytes() + self.segment_count() * SEGMENT_METADATA_BYTES
+        self.tree.size_in_bytes()
+            + self.dir.size_bytes()
+            + self.segment_count() * SEGMENT_METADATA_BYTES
     }
 
     /// Full statistics snapshot; walks the directory tree and arena.
@@ -306,6 +363,7 @@ impl<K: Key, V> FitingTree<K, V> {
             segment_count: live,
             tree_depth: tree.depth,
             tree_nodes: tree.total_nodes(),
+            flat_directory_bytes: self.dir.size_bytes(),
             index_size_bytes: self.index_size_bytes(),
             data_size_bytes: data_bytes,
             buffered_entries: buffered,
@@ -341,11 +399,11 @@ impl<K: Key, V> FitingTree<K, V> {
     pub fn last(&self) -> Option<(&K, &V)> {
         // The last directory entry owns the largest anchor; its page and
         // buffer maxima compete for the global maximum.
-        let (_, &slot) = self.tree.last()?;
+        let slot = self.dir.last_slot()?;
         let seg = self.segments[slot]
             .as_ref()
             .expect("directory points at live segment");
-        match (seg.data.last(), seg.buffer.last()) {
+        match (seg.last_live(), seg.buffer.last()) {
             (Some((dk, dv)), Some((bk, bv))) => Some(if dk > bk { (dk, dv) } else { (bk, bv) }),
             (Some((dk, dv)), None) => Some((dk, dv)),
             (None, Some((bk, bv))) => Some((bk, bv)),
@@ -405,6 +463,7 @@ impl<K: Key, V> FitingTree<K, V> {
             let new_slot = self.alloc_slot(seg);
             self.tree.insert(start_key, new_slot);
         }
+        self.rebuild_directory();
     }
 
     fn alloc_slot(&mut self, seg: Segment<K, V>) -> usize {
@@ -419,12 +478,30 @@ impl<K: Key, V> FitingTree<K, V> {
 
     /// Verifies structural invariants; used by tests.
     ///
-    /// Checks: directory entries point at live segments registered under
-    /// their anchor; segment pages and buffers are sorted; every page key
-    /// is found by a windowed lookup (the error guarantee); `len`
-    /// consistency; segments are disjoint and ordered.
+    /// Checks: the flat read-side directory is an exact mirror of the
+    /// mutation-side B+ tree; directory entries point at live segments
+    /// registered under their anchor; segment pages and buffers are
+    /// sorted; every live page key is found by a windowed lookup (the
+    /// error guarantee) *and* located to its segment by the flat
+    /// directory; `len` consistency; segments are disjoint and ordered.
     pub fn check_invariants(&self) -> Result<(), String> {
         self.tree.check_invariants()?;
+        if self.dir.len() != self.tree.len() {
+            return Err(format!(
+                "flat directory has {} entries, B+ tree has {}",
+                self.dir.len(),
+                self.tree.len()
+            ));
+        }
+        for ((anchor, &slot), (flat_anchor, flat_slot)) in self.tree.iter().zip(self.dir.entries())
+        {
+            if *anchor != flat_anchor || slot != flat_slot {
+                return Err(format!(
+                    "flat directory diverged: tree ({anchor:?}, {slot}) vs flat \
+                     ({flat_anchor:?}, {flat_slot})"
+                ));
+            }
+        }
         let mut counted = 0usize;
         let mut prev_max: Option<K> = None;
         let mut first = true;
@@ -440,8 +517,15 @@ impl<K: Key, V> FitingTree<K, V> {
                     seg.start_key
                 ));
             }
-            if !seg.data.windows(2).all(|w| w[0].0 < w[1].0) {
+            if !seg.keys.windows(2).all(|w| w[0] < w[1]) {
                 return Err("unsorted segment page".into());
+            }
+            if seg.keys.len() != seg.values.len() {
+                return Err("page keys/values length mismatch".into());
+            }
+            let dead = (0..seg.keys.len()).filter(|&i| !seg.is_live(i)).count();
+            if seg.removed as usize != dead {
+                return Err("tombstone count diverged from bitmap".into());
             }
             if !seg.buffer.windows(2).all(|w| w[0].0 < w[1].0) {
                 return Err("unsorted segment buffer".into());
@@ -461,10 +545,18 @@ impl<K: Key, V> FitingTree<K, V> {
                     ));
                 }
             }
-            for (k, _) in &seg.data {
+            for (i, k) in seg.keys.iter().enumerate() {
+                if !seg.is_live(i) {
+                    continue; // tombstoned slot: invisible to lookups
+                }
                 if seg.get(*k, self.seg_error, self.strategy).is_none() {
                     return Err(format!(
                         "error guarantee violated: page key {k:?} not found within window"
+                    ));
+                }
+                if self.dir.locate(*k) != Some(slot) {
+                    return Err(format!(
+                        "flat directory routes live key {k:?} away from its segment"
                     ));
                 }
             }

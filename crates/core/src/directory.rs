@@ -1,0 +1,304 @@
+//! Flat segment directory: the read-hot-path replacement for the
+//! per-lookup B+ tree descent.
+//!
+//! The paper's pitch (Sections 4 and 6) is that a model-predicted
+//! position plus a bounded search beats a B+ tree because it replaces
+//! cache-missing pointer chases with arithmetic over dense arrays. Our
+//! *in-segment* search always worked that way, but every lookup still
+//! began with a pointer-based tree descent to find the covering
+//! segment. [`FlatDirectory`] removes that: segment anchors live in one
+//! dense, SoA pair of arrays (`anchors: Vec<K>`, `slots: Vec<u32>`),
+//! immutable between structural rebuilds, and the floor segment is
+//! located by an **interpolation-seeded, branchless bounded search**:
+//!
+//! 1. interpolate a guess position from the anchor-key span (the same
+//!    trick the segments use internally),
+//! 2. gallop outward from the guess to a bracket that must contain the
+//!    floor anchor,
+//! 3. finish with a branchless binary search (conditional-move `base`
+//!    update, no unpredictable branches) inside the bracket.
+//!
+//! The B+ tree remains the *mutation-side* directory — structural
+//! updates (segment split/merge/insert/remove) are O(log S) there — and
+//! [`crate::FitingTree`] mirrors it into this flat form with one
+//! `rebuild_directory()` pass after every structural change.
+//! `check_invariants` verifies the mirror is exact.
+
+use crate::key::Key;
+
+/// Anchors below this count skip interpolation seeding: a branchless
+/// binary over one or two cache lines is already minimal.
+const SEED_MIN_ANCHORS: usize = 64;
+
+/// Dense, immutable-between-rebuilds segment directory (SoA layout).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FlatDirectory<K> {
+    /// Segment anchor keys, ascending.
+    anchors: Vec<K>,
+    /// Arena slot of the segment anchored at `anchors[i]`.
+    slots: Vec<u32>,
+    /// Projection of `anchors[0]`, cached for the interpolation seed.
+    min_f: f64,
+    /// `(len − 1) / (max_f − min_f)`; `0.0` disables seeding (too few
+    /// anchors, or a projection span that is zero/non-finite).
+    inv_span: f64,
+}
+
+impl<K: Key> FlatDirectory<K> {
+    /// An empty directory.
+    pub fn new() -> Self {
+        FlatDirectory {
+            anchors: Vec::new(),
+            slots: Vec::new(),
+            min_f: 0.0,
+            inv_span: 0.0,
+        }
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.anchors.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.anchors.is_empty()
+    }
+
+    /// Rebuilds from `(anchor, slot)` entries in ascending anchor order
+    /// — one dense pass, called after structural mutations.
+    pub fn rebuild<I: IntoIterator<Item = (K, u32)>>(&mut self, entries: I) {
+        self.anchors.clear();
+        self.slots.clear();
+        for (anchor, slot) in entries {
+            self.anchors.push(anchor);
+            self.slots.push(slot);
+        }
+        debug_assert!(self.anchors.windows(2).all(|w| w[0] < w[1]));
+        let n = self.anchors.len();
+        self.min_f = 0.0;
+        self.inv_span = 0.0;
+        if n >= SEED_MIN_ANCHORS {
+            let min_f = self.anchors[0].to_f64();
+            let span = self.anchors[n - 1].to_f64() - min_f;
+            if span.is_finite() && span > 0.0 {
+                self.min_f = min_f;
+                self.inv_span = (n - 1) as f64 / span;
+            }
+        }
+    }
+
+    /// Directory position of the segment responsible for `key`: the
+    /// floor anchor, falling back to position 0 for keys below every
+    /// anchor (the first segment may hold buffered keys below its
+    /// anchor). `None` only when the directory is empty.
+    #[inline]
+    pub fn floor_index(&self, key: K) -> Option<usize> {
+        let n = self.anchors.len();
+        if n == 0 {
+            return None;
+        }
+        let (mut base, mut size) = self.bracket(key, n);
+        // Branchless bounded search: the conditional assignment compiles
+        // to a conditional move, so the loop retires with no
+        // unpredictable branches regardless of the key distribution.
+        while size > 1 {
+            let half = size / 2;
+            let mid = base + half;
+            base = if self.anchors[mid] <= key { mid } else { base };
+            size -= half;
+        }
+        Some(base)
+    }
+
+    /// Arena slot of the segment responsible for `key`.
+    #[inline]
+    pub fn locate(&self, key: K) -> Option<usize> {
+        self.floor_index(key).map(|i| self.slots[i] as usize)
+    }
+
+    /// Arena slot at directory position `i` (for ordered walks).
+    #[inline]
+    pub fn slot_at(&self, i: usize) -> usize {
+        self.slots[i] as usize
+    }
+
+    /// Slot of the last (largest-anchor) segment.
+    pub fn last_slot(&self) -> Option<usize> {
+        self.slots.last().map(|&s| s as usize)
+    }
+
+    /// Heap bytes of the two directory arrays.
+    pub fn size_bytes(&self) -> usize {
+        self.anchors.len() * std::mem::size_of::<K>()
+            + self.slots.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Ordered `(anchor, slot)` view, for invariant checks.
+    pub fn entries(&self) -> impl Iterator<Item = (K, usize)> + '_ {
+        self.anchors
+            .iter()
+            .zip(&self.slots)
+            .map(|(&a, &s)| (a, s as usize))
+    }
+
+    /// Interpolation-seeded bracket `[base, base + size)` guaranteed to
+    /// contain the floor position (or position 0 when every anchor
+    /// exceeds `key`).
+    #[inline]
+    fn bracket(&self, key: K, n: usize) -> (usize, usize) {
+        if self.inv_span == 0.0 {
+            return (0, n);
+        }
+        let kf = key.to_f64();
+        // Keys are NaN-free by the Key contract; clamp handles both
+        // out-of-span keys and f64 rounding.
+        let guess = ((kf - self.min_f) * self.inv_span)
+            .max(0.0)
+            .min((n - 1) as f64) as usize;
+        if self.anchors[guess] <= key {
+            // Exact-guess fast path: on near-affine anchor sets the
+            // interpolated position usually *is* the floor — confirm
+            // with one neighbor compare and skip the gallop entirely.
+            if guess + 1 >= n || self.anchors[guess + 1] > key {
+                return (guess, 1);
+            }
+            // Floor is at or right of the guess: gallop right.
+            let mut lo = guess;
+            let mut step = 8usize;
+            loop {
+                let probe = lo + step;
+                if probe >= n {
+                    return (lo, n - lo);
+                }
+                if self.anchors[probe] > key {
+                    return (lo, probe - lo);
+                }
+                lo = probe;
+                step <<= 1;
+            }
+        } else {
+            // Floor is strictly left of the guess: gallop left.
+            let mut hi = guess; // anchors[hi] > key
+            let mut step = 8usize;
+            loop {
+                let probe = hi.saturating_sub(step);
+                if self.anchors[probe] <= key {
+                    return (probe, hi - probe);
+                }
+                if probe == 0 {
+                    // Every anchor exceeds the key: first-segment
+                    // fallback.
+                    return (0, 1);
+                }
+                hi = probe;
+                step <<= 1;
+            }
+        }
+    }
+}
+
+/// Largest index in `run` whose element is `<= key`, or 0 when every
+/// element exceeds `key` — the shared branchless floor kernel used by
+/// both the directory and the segments' bounded window search.
+#[inline]
+pub(crate) fn branchless_floor<T: Ord>(run: &[T], key: &T) -> usize {
+    debug_assert!(!run.is_empty());
+    let mut base = 0usize;
+    let mut size = run.len();
+    while size > 1 {
+        let half = size / 2;
+        let mid = base + half;
+        base = if run[mid] <= *key { mid } else { base };
+        size -= half;
+    }
+    base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(anchors: &[u64]) -> FlatDirectory<u64> {
+        let mut d = FlatDirectory::new();
+        d.rebuild(anchors.iter().enumerate().map(|(i, &a)| (a, i as u32)));
+        d
+    }
+
+    #[test]
+    fn empty_directory_locates_nothing() {
+        let d: FlatDirectory<u64> = FlatDirectory::new();
+        assert_eq!(d.locate(5), None);
+        assert_eq!(d.last_slot(), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn floor_matches_scan_small() {
+        // Below SEED_MIN_ANCHORS: unseeded branchless path.
+        let anchors = [10u64, 20, 30, 40];
+        let d = dir(&anchors);
+        for key in 0..60u64 {
+            let want = anchors.iter().rposition(|&a| a <= key).unwrap_or(0);
+            assert_eq!(d.floor_index(key), Some(want), "key {key}");
+        }
+    }
+
+    #[test]
+    fn floor_matches_scan_seeded_uniform_and_skewed() {
+        for anchors in [
+            (0..500u64).map(|i| i * 97 + 13).collect::<Vec<_>>(),
+            (0..500u64).map(|i| i * i * i).collect::<Vec<_>>(),
+        ] {
+            let d = dir(&anchors);
+            let mut probes: Vec<u64> = anchors.clone();
+            probes.extend(anchors.iter().map(|a| a.saturating_sub(1)));
+            probes.extend(anchors.iter().map(|a| a + 1));
+            probes.push(0);
+            probes.push(u64::MAX);
+            for key in probes {
+                let want = anchors.iter().rposition(|&a| a <= key).unwrap_or(0);
+                assert_eq!(d.floor_index(key), Some(want), "key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeding_disabled_on_flat_projection_span() {
+        // Identical projections (span 0) must fall back to the unseeded
+        // bracket instead of dividing by zero.
+        let anchors: Vec<u64> = (0..100).collect();
+        let mut d = FlatDirectory::new();
+        d.rebuild(anchors.iter().map(|&a| (a, a as u32)));
+        assert!(d.inv_span != 0.0);
+        // A rebuild with a single anchor resets the seed state.
+        d.rebuild([(7u64, 3u32)]);
+        assert_eq!(d.inv_span, 0.0);
+        assert_eq!(d.locate(100), Some(3));
+        assert_eq!(d.locate(0), Some(3));
+    }
+
+    #[test]
+    fn slots_follow_arena_not_position() {
+        let mut d = FlatDirectory::new();
+        d.rebuild([(10u64, 5u32), (20, 0), (30, 9)]);
+        assert_eq!(d.locate(25), Some(0));
+        assert_eq!(d.locate(9), Some(5)); // first-segment fallback
+        assert_eq!(d.last_slot(), Some(9));
+        assert_eq!(d.slot_at(2), 9);
+        assert_eq!(
+            d.entries().collect::<Vec<_>>(),
+            vec![(10, 5), (20, 0), (30, 9)]
+        );
+    }
+
+    #[test]
+    fn branchless_floor_agrees_with_rposition() {
+        let run: Vec<u64> = (0..97).map(|i| i * 3).collect();
+        for key in 0..300u64 {
+            let want = run.iter().rposition(|&a| a <= key).unwrap_or(0);
+            assert_eq!(branchless_floor(&run, &key), want, "key {key}");
+        }
+        assert_eq!(branchless_floor(&[42u64], &0), 0);
+    }
+}

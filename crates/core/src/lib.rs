@@ -7,12 +7,18 @@
 //! A FITing-Tree indexes a sorted attribute by approximating the key →
 //! position function with variable-sized *linear segments* instead of
 //! indexing every key. Each segment stores only its start key, slope,
-//! and a pointer to the underlying page; segments are found through an
-//! ordinary B+ tree keyed by segment start. A lookup therefore costs
+//! and a pointer to the underlying page. Lookups locate their segment
+//! in a **flat SoA directory** of anchor keys (interpolation-seeded,
+//! branchless bounded search — no pointer chasing); a B+ tree keyed by
+//! segment start remains as the mutation-side directory for structural
+//! updates and is mirrored into the flat form after each one. A lookup
+//! therefore costs
 //!
 //! ```text
-//! O(log_b S_e)  tree descent over S_e segments
+//! O(log2 S_e)   branchless floor search over S_e anchors (dense array,
+//!               interpolation-seeded; the paper's O(log_b S_e) descent)
 //! + O(log2 e)   bounded local search: interpolation is within ±e slots
+//!               (tightened to the page's measured error envelope)
 //! + O(log2 bu)  search of the segment's insert buffer
 //! ```
 //!
@@ -78,6 +84,7 @@ mod clustered;
 mod concurrent;
 pub mod cost;
 mod delta;
+mod directory;
 mod error;
 mod key;
 mod range;
@@ -95,7 +102,7 @@ pub use key::{Key, OrderedF64};
 pub use range::RangeIter;
 pub use secondary::{RowId, SecondaryIndex};
 pub use segment::SearchStrategy;
-pub use stats::{FitingTreeStats, LookupTrace};
+pub use stats::{DirectoryPath, FitingTreeStats, LookupTrace};
 
 /// Bytes of metadata the paper charges per segment in its size model
 /// (Section 6.2): start key + slope + page pointer, 8 bytes each.

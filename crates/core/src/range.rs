@@ -1,9 +1,11 @@
 //! Range scans over a clustered FITing-Tree (paper Section 4.2).
 //!
 //! A range query locates the segment covering the range start through
-//! the directory tree, then sweeps segments in key order. Within each
-//! segment the page and the insert buffer are two sorted runs, merged on
-//! the fly.
+//! the **flat segment directory** (the same interpolation-seeded
+//! branchless search the point path uses — no B+ tree descent), then
+//! sweeps segments in key order by walking the dense directory arrays.
+//! Within each segment the page and the insert buffer are two sorted
+//! runs, merged on the fly; tombstoned page slots are skipped.
 
 use crate::clustered::FitingTree;
 use crate::key::Key;
@@ -15,8 +17,8 @@ use std::ops::RangeBounds;
 /// range, in ascending key order.
 pub struct RangeIter<'a, K: Key, V> {
     tree: &'a FitingTree<K, V>,
-    /// Remaining directory entries (anchor → slot) after the current one.
-    dir: fiting_btree::Range<'a, K, usize>,
+    /// Next flat-directory position to visit after the current segment.
+    next_pos: usize,
     current: Option<MergeIter<'a, K, V>>,
     start: Bound<K>,
     end: Bound<K>,
@@ -28,18 +30,17 @@ impl<'a, K: Key, V> RangeIter<'a, K, V> {
         let start = range.start_bound().cloned();
         let end = range.end_bound().cloned();
         // Start the directory walk at the segment covering the range
-        // start: its anchor is the floor of the start key (or the very
-        // first segment, for buffered keys below every anchor).
-        let mut dir = match &start {
-            Bound::Unbounded => tree.tree.range(..),
-            Bound::Included(k) | Bound::Excluded(k) => tree.tree.iter_from_floor(k),
+        // start: the floor anchor's position (or the very first
+        // segment, for buffered keys below every anchor).
+        let start_pos = match &start {
+            Bound::Unbounded => (!tree.dir.is_empty()).then_some(0),
+            Bound::Included(k) | Bound::Excluded(k) => tree.dir.floor_index(*k),
         };
-        let current = dir
-            .next()
-            .map(|(_, &slot)| MergeIter::starting_at(segment(tree, slot), &start));
+        let current = start_pos
+            .map(|pos| MergeIter::starting_at(segment(tree, tree.dir.slot_at(pos)), &start));
         RangeIter {
             tree,
-            dir,
+            next_pos: start_pos.map_or(0, |pos| pos + 1),
             current,
             start,
             end,
@@ -94,11 +95,11 @@ impl<'a, K: Key, V> Iterator for RangeIter<'a, K, V> {
                     return Some((k, v));
                 }
                 None => {
-                    self.current = self
-                        .dir
-                        .next()
-                        .map(|(_, &slot)| MergeIter::new(segment(self.tree, slot)));
-                    if self.current.is_none() {
+                    if self.next_pos < self.tree.dir.len() {
+                        let slot = self.tree.dir.slot_at(self.next_pos);
+                        self.next_pos += 1;
+                        self.current = Some(MergeIter::new(segment(self.tree, slot)));
+                    } else {
                         self.done = true;
                         return None;
                     }
@@ -108,37 +109,36 @@ impl<'a, K: Key, V> Iterator for RangeIter<'a, K, V> {
     }
 }
 
-/// Merges a segment's sorted page and sorted buffer.
+/// Merges a segment's sorted page (skipping tombstones) and sorted
+/// buffer.
 struct MergeIter<'a, K, V> {
-    data: &'a [(K, V)],
-    buffer: &'a [(K, V)],
+    seg: &'a Segment<K, V>,
     di: usize,
     bi: usize,
 }
 
 impl<'a, K: Key, V> MergeIter<'a, K, V> {
     fn new(seg: &'a Segment<K, V>) -> Self {
-        MergeIter {
-            data: &seg.data,
-            buffer: &seg.buffer,
-            di: 0,
-            bi: 0,
-        }
+        MergeIter { seg, di: 0, bi: 0 }
     }
 
     /// Positions both runs at the first entry satisfying `start`, so a
     /// range scan does not walk the segment prefix item by item.
     fn starting_at(seg: &'a Segment<K, V>, start: &Bound<K>) -> Self {
-        let seek = |run: &[(K, V)]| match start {
+        let seek_keys = match start {
             Bound::Unbounded => 0,
-            Bound::Included(s) => run.partition_point(|(k, _)| k < s),
-            Bound::Excluded(s) => run.partition_point(|(k, _)| k <= s),
+            Bound::Included(s) => seg.keys.partition_point(|k| k < s),
+            Bound::Excluded(s) => seg.keys.partition_point(|k| k <= s),
+        };
+        let seek_buf = match start {
+            Bound::Unbounded => 0,
+            Bound::Included(s) => seg.buffer.partition_point(|(k, _)| k < s),
+            Bound::Excluded(s) => seg.buffer.partition_point(|(k, _)| k <= s),
         };
         MergeIter {
-            data: &seg.data,
-            buffer: &seg.buffer,
-            di: seek(&seg.data),
-            bi: seek(&seg.buffer),
+            seg,
+            di: seek_keys,
+            bi: seek_buf,
         }
     }
 }
@@ -147,22 +147,37 @@ impl<'a, K: Key, V> Iterator for MergeIter<'a, K, V> {
     type Item = (&'a K, &'a V);
 
     fn next(&mut self) -> Option<Self::Item> {
-        let d = self.data.get(self.di);
-        let b = self.buffer.get(self.bi);
-        match (d, b) {
-            (Some((dk, dv)), Some((bk, _))) if dk <= bk => {
-                self.di += 1;
-                Some((dk, dv))
+        loop {
+            let d = self.seg.keys.get(self.di);
+            let b = self.seg.buffer.get(self.bi);
+            match (d, b) {
+                (Some(dk), Some((bk, bv))) => {
+                    if dk <= bk {
+                        let i = self.di;
+                        self.di += 1;
+                        // Tombstoned slots stay in the key array but are
+                        // invisible to scans.
+                        if self.seg.is_live(i) {
+                            return Some((&self.seg.keys[i], &self.seg.values[i]));
+                        }
+                    } else {
+                        self.bi += 1;
+                        return Some((bk, bv));
+                    }
+                }
+                (Some(_), None) => {
+                    let i = self.di;
+                    self.di += 1;
+                    if self.seg.is_live(i) {
+                        return Some((&self.seg.keys[i], &self.seg.values[i]));
+                    }
+                }
+                (None, Some((bk, bv))) => {
+                    self.bi += 1;
+                    return Some((bk, bv));
+                }
+                (None, None) => return None,
             }
-            (_, Some((bk, bv))) => {
-                self.bi += 1;
-                Some((bk, bv))
-            }
-            (Some((dk, dv)), None) => {
-                self.di += 1;
-                Some((dk, dv))
-            }
-            (None, None) => None,
         }
     }
 }
@@ -223,5 +238,20 @@ mod tests {
             .unwrap();
         assert_eq!(t.range(500..1_500).count(), 1_000);
         assert_eq!(t.range(0..100_000).count(), 100_000);
+    }
+
+    #[test]
+    fn scans_skip_tombstoned_slots() {
+        let mut t = tree_with_buffered();
+        for k in (0..1000u64).step_by(2) {
+            assert_eq!(t.remove(&(k * 10)), Some(k));
+        }
+        let keys: Vec<u64> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys.len(), 1050 - 500);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert!(keys.iter().all(|&k| k % 20 != 0 || k % 10 == 5));
+        // A bounded scan across removed keys sees only survivors.
+        let got: Vec<u64> = t.range(100..140).map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![105, 110, 115, 125, 130, 135]);
     }
 }

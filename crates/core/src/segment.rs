@@ -1,20 +1,50 @@
 //! A segment: one variable-sized table page plus its insert buffer.
 //!
-//! Each segment owns the sorted run of `(key, value)` pairs it covers
-//! (the paper's variable-sized table page), the fitted slope used for
-//! interpolation, and a fixed-capacity sorted delta buffer for inserts
-//! (paper Section 5). Lookups interpolate a position from the slope,
-//! then search only the `±seg_error` window around it — the bound the
+//! Each segment owns the sorted run of keys it covers (the paper's
+//! variable-sized table page), the fitted slope used for interpolation,
+//! and a fixed-capacity sorted delta buffer for inserts (paper
+//! Section 5). Lookups interpolate a position from the slope, then
+//! search only the `±seg_error` window around it — the bound the
 //! segmentation algorithm guarantees — and finally the buffer.
+//!
+//! # Page layout (SoA)
+//!
+//! The page is stored **structure-of-arrays**: `keys: Vec<K>` parallel
+//! to `values: Vec<V>`. The bounded window search only ever touches the
+//! dense key array — every cache line it pulls is full of keys, not
+//! half value payload — so small windows resolve with a branchless
+//! (autovectorizable) scan and large windows with a branchless binary
+//! search; the value array is read exactly once, on a confirmed hit,
+//! and range scans stream exactly `size_of::<V>()` bytes per entry.
+//!
+//! Removals are **tombstones** in a lazily-allocated bitmap: O(1), and
+//! — unlike the old shifting `Vec::remove` — they leave every
+//! surviving key at its original slot, so interpolated predictions
+//! stay exact and the search window never needs to widen. The
+//! `removed` count still drives re-segmentation so pages don't
+//! accumulate dead slots forever.
 
+use crate::directory::branchless_floor;
 use crate::key::Key;
+
+/// Window widths at or below this use the branchless (autovectorizable)
+/// count scan; wider windows use the branchless binary search.
+///
+/// The scan's loads are independent, so the out-of-order core overlaps
+/// every cache line of the window behind roughly one miss latency,
+/// while binary probing chains dependent misses — on cold pages the
+/// scan wins far past the point where instruction counts would suggest
+/// (16 cache lines of u64 keys at this setting).
+const SMALL_WINDOW: usize = 128;
 
 /// How to search the bounded window around an interpolated position
 /// (paper Section 4.1.2 lists binary, linear, and exponential search;
 /// it defaults to binary and notes linear can win at very small errors).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SearchStrategy {
-    /// Binary search over the window (the paper's default).
+    /// Bounded search over the window (the paper's default): a
+    /// branchless count-based scan for small windows, branchless binary
+    /// search for large ones.
     #[default]
     Binary,
     /// Left-to-right scan of the window; fastest for tiny errors.
@@ -35,40 +65,135 @@ pub(crate) struct Segment<K, V> {
     /// Interpolation anchor: the first key the segmentation placed in
     /// this segment. Buffered inserts may hold smaller keys.
     pub start_key: K,
+    /// Cached `start_key.to_f64()` — hoisted out of the per-lookup
+    /// prediction, which previously recomputed the projection on every
+    /// probe.
+    start_key_f: f64,
     /// Fitted slope (positions per key unit), from the segmentation cone.
     pub slope: f64,
-    /// The sorted table page.
-    pub data: Vec<(K, V)>,
+    /// The sorted page keys (dense; tombstoned slots keep their key).
+    pub keys: Vec<K>,
+    /// Values parallel to `keys`, dense — liveness lives in the `dead`
+    /// bitmap so scans stream exactly `size_of::<V>()` bytes per entry.
+    pub values: Vec<V>,
+    /// Tombstone bitmap (one bit per page slot), allocated lazily on
+    /// the first page removal; empty means every slot is live, so
+    /// segments that never see a delete pay one predictable branch and
+    /// zero extra memory.
+    dead: Vec<u64>,
     /// Sorted delta buffer; bounded by the tree's configured buffer size.
     pub buffer: Vec<(K, V)>,
-    /// Elements removed from `data` since the last (re-)segmentation;
-    /// widens the search window to keep the error guarantee (delete
+    /// Tombstoned page slots since the last (re-)segmentation. Slots
+    /// stay in place, so predictions remain exact; the count triggers
+    /// re-segmentation before dead slots dominate the page (delete
     /// support is an extension over the paper).
     pub removed: u64,
+    /// Measured prediction error bounds over this page: every key at
+    /// position `i` satisfies `pred − under ≤ i ≤ pred + over`. Exact —
+    /// computed with the same clamped f64 prediction lookups use — and
+    /// stable until re-segmentation, because tombstones never move
+    /// slots. The search window is the *intersection* of these bounds
+    /// with the configured `±(seg_error + 1)` budget, so it can only
+    /// shrink relative to the paper's worst case.
+    under: u32,
+    /// See [`under`](field@Self::under): max of `i − pred` over the page.
+    over: u32,
 }
 
 impl<K: Key, V> Segment<K, V> {
     pub fn new(start_key: K, slope: f64, data: Vec<(K, V)>) -> Self {
         debug_assert!(data.windows(2).all(|w| w[0].0 <= w[1].0));
-        Segment {
+        let mut keys = Vec::with_capacity(data.len());
+        let mut values = Vec::with_capacity(data.len());
+        for (k, v) in data {
+            keys.push(k);
+            values.push(v);
+        }
+        let mut seg = Segment {
             start_key,
+            start_key_f: start_key.to_f64(),
             slope,
-            data,
+            keys,
+            values,
+            dead: Vec::new(),
             buffer: Vec::new(),
             removed: 0,
-        }
+            under: 0,
+            over: 0,
+        };
+        seg.measure_error_bounds();
+        seg
     }
 
-    /// Entries in page + buffer.
+    /// Whether page slot `i` holds a live (non-tombstoned) entry.
+    #[inline]
+    pub(crate) fn is_live(&self, i: usize) -> bool {
+        self.dead.is_empty() || self.dead[i >> 6] & (1 << (i & 63)) == 0
+    }
+
+    /// Tombstones page slot `i`, allocating the bitmap on first use.
+    fn mark_dead(&mut self, i: usize) {
+        if self.dead.is_empty() {
+            self.dead = vec![0u64; self.keys.len().div_ceil(64)];
+        }
+        debug_assert!(self.is_live(i));
+        self.dead[i >> 6] |= 1 << (i & 63);
+        self.removed += 1;
+    }
+
+    /// Resurrects page slot `i` (insert over a tombstone).
+    fn mark_live(&mut self, i: usize) {
+        debug_assert!(!self.is_live(i));
+        self.dead[i >> 6] &= !(1 << (i & 63));
+        self.removed -= 1;
+    }
+
+    /// One build-time pass measuring the page's actual prediction error
+    /// envelope (`under`/`over`), which the window search intersects
+    /// with the configured budget. O(page) with pure arithmetic.
+    fn measure_error_bounds(&mut self) {
+        let mut under = 0i64;
+        let mut over = 0i64;
+        for (i, &k) in self.keys.iter().enumerate() {
+            let pred = self.predict(k) as i64;
+            let d = i as i64 - pred;
+            over = over.max(d);
+            under = under.min(d);
+        }
+        self.under = (-under).min(u32::MAX as i64) as u32;
+        self.over = over.min(u32::MAX as i64) as u32;
+    }
+
+    /// Live page entries (tombstones excluded).
+    pub fn live_len(&self) -> usize {
+        self.keys.len() - self.removed as usize
+    }
+
+    /// Live entries in page + buffer.
     pub fn len(&self) -> usize {
-        self.data.len() + self.buffer.len()
+        self.live_len() + self.buffer.len()
+    }
+
+    /// First live page entry.
+    fn first_live(&self) -> Option<(&K, &V)> {
+        (0..self.keys.len())
+            .find(|&i| self.is_live(i))
+            .map(|i| (&self.keys[i], &self.values[i]))
+    }
+
+    /// Last live page entry.
+    pub fn last_live(&self) -> Option<(&K, &V)> {
+        (0..self.keys.len())
+            .rev()
+            .find(|&i| self.is_live(i))
+            .map(|i| (&self.keys[i], &self.values[i]))
     }
 
     /// Smallest key stored anywhere in this segment.
     pub fn min_key(&self) -> Option<K> {
-        match (self.data.first(), self.buffer.first()) {
-            (Some(&(d, _)), Some(&(b, _))) => Some(d.min(b)),
-            (Some(&(d, _)), None) => Some(d),
+        match (self.first_live(), self.buffer.first()) {
+            (Some((&d, _)), Some(&(b, _))) => Some(d.min(b)),
+            (Some((&d, _)), None) => Some(d),
             (None, Some(&(b, _))) => Some(b),
             (None, None) => None,
         }
@@ -76,9 +201,9 @@ impl<K: Key, V> Segment<K, V> {
 
     /// Largest key stored anywhere in this segment.
     pub fn max_key(&self) -> Option<K> {
-        match (self.data.last(), self.buffer.last()) {
-            (Some(&(d, _)), Some(&(b, _))) => Some(d.max(b)),
-            (Some(&(d, _)), None) => Some(d),
+        match (self.last_live(), self.buffer.last()) {
+            (Some((&d, _)), Some(&(b, _))) => Some(d.max(b)),
+            (Some((&d, _)), None) => Some(d),
             (None, Some(&(b, _))) => Some(b),
             (None, None) => None,
         }
@@ -90,49 +215,86 @@ impl<K: Key, V> Segment<K, V> {
     /// arithmetic, and rounding (plus one slot of window slack below)
     /// absorbs `f64` evaluation error in `(key − start) × slope`.
     pub fn predict(&self, key: K) -> usize {
-        if self.data.is_empty() {
+        if self.keys.is_empty() {
             return 0;
         }
-        let p = ((key.to_f64() - self.start_key.to_f64()) * self.slope).round();
+        let p = ((key.to_f64() - self.start_key_f) * self.slope).round();
         if p <= 0.0 {
             // Keys are NaN-free by construction (Key contract), so this
             // covers exactly the negative-or-zero predictions.
             return 0;
         }
-        (p as usize).min(self.data.len() - 1)
+        (p as usize).min(self.keys.len() - 1)
     }
 
-    /// The bounded search window `[lo, hi]` (inclusive) for `key`.
-    ///
-    /// One slot wider than the nominal `seg_error` budget to cover `f64`
-    /// rounding in the prediction (see [`predict`](Self::predict)).
-    fn window(&self, key: K, seg_error: u64) -> (usize, usize) {
+    /// The bounded search window `(lo, hi, predicted)` (inclusive) for
+    /// `key`: the measured per-page error envelope intersected with the
+    /// `±(seg_error + 1)` budget (the `+ 1` covers `f64` rounding, see
+    /// [`predict`](Self::predict)). Tombstones keep slots in place, so
+    /// the window does **not** widen with removals, and the measured
+    /// envelope stays exact until re-segmentation.
+    #[inline]
+    fn window(&self, key: K, seg_error: u64) -> (usize, usize, usize) {
         let pred = self.predict(key);
-        let slack = (seg_error + self.removed) as usize + 1;
-        let lo = pred.saturating_sub(slack);
-        let hi = (pred + slack).min(self.data.len().saturating_sub(1));
-        (lo, hi)
+        let budget = seg_error as usize + 1;
+        let lo = pred.saturating_sub(budget.min(self.under as usize));
+        let hi = (pred + budget.min(self.over as usize)).min(self.keys.len().saturating_sub(1));
+        (lo, hi, pred)
+    }
+
+    /// Exact-match probe of the page keys, honoring the error window —
+    /// returns the slot whether it is live or tombstoned (callers that
+    /// only want live hits use [`search_data`](Self::search_data); the
+    /// insert path uses the raw slot to resurrect tombstones).
+    #[inline]
+    fn probe(&self, key: K, seg_error: u64, strategy: SearchStrategy) -> Option<usize> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let (lo, hi, pred) = self.window(key, seg_error);
+        self.probe_in(key, lo, hi, pred, strategy)
+    }
+
+    /// [`probe`](Self::probe) over an already-computed window: the
+    /// model is evaluated exactly once per lookup (in
+    /// [`window`](Self::window)) and the prediction threaded through to
+    /// the strategies that reuse it (exponential galloping).
+    #[inline]
+    fn probe_in(
+        &self,
+        key: K,
+        lo: usize,
+        hi: usize,
+        pred: usize,
+        strategy: SearchStrategy,
+    ) -> Option<usize> {
+        match strategy {
+            SearchStrategy::Binary => {
+                let window = &self.keys[lo..=hi];
+                let idx = if window.len() <= SMALL_WINDOW {
+                    // Count-based scan: no early exit, no branches —
+                    // the compiler vectorizes the comparison loop over
+                    // the dense key array.
+                    lo + window.iter().filter(|&&k| k < key).count()
+                } else {
+                    lo + branchless_floor(window, &key)
+                };
+                (idx <= hi && self.keys[idx] == key).then_some(idx)
+            }
+            SearchStrategy::Linear => self.keys[lo..=hi]
+                .iter()
+                .position(|&k| k == key)
+                .map(|i| lo + i),
+            SearchStrategy::Exponential => self.search_exponential(key, lo, hi, pred),
+            SearchStrategy::Interpolation => self.search_interpolation(key, lo, hi),
+        }
     }
 
     /// Exact-match search in the page, honoring the error window.
-    /// Returns the index into `data`.
+    /// Returns the index into the page for a **live** slot.
     pub fn search_data(&self, key: K, seg_error: u64, strategy: SearchStrategy) -> Option<usize> {
-        if self.data.is_empty() {
-            return None;
-        }
-        let (lo, hi) = self.window(key, seg_error);
-        match strategy {
-            SearchStrategy::Binary => self.data[lo..=hi]
-                .binary_search_by(|(k, _)| k.cmp(&key))
-                .ok()
-                .map(|i| lo + i),
-            SearchStrategy::Linear => self.data[lo..=hi]
-                .iter()
-                .position(|(k, _)| *k == key)
-                .map(|i| lo + i),
-            SearchStrategy::Exponential => self.search_exponential(key, lo, hi),
-            SearchStrategy::Interpolation => self.search_interpolation(key, lo, hi),
-        }
+        self.probe(key, seg_error, strategy)
+            .filter(|&i| self.is_live(i))
     }
 
     /// Repeated interpolation within `[lo, hi]`, falling back to binary
@@ -141,8 +303,8 @@ impl<K: Key, V> Segment<K, V> {
         const BINARY_TAIL: usize = 8;
         let kf = key.to_f64();
         while hi - lo > BINARY_TAIL {
-            let lk = self.data[lo].0.to_f64();
-            let hk = self.data[hi].0.to_f64();
+            let lk = self.keys[lo].to_f64();
+            let hk = self.keys[hi].to_f64();
             if kf < lk || kf > hk {
                 return None;
             }
@@ -155,7 +317,7 @@ impl<K: Key, V> Segment<K, V> {
                 (lo + hi) / 2
             };
             let guess = guess.clamp(lo, hi);
-            match self.data[guess].0.cmp(&key) {
+            match self.keys[guess].cmp(&key) {
                 std::cmp::Ordering::Equal => return Some(guess),
                 std::cmp::Ordering::Less => {
                     if guess == lo {
@@ -176,17 +338,14 @@ impl<K: Key, V> Segment<K, V> {
                 return None;
             }
         }
-        self.data[lo..=hi]
-            .binary_search_by(|(k, _)| k.cmp(&key))
-            .ok()
-            .map(|i| lo + i)
+        self.keys[lo..=hi].binary_search(&key).ok().map(|i| lo + i)
     }
 
-    /// Gallop outward from the prediction, then binary search the
-    /// bracketed range.
-    fn search_exponential(&self, key: K, lo: usize, hi: usize) -> Option<usize> {
-        let pred = self.predict(key).clamp(lo, hi);
-        let pk = self.data[pred].0;
+    /// Gallop outward from the (already-computed) prediction, then
+    /// binary search the bracketed range.
+    fn search_exponential(&self, key: K, lo: usize, hi: usize, pred: usize) -> Option<usize> {
+        let pred = pred.clamp(lo, hi);
+        let pk = self.keys[pred];
         let (mut a, mut b) = if pk == key {
             return Some(pred);
         } else if pk < key {
@@ -198,7 +357,7 @@ impl<K: Key, V> Segment<K, V> {
                 if next == prev {
                     break (prev, hi);
                 }
-                if self.data[next].0 >= key {
+                if self.keys[next] >= key {
                     break (prev, next);
                 }
                 prev = next;
@@ -213,7 +372,7 @@ impl<K: Key, V> Segment<K, V> {
                 if next == prev {
                     break (lo, prev);
                 }
-                if self.data[next].0 <= key {
+                if self.keys[next] <= key {
                     break (next, prev);
                 }
                 prev = next;
@@ -223,10 +382,7 @@ impl<K: Key, V> Segment<K, V> {
         if a > b {
             std::mem::swap(&mut a, &mut b);
         }
-        self.data[a..=b]
-            .binary_search_by(|(k, _)| k.cmp(&key))
-            .ok()
-            .map(|i| a + i)
+        self.keys[a..=b].binary_search(&key).ok().map(|i| a + i)
     }
 
     /// Exact-match search in the buffer.
@@ -236,16 +392,18 @@ impl<K: Key, V> Segment<K, V> {
 
     /// Point lookup across page and buffer.
     pub fn get(&self, key: K, seg_error: u64, strategy: SearchStrategy) -> Option<&V> {
-        if let Some(i) = self.search_data(key, seg_error, strategy) {
-            return Some(&self.data[i].1);
+        if let Some(i) = self.probe(key, seg_error, strategy) {
+            // A page key is never duplicated in the buffer, so a dead
+            // hit means the key is absent.
+            return self.is_live(i).then(|| &self.values[i]);
         }
         self.search_buffer(key).map(|i| &self.buffer[i].1)
     }
 
     /// Mutable point lookup across page and buffer.
     pub fn get_mut(&mut self, key: K, seg_error: u64, strategy: SearchStrategy) -> Option<&mut V> {
-        if let Some(i) = self.search_data(key, seg_error, strategy) {
-            return Some(&mut self.data[i].1);
+        if let Some(i) = self.probe(key, seg_error, strategy) {
+            return self.is_live(i).then(move || &mut self.values[i]);
         }
         if let Some(i) = self.search_buffer(key) {
             return Some(&mut self.buffer[i].1);
@@ -254,8 +412,8 @@ impl<K: Key, V> Segment<K, V> {
     }
 
     /// Inserts into the segment: replaces in place if the key exists
-    /// (page or buffer), otherwise appends to the sorted buffer.
-    /// Returns the previous value if any.
+    /// (page or buffer, resurrecting a tombstoned page slot), otherwise
+    /// appends to the sorted buffer. Returns the previous value if any.
     pub fn insert(
         &mut self,
         key: K,
@@ -263,8 +421,15 @@ impl<K: Key, V> Segment<K, V> {
         seg_error: u64,
         strategy: SearchStrategy,
     ) -> Option<V> {
-        if let Some(i) = self.search_data(key, seg_error, strategy) {
-            return Some(std::mem::replace(&mut self.data[i].1, value));
+        if let Some(i) = self.probe(key, seg_error, strategy) {
+            if self.is_live(i) {
+                return Some(std::mem::replace(&mut self.values[i], value));
+            }
+            // Resurrect the tombstoned slot in place: the key was
+            // logically absent, so there is no previous value.
+            self.values[i] = value;
+            self.mark_live(i);
+            return None;
         }
         match self.buffer.binary_search_by(|(k, _)| k.cmp(&key)) {
             Ok(i) => Some(std::mem::replace(&mut self.buffer[i].1, value)),
@@ -275,24 +440,42 @@ impl<K: Key, V> Segment<K, V> {
         }
     }
 
-    /// Removes `key` from the segment, tracking page removals so the
-    /// search window widens accordingly. Returns the value if present.
-    pub fn remove(&mut self, key: K, seg_error: u64, strategy: SearchStrategy) -> Option<V> {
+    /// Removes `key` from the segment. Buffer entries are dropped;
+    /// page entries become O(1) tombstones (the key keeps its slot, so
+    /// predictions stay exact — the old shifting `Vec::remove` was
+    /// O(page)). Returns the value if present; page removals clone it
+    /// out, since the dense value array keeps the slot until the next
+    /// re-segmentation.
+    pub fn remove(&mut self, key: K, seg_error: u64, strategy: SearchStrategy) -> Option<V>
+    where
+        V: Clone,
+    {
         if let Some(i) = self.search_buffer(key) {
             return Some(self.buffer.remove(i).1);
         }
         if let Some(i) = self.search_data(key, seg_error, strategy) {
-            self.removed += 1;
-            return Some(self.data.remove(i).1);
+            let value = self.values[i].clone();
+            self.mark_dead(i);
+            return Some(value);
         }
         None
     }
 
-    /// Merges page and buffer into one sorted run, consuming the segment
-    /// (the first step of the paper's Algorithm 4 split).
+    /// Merges live page entries and buffer into one sorted run,
+    /// consuming the segment (the first step of the paper's Algorithm 4
+    /// split). Tombstones are dropped here.
     pub fn into_merged(self) -> Vec<(K, V)> {
-        let mut out = Vec::with_capacity(self.data.len() + self.buffer.len());
-        let mut a = self.data.into_iter().peekable();
+        let mut out = Vec::with_capacity(self.live_len() + self.buffer.len());
+        let dead = self.dead;
+        let live = |i: &usize| dead.is_empty() || dead[i >> 6] & (1 << (i & 63)) == 0;
+        let mut a = self
+            .keys
+            .into_iter()
+            .zip(self.values)
+            .enumerate()
+            .filter(|(i, _)| live(i))
+            .map(|(_, kv)| kv)
+            .peekable();
         let mut b = self.buffer.into_iter().peekable();
         loop {
             match (a.peek(), b.peek()) {
@@ -313,7 +496,10 @@ impl<K: Key, V> Segment<K, V> {
 
     /// Estimated heap bytes of the page + buffer payload.
     pub fn payload_bytes(&self) -> usize {
-        (self.data.len() + self.buffer.len()) * std::mem::size_of::<(K, V)>()
+        self.keys.len() * std::mem::size_of::<K>()
+            + self.values.len() * std::mem::size_of::<V>()
+            + self.dead.len() * std::mem::size_of::<u64>()
+            + self.buffer.len() * std::mem::size_of::<(K, V)>()
     }
 }
 
@@ -351,6 +537,20 @@ mod tests {
             }
             assert_eq!(s.get(1, 1, strategy), None);
             assert_eq!(s.get(1_000_000, 1, strategy), None);
+        }
+    }
+
+    #[test]
+    fn binary_uses_both_window_regimes() {
+        // Small error ⇒ the branchless scan; large error ⇒ the
+        // branchless binary. Both must agree on hits and misses.
+        let keys: Vec<u64> = (0..2_000).map(|i| i * 2).collect();
+        let s = seg(&keys);
+        for error in [1u64, 4, 11, 12, 64, 500] {
+            for &k in keys.iter().step_by(37) {
+                assert_eq!(s.get(k, error, SearchStrategy::Binary), Some(&(k * 10)));
+                assert_eq!(s.get(k + 1, error, SearchStrategy::Binary), None);
+            }
         }
     }
 
@@ -419,44 +619,71 @@ mod tests {
     }
 
     #[test]
-    fn remove_widens_window() {
+    fn remove_tombstones_keep_predictions_exact() {
         let keys: Vec<u64> = (0..50).collect();
         let mut s = seg(&keys);
-        // Remove a few early keys: later predictions shift left.
+        // Remove a few early keys: tombstones keep every surviving key
+        // at its slot, so even a ±1 window still finds them all.
         for k in 0..5u64 {
             assert_eq!(s.remove(k, 1, SearchStrategy::Binary), Some(k * 10));
+            assert_eq!(s.get(k, 1, SearchStrategy::Binary), None, "key {k} dead");
         }
         assert_eq!(s.removed, 5);
-        // Key 40 now lives at slot 35 but predicts 40; the widened
-        // window still finds it.
-        assert_eq!(s.get(40, 1, SearchStrategy::Binary), Some(&400));
+        assert_eq!(s.live_len(), 45);
+        for k in 5..50u64 {
+            assert_eq!(s.get(k, 1, SearchStrategy::Binary), Some(&(k * 10)));
+        }
     }
 
     #[test]
-    fn remove_from_buffer_does_not_widen() {
+    fn tombstone_resurrection_via_insert() {
+        let mut s = seg(&[10, 20, 30]);
+        assert_eq!(s.remove(20, 2, SearchStrategy::Binary), Some(200));
+        assert_eq!(s.removed, 1);
+        assert_eq!(s.len(), 2);
+        // Re-inserting the key reclaims the page slot — no buffer entry.
+        assert_eq!(s.insert(20, 7, 2, SearchStrategy::Binary), None);
+        assert_eq!(s.removed, 0);
+        assert_eq!(s.buffer.len(), 0);
+        assert_eq!(s.get(20, 2, SearchStrategy::Binary), Some(&7));
+    }
+
+    #[test]
+    fn remove_from_buffer_does_not_tombstone() {
         let mut s = seg(&[10, 20]);
         s.insert(15, 1, 1, SearchStrategy::Binary);
         assert_eq!(s.remove(15, 1, SearchStrategy::Binary), Some(1));
         assert_eq!(s.removed, 0);
         assert_eq!(s.remove(99, 1, SearchStrategy::Binary), None);
+        // Double-remove of a page key: second call is a miss.
+        assert_eq!(s.remove(10, 1, SearchStrategy::Binary), Some(100));
+        assert_eq!(s.remove(10, 1, SearchStrategy::Binary), None);
+        assert_eq!(s.removed, 1);
     }
 
     #[test]
-    fn into_merged_interleaves_sorted() {
+    fn into_merged_interleaves_sorted_and_drops_tombstones() {
         let mut s = seg(&[10, 30, 50]);
         s.insert(20, 2, 1, SearchStrategy::Binary);
         s.insert(60, 6, 1, SearchStrategy::Binary);
+        s.remove(30, 1, SearchStrategy::Binary);
         let merged: Vec<u64> = s.into_merged().into_iter().map(|(k, _)| k).collect();
-        assert_eq!(merged, vec![10, 20, 30, 50, 60]);
+        assert_eq!(merged, vec![10, 20, 50, 60]);
     }
 
     #[test]
-    fn min_max_consider_buffer() {
+    fn min_max_consider_buffer_and_skip_tombstones() {
         let mut s = seg(&[100, 200]);
         s.insert(5, 0, 1, SearchStrategy::Binary);
         s.insert(500, 0, 1, SearchStrategy::Binary);
         assert_eq!(s.min_key(), Some(5));
         assert_eq!(s.max_key(), Some(500));
+        // Tombstoned endpoints no longer count.
+        let mut t = seg(&[10, 20, 30]);
+        t.remove(10, 2, SearchStrategy::Binary);
+        t.remove(30, 2, SearchStrategy::Binary);
+        assert_eq!(t.min_key(), Some(20));
+        assert_eq!(t.max_key(), Some(20));
     }
 
     #[test]

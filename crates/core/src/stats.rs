@@ -7,10 +7,14 @@ pub struct FitingTreeStats {
     pub len: usize,
     /// Live segments (variable-sized pages).
     pub segment_count: usize,
-    /// Height of the directory B+ tree.
+    /// Height of the mutation-side directory B+ tree (not descended by
+    /// lookups).
     pub tree_depth: usize,
-    /// Total directory tree nodes.
+    /// Total mutation-side directory tree nodes.
     pub tree_nodes: usize,
+    /// Bytes of the flat read-side segment directory (anchor + slot
+    /// arrays) that lookups actually search.
+    pub flat_directory_bytes: usize,
     /// Index overhead in bytes: directory tree + per-segment metadata
     /// (the quantity plotted on the x-axis of the paper's Figure 6).
     pub index_size_bytes: usize,
@@ -29,15 +33,40 @@ pub struct FitingTreeStats {
     pub buffer_size: u64,
 }
 
+/// Which structure located the covering segment during a lookup.
+///
+/// Since the flat-directory rework, the read hot path must never
+/// descend the pointer-based B+ tree; [`crate::FitingTree::get_traced`]
+/// reports the routing so tests can assert it stays that way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectoryPath {
+    /// The dense SoA anchor array (interpolation-seeded branchless
+    /// search) — the only routing the hot path is allowed to take.
+    FlatDirectory,
+    /// A pointer-chasing B+ tree descent (mutation-side structure).
+    ///
+    /// Intentionally never constructed on the current hot path: it
+    /// exists so any future fallback routing has an honest value to
+    /// report, and so the trace-level test pins the expected variant.
+    /// The *behavioral* enforcement that lookups use the flat directory
+    /// is `FitingTree::check_invariants`, which independently verifies
+    /// that the flat directory mirrors the tree exactly and routes
+    /// every live key to its owning segment.
+    BTreeDescent,
+}
+
 /// Phase timing of one instrumented lookup (paper Figure 13's
 /// tree-vs-page breakdown). Produced by [`crate::FitingTree::get_traced`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LookupTrace {
-    /// Nanoseconds spent descending the directory tree.
+    /// Nanoseconds spent locating the covering segment (flat-directory
+    /// search; historically a B+ tree descent, hence the field name).
     pub tree_nanos: u64,
     /// Nanoseconds spent interpolating and searching the segment
     /// (page window + buffer).
     pub segment_nanos: u64,
+    /// Which directory located the segment.
+    pub via: DirectoryPath,
 }
 
 impl LookupTrace {
@@ -68,12 +97,14 @@ mod tests {
         let t = LookupTrace {
             tree_nanos: 75,
             segment_nanos: 25,
+            via: DirectoryPath::FlatDirectory,
         };
         assert_eq!(t.total_nanos(), 100);
         assert!((t.tree_fraction() - 0.75).abs() < 1e-12);
         let z = LookupTrace {
             tree_nanos: 0,
             segment_nanos: 0,
+            via: DirectoryPath::FlatDirectory,
         };
         assert_eq!(z.tree_fraction(), 0.0);
     }
