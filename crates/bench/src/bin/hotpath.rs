@@ -8,7 +8,9 @@
 //! * `hotpath` — full sweep; writes `BENCH_hotpath.json` (override with
 //!   `--out <path>`). Pass `--before <prev.json>` to embed a previous
 //!   run's `after` section as this file's `before` and compute
-//!   headline speedups.
+//!   headline speedups. Also runs the append-skew-with-rebalance
+//!   scenario (half bulk-loaded, half appended, measured with fixed vs
+//!   online-rebalanced shard boundaries) into the `rebalance` section.
 //! * `hotpath --smoke` — a seconds-scale subset that does **not** write
 //!   the results file; instead it parses the committed
 //!   `BENCH_hotpath.json` and exits non-zero if the file is malformed
@@ -26,7 +28,7 @@ use fiting_baselines::{BinarySearchIndex, FullIndex};
 use fiting_bench::json::Json;
 use fiting_bench::{default_n, default_probes, default_seed, print_table, sample_probes};
 use fiting_datasets::Dataset;
-use fiting_index_api::{ShardedIndex, SortedIndex};
+use fiting_index_api::{RebalancePolicy, Rebalancer, ShardedIndex, SortedIndex};
 use fiting_index_service::ServiceConfig;
 use fiting_tree::{FitingService, FitingTree, FitingTreeBuilder, SearchStrategy};
 use rand::rngs::StdRng;
@@ -351,6 +353,124 @@ fn bench_service(cfg: &Config, wl: Workload, out: &mut Vec<Entry>) {
     drop(service.shutdown());
 }
 
+/// Max/mean shard occupancy — the imbalance ratio rebalancing bounds.
+fn imbalance(lens: &[usize]) -> f64 {
+    let total: usize = lens.iter().sum();
+    if total == 0 || lens.is_empty() {
+        return 1.0;
+    }
+    let mean = total as f64 / lens.len() as f64;
+    *lens.iter().max().unwrap() as f64 / mean
+}
+
+/// The append-skew-with-rebalance scenario: half the keys bulk-loaded
+/// uniformly into 4 shards, half appended past the maximum (the
+/// paper's IoT/timestamp shape, exaggerated so the static layout's
+/// imbalance is pronounced). Measured twice — boundaries fixed (what
+/// every PR before this one did) vs. an online `Rebalancer` stepping
+/// between append batches — recording the final occupancy shape into
+/// the JSON `rebalance` section plus lookup rows on the rebalanced
+/// layout.
+fn bench_rebalance(cfg: &Config, out: &mut Vec<Entry>) -> Json {
+    let shards = 4usize;
+    let bulk_n = cfg.n / 2;
+    let tail_n = cfg.n - bulk_n;
+    let bulk: Vec<(u64, u64)> = (0..bulk_n as u64).map(|k| (k * 10, k)).collect();
+    let tail: Vec<u64> = (0..tail_n as u64).map(|i| bulk_n as u64 * 10 + i).collect();
+    let all_keys: Vec<u64> = bulk
+        .iter()
+        .map(|&(k, _)| k)
+        .chain(tail.iter().copied())
+        .collect();
+    let probes = sample_probes(&all_keys, cfg.probes / 2, cfg.seed);
+    let scan_starts = sample_probes(&all_keys, cfg.scans, cfg.seed ^ 0x51ca);
+    let span = span_for(all_keys[0], *all_keys.last().unwrap(), all_keys.len(), 100);
+    let config = FitingTreeBuilder::new(64);
+
+    // Static boundaries: the whole tail piles onto the last shard.
+    let fixed: ShardedIndex<u64, u64, FitingTree<u64, u64>> =
+        ShardedIndex::bulk_load(&config, shards, bulk.clone()).expect("sorted bulk");
+    fixed.insert_many(tail.iter().map(|&k| (k, k)));
+    let imbalance_static = imbalance(&fixed.shard_lens());
+
+    // Rebalanced: same load, same appends, but a Rebalancer steps
+    // between batches (what the service coordinator does on a timer).
+    let rebalanced: ShardedIndex<u64, u64, FitingTree<u64, u64>> =
+        ShardedIndex::bulk_load(&config, shards, bulk).expect("sorted bulk");
+    let mut rebalancer: Rebalancer<u64, u64, FitingTree<u64, u64>> = Rebalancer::new(
+        config,
+        RebalancePolicy {
+            trigger_steps: 1,
+            cooldown_steps: 0,
+            min_split_entries: 4_096,
+            ..RebalancePolicy::default()
+        },
+    );
+    let sampler = rebalancer.sampler();
+    for batch in tail.chunks(8_192) {
+        sampler.observe_all(batch.iter().copied());
+        rebalanced.insert_many(batch.iter().map(|&k| (k, k)));
+        rebalancer.step(&rebalanced);
+    }
+    for _ in 0..64 {
+        if rebalancer.step(&rebalanced) == fiting_index_api::RebalanceOutcome::Idle {
+            break;
+        }
+    }
+    let imbalance_rebalanced = imbalance(&rebalanced.shard_lens());
+    let stats = rebalancer.stats();
+
+    // Lookup rows on the rebalanced layout (comparable against the
+    // "sharded" path rows: same structure, moved boundaries).
+    out.push(Entry {
+        path: "sharded-rebalanced",
+        dataset: "append-heavy",
+        index: "fiting",
+        strategy: "Binary",
+        error: 64,
+        op: "point",
+        ns_per_op: measure(&probes, |p| rebalanced.get(&p)),
+        ops: probes.len(),
+    });
+    out.push(Entry {
+        path: "sharded-rebalanced",
+        dataset: "append-heavy",
+        index: "fiting",
+        strategy: "Binary",
+        error: 64,
+        op: "range100",
+        ns_per_op: measure(&scan_starts, |s| {
+            rebalanced.range_collect(s..s.saturating_add(span)).len()
+        }),
+        ops: scan_starts.len(),
+    });
+    out.push(Entry {
+        path: "sharded",
+        dataset: "append-heavy",
+        index: "fiting",
+        strategy: "Binary",
+        error: 64,
+        op: "point",
+        ns_per_op: measure(&probes, |p| fixed.get(&p)),
+        ops: probes.len(),
+    });
+
+    Json::obj()
+        .with("scenario", Json::Str("append-heavy".into()))
+        .with("bulk_n", Json::Num(bulk_n as f64))
+        .with("appended_n", Json::Num(tail_n as f64))
+        .with("shards_initial", Json::Num(shards as f64))
+        .with(
+            "shards_after_rebalance",
+            Json::Num(rebalanced.shard_count() as f64),
+        )
+        .with("imbalance_static", Json::Num(imbalance_static))
+        .with("imbalance_rebalanced", Json::Num(imbalance_rebalanced))
+        .with("splits", Json::Num(stats.splits as f64))
+        .with("merges", Json::Num(stats.merges as f64))
+        .with("moved_keys", Json::Num(stats.moved_keys as f64))
+}
+
 fn run(cfg: &Config) -> Vec<Entry> {
     let mut out = Vec::new();
     for wl in [Workload::Uniform, Workload::Clustered, Workload::AppendSkew] {
@@ -551,7 +671,9 @@ fn main() {
         std::process::exit(smoke_gate(&cfg, &out_path));
     }
 
-    let entries = run(&cfg);
+    let mut entries = run(&cfg);
+    eprintln!("  measuring append-heavy / rebalance ...");
+    let rebalance_summary = bench_rebalance(&cfg, &mut entries);
     let after = entries_json(&entries);
 
     let before = before_path.map(|p| {
@@ -605,6 +727,7 @@ fn main() {
             doc.set("before", Json::Null);
         }
     }
+    doc.set("rebalance", rebalance_summary);
     doc.set("after", after);
 
     std::fs::write(&out_path, doc.pretty()).expect("writable output path");
@@ -636,6 +759,20 @@ fn main() {
         println!(
             "\nheadline speedup (direct/uniform/Binary/e=64/point): {:.2}x",
             h.get("speedup").and_then(Json::as_f64).unwrap_or(0.0)
+        );
+    }
+    if let Some(r) = doc.get("rebalance") {
+        let num = |k: &str| r.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        println!(
+            "rebalance (append-heavy): max/mean occupancy {:.2}x static -> {:.2}x \
+             rebalanced, {} -> {} shards ({} splits, {} merges, {} keys moved)",
+            num("imbalance_static"),
+            num("imbalance_rebalanced"),
+            num("shards_initial"),
+            num("shards_after_rebalance"),
+            num("splits"),
+            num("merges"),
+            num("moved_keys"),
         );
     }
 }

@@ -205,7 +205,7 @@ fn main() {
             format!(
                 "{}",
                 stats
-                    .shards
+                    .lanes
                     .iter()
                     .map(|s| s.largest_batch)
                     .max()

@@ -238,8 +238,8 @@ impl<K: Key, V> FitingTree<K, V> {
     /// and the time spent in each of the two phases (segment location
     /// vs in-segment search), plus which directory the locate step
     /// reported searching — [`DirectoryPath::FlatDirectory`] on the
-    /// current hot path (see [`locate_traced`](Self::locate_traced) for
-    /// how the marker is kept honest).
+    /// current hot path (the internal `locate_traced` step keeps the
+    /// marker honest).
     #[must_use]
     pub fn get_traced(&self, key: &K) -> (Option<&V>, LookupTrace) {
         let t0 = Instant::now();

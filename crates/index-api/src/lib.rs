@@ -24,7 +24,13 @@
 //!   `&mut dyn DynSortedIndex<K, V>`.
 //! * [`ShardedIndex`] — a range-partitioned concurrent front-end:
 //!   boundaries sampled at bulk load, one `RwLock` per shard,
-//!   cross-shard `range_collect`, and batched `insert_many`.
+//!   cross-shard `range_collect`, batched `insert_many`, and online
+//!   [`split_shard`](ShardedIndex::split_shard) /
+//!   [`merge_with_next`](ShardedIndex::merge_with_next) boundary moves.
+//! * [`rebalance`] — the policy layer that drives those moves from
+//!   observed occupancy: a decaying [`WriteSampler`] of the write
+//!   stream, a [`RebalancePolicy`] with hysteresis, and the
+//!   [`Rebalancer`] stepper a coordinator thread runs on a timer.
 //!
 //! Implementations live with their structures: `fiting_tree::FitingTree`
 //! and `DeltaFitingTree`, `fiting_btree::BPlusTree`, and the three
@@ -36,11 +42,15 @@
 #![forbid(unsafe_code)]
 
 mod key;
+pub mod rebalance;
 mod sharded;
 mod sorted;
 
 pub use key::{Key, OrderedF64};
-pub use sharded::{ShardStats, ShardedIndex, SHARD_METADATA_BYTES};
+pub use rebalance::{
+    RebalanceCounters, RebalanceOutcome, RebalancePolicy, RebalanceStats, Rebalancer, WriteSampler,
+};
+pub use sharded::{RebalanceError, ShardStats, ShardedIndex, SHARD_METADATA_BYTES};
 pub use sorted::{
     clone_entry, clone_pair, sorted_slice_range, BuildableIndex, DynSortedIndex, SortedIndex,
 };

@@ -2,33 +2,54 @@
 //!
 //! The previous concurrency story was one `RwLock` around the whole
 //! index: every write serialized every read. [`ShardedIndex`]
-//! range-partitions the key space into `S` shards — boundaries chosen
+//! range-partitions the key space into shards — boundaries chosen
 //! from the bulk-load sample — each behind its own reader-writer lock,
 //! so point operations on different shards never contend and writers
 //! block only the readers of one shard.
 //!
-//! Design notes:
+//! # Design notes
 //!
-//! * **Static range partitioning.** Boundaries are fixed at
-//!   construction from evenly spaced positions in the sorted bulk-load
-//!   data. Skewed *growth* after load can imbalance shards; rebalancing
-//!   is future work (see ROADMAP "Open items").
+//! * **Movable range partitioning.** Boundaries start at evenly spaced
+//!   positions in the sorted bulk-load data, but are *not* fixed for
+//!   the life of the index: [`split_shard`] and [`merge_with_next`]
+//!   move segment runs between shards online, and the
+//!   [`rebalance`](crate::rebalance) module drives them from observed
+//!   occupancy so append-skewed streams stop piling onto one shard.
+//! * **Routing table snapshots.** All routing state (the boundary keys
+//!   and the shard handles) lives in one immutable table behind an
+//!   `Arc`; operations clone the `Arc` (nanoseconds under a read lock)
+//!   and then work lock-free on the snapshot. A rebalance publishes a
+//!   new table while still holding the write locks of every shard it
+//!   touched, so an operation that acquired a shard lock under a stale
+//!   snapshot can detect the move — the key no longer routes to the
+//!   locked shard under the *current* table — and retry. Readers and
+//!   writers of untouched shards never block on a rebalance. Known
+//!   cost: the table fetch is one shared read-lock hold plus an `Arc`
+//!   refcount bump per operation — shared cache lines all cores
+//!   touch. An epoch check already skips the *second* fetch
+//!   (validation) on the hot path; retiring the first one needs an
+//!   `arc-swap`-style wait-free publish, which the no-`unsafe`,
+//!   offline-deps constraint currently rules out (see ROADMAP).
 //! * **Lock order.** Multi-shard operations ([`range_collect`],
 //!   [`insert_many`], [`len`]) visit shards in ascending index order
-//!   and hold at most one lock at a time, so they cannot deadlock with
-//!   each other — at the cost of cross-shard snapshot consistency:
-//!   a `range_collect` concurrent with writes sees each *shard*
-//!   atomically, not the whole index.
+//!   and hold at most one shard lock at a time; a rebalance holds at
+//!   most two (adjacent, ascending) and is serialized against other
+//!   rebalances by a dedicated mutex — so no lock cycle exists. The
+//!   cost is cross-shard snapshot consistency: a `range_collect`
+//!   concurrent with writes sees each *shard* atomically, not the
+//!   whole index.
 //! * **Shared handle.** `Clone` clones an `Arc` handle, mirroring how
 //!   the old `ConcurrentFitingTree` wrapper was shared across threads.
 //!
 //! [`range_collect`]: ShardedIndex::range_collect
 //! [`insert_many`]: ShardedIndex::insert_many
 //! [`len`]: ShardedIndex::len
+//! [`split_shard`]: ShardedIndex::split_shard
+//! [`merge_with_next`]: ShardedIndex::merge_with_next
 
 use crate::key::Key;
 use crate::sorted::{BuildableIndex, SortedIndex};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::ops::{Bound, RangeBounds};
 use std::sync::Arc;
 
@@ -39,10 +60,13 @@ pub const SHARD_METADATA_BYTES: usize = 16;
 /// Point-in-time snapshot of one shard's occupancy, taken under that
 /// shard's read lock by [`ShardedIndex::shard_stats`].
 ///
-/// Feeds two consumers: the service layer's per-shard observability
-/// (queue depth next to shard occupancy) and the future rebalancing
-/// work, which needs imbalance to be *visible* before boundaries can be
-/// moved (see ROADMAP "Shard rebalancing").
+/// Feeds two consumers: the service layer's observability (queue depth
+/// next to shard occupancy) and the [`rebalance`](crate::rebalance)
+/// policy, which turns visible imbalance into [`split_shard`] /
+/// [`merge_with_next`] calls.
+///
+/// [`split_shard`]: ShardedIndex::split_shard
+/// [`merge_with_next`]: ShardedIndex::merge_with_next
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ShardStats {
     /// Entries currently held by the shard.
@@ -51,17 +75,95 @@ pub struct ShardStats {
     pub size_bytes: usize,
 }
 
-struct Inner<K, I> {
+/// Why a [`split_shard`](ShardedIndex::split_shard) or
+/// [`merge_with_next`](ShardedIndex::merge_with_next) call was refused.
+///
+/// Every error leaves the index exactly as it was — rebalance
+/// primitives either complete fully or change nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebalanceError<E> {
+    /// The shard index does not name an existing shard (for a merge:
+    /// the *right-hand* shard of the pair).
+    NoSuchShard {
+        /// The out-of-range index that was requested.
+        shard: usize,
+        /// The shard count at the time of the call.
+        shard_count: usize,
+    },
+    /// The requested split key falls outside the span of keys the
+    /// shard routes, so inserting it would corrupt boundary order.
+    BoundaryOutOfSpan,
+    /// The requested split key would leave one side of the split with
+    /// no entries (it is ≤ the shard's first key or > its last).
+    EmptySide,
+    /// Building the new upper shard failed; no data was moved.
+    Build(E),
+}
+
+impl<E: std::fmt::Debug> std::fmt::Display for RebalanceError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebalanceError::NoSuchShard { shard, shard_count } => {
+                write!(f, "no shard {shard} (index has {shard_count})")
+            }
+            RebalanceError::BoundaryOutOfSpan => {
+                f.write_str("split key outside the shard's routed span")
+            }
+            RebalanceError::EmptySide => {
+                f.write_str("split key would leave one side of the split empty")
+            }
+            RebalanceError::Build(e) => write!(f, "building the upper shard failed: {e:?}"),
+        }
+    }
+}
+
+impl<E: std::fmt::Debug> std::error::Error for RebalanceError<E> {}
+
+/// One immutable routing epoch: the boundary keys plus the shard
+/// handles they route to. Swapped wholesale by rebalance operations;
+/// never mutated in place.
+struct Table<K, I> {
     /// `bounds[i]` is the smallest key routed to shard `i + 1`;
     /// `shards.len() == bounds.len() + 1`, and shard 0 has no lower
     /// bound (keys below every boundary, including an empty-load
     /// index's whole key space, route there).
     bounds: Vec<K>,
-    shards: Vec<RwLock<I>>,
+    /// Shard handles. `Arc` so consecutive tables share the untouched
+    /// shards and so validation can compare shard *identity* by
+    /// pointer.
+    shards: Vec<Arc<RwLock<I>>>,
+}
+
+impl<K: Key, I> Table<K, I> {
+    fn shard_for(&self, key: &K) -> usize {
+        self.bounds.partition_point(|b| b <= key)
+    }
+
+    fn shard_for_bound(&self, bound: &Bound<K>) -> usize {
+        match bound {
+            Bound::Included(k) | Bound::Excluded(k) => self.shard_for(k),
+            Bound::Unbounded => 0,
+        }
+    }
+}
+
+struct Inner<K, I> {
+    /// The current routing table. The outer lock is held only long
+    /// enough to clone or replace the `Arc` — never while any shard
+    /// lock is held or awaited.
+    table: RwLock<Arc<Table<K, I>>>,
+    /// Bumped (after the table swap, before the shard locks release)
+    /// by every rebalance. Point operations read it before routing and
+    /// after locking: an unchanged epoch proves no rebalance intervened
+    /// and skips the second table fetch on the hot path.
+    epoch: std::sync::atomic::AtomicU64,
+    /// Serializes rebalance operations against each other, so each
+    /// split/merge observes a stable table from decision to publish.
+    rebalances: Mutex<()>,
 }
 
 /// A range-partitioned, per-shard-locked concurrent front-end over any
-/// [`SortedIndex`] implementation.
+/// [`SortedIndex`] implementation, with online shard rebalancing.
 ///
 /// ```
 /// use fiting_index_api::{ShardedIndex, SortedIndex};
@@ -79,6 +181,29 @@ struct Inner<K, I> {
 /// assert_eq!(t.join().unwrap(), Some(250));
 /// assert_eq!(index.get(&501), Some(999));
 /// assert_eq!(index.range_collect(4_998..=5_004).len(), 4);
+/// ```
+///
+/// Splitting a hot shard moves its upper run into a new neighbor
+/// without invalidating concurrent readers:
+///
+/// ```
+/// use fiting_index_api::ShardedIndex;
+/// # use fiting_index_api::doctest_support::VecIndex;
+///
+/// let pairs: Vec<(u64, u64)> = (0..1_000).map(|k| (k, k)).collect();
+/// let index: ShardedIndex<u64, u64, VecIndex<u64, u64>> =
+///     ShardedIndex::bulk_load(&(), 2, pairs).unwrap();
+///
+/// // Shard 1 owns [500, ∞); split it at 750.
+/// let moved = index.split_shard(&(), 1, 750).unwrap();
+/// assert_eq!(moved, 250);
+/// assert_eq!(index.shard_count(), 3);
+/// assert_eq!(index.boundaries(), vec![500, 750]);
+/// assert_eq!(index.get(&900), Some(900)); // re-routed transparently
+///
+/// // Merge it back.
+/// assert_eq!(index.merge_with_next(1).unwrap(), 250);
+/// assert_eq!(index.shard_count(), 2);
 /// ```
 pub struct ShardedIndex<K: Key, V: Clone, I: SortedIndex<K, V>> {
     inner: Arc<Inner<K, I>>,
@@ -98,13 +223,10 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> Clone for ShardedIndex<K, V, I> {
 /// semantics of the old whole-index-lock `ConcurrentFitingTree`.
 impl<K: Key, V: Clone, I: SortedIndex<K, V>> From<I> for ShardedIndex<K, V, I> {
     fn from(index: I) -> Self {
-        ShardedIndex {
-            inner: Arc::new(Inner {
-                bounds: Vec::new(),
-                shards: vec![RwLock::new(index)],
-            }),
-            _values: std::marker::PhantomData,
-        }
+        ShardedIndex::from_table(Table {
+            bounds: Vec::new(),
+            shards: vec![Arc::new(RwLock::new(index))],
+        })
     }
 }
 
@@ -115,6 +237,9 @@ impl<K: Key, V: Clone, I: BuildableIndex<K, V>> ShardedIndex<K, V, I> {
     ///
     /// Fewer shards are built when the data has fewer distinct boundary
     /// candidates than requested (e.g. an empty load builds one shard).
+    /// The boundaries only *start* here; see
+    /// [`split_shard`](Self::split_shard) and
+    /// [`merge_with_next`](Self::merge_with_next) for how they move.
     ///
     /// # Panics
     ///
@@ -152,57 +277,278 @@ impl<K: Key, V: Clone, I: BuildableIndex<K, V>> ShardedIndex<K, V, I> {
             let at = rest.partition_point(|(k, _)| k < b);
             tails.push(rest.split_off(at));
         }
-        shards.push(RwLock::new(I::build_sorted(config, rest)?));
+        shards.push(Arc::new(RwLock::new(I::build_sorted(config, rest)?)));
         for chunk in tails.into_iter().rev() {
-            shards.push(RwLock::new(I::build_sorted(config, chunk)?));
+            shards.push(Arc::new(RwLock::new(I::build_sorted(config, chunk)?)));
         }
         debug_assert_eq!(shards.len(), bounds.len() + 1);
-        Ok(ShardedIndex {
-            inner: Arc::new(Inner { bounds, shards }),
-            _values: std::marker::PhantomData,
-        })
+        Ok(ShardedIndex::from_table(Table { bounds, shards }))
+    }
+
+    /// Splits shard `shard` at key `at`: entries with keys `>= at` move
+    /// into a newly built shard inserted immediately after, and `at`
+    /// becomes a routing boundary. Returns the number of entries moved.
+    ///
+    /// The move happens under the source shard's write lock and the new
+    /// routing table is published *before* that lock is released, so
+    /// concurrent operations on the split shard either complete against
+    /// the pre-split layout or observe the move and re-route; readers
+    /// and writers of every other shard are never blocked.
+    ///
+    /// # Errors
+    ///
+    /// Refused (changing nothing) when `shard` does not exist, when
+    /// `at` falls outside the shard's routed span, when either side of
+    /// the split would hold no entries, or when building the upper
+    /// shard fails.
+    pub fn split_shard(
+        &self,
+        config: &I::Config,
+        shard: usize,
+        at: K,
+    ) -> Result<usize, RebalanceError<I::BuildError>> {
+        let _serial = self.inner.rebalances.lock();
+        let table = self.table();
+        let shard_count = table.shards.len();
+        if shard >= shard_count {
+            return Err(RebalanceError::NoSuchShard { shard, shard_count });
+        }
+        // The new boundary must keep `bounds` strictly increasing.
+        if shard > 0 && at <= table.bounds[shard - 1] {
+            return Err(RebalanceError::BoundaryOutOfSpan);
+        }
+        if shard < table.bounds.len() && at >= table.bounds[shard] {
+            return Err(RebalanceError::BoundaryOutOfSpan);
+        }
+        let source = Arc::clone(&table.shards[shard]);
+        let mut guard = source.write();
+        let moving = guard.range_collect(at..);
+        if moving.is_empty() || moving.len() == guard.len() {
+            return Err(RebalanceError::EmptySide);
+        }
+        let moved_keys: Vec<K> = moving.iter().map(|&(k, _)| k).collect();
+        // Build the new shard *before* draining the source, so a build
+        // failure leaves the index untouched.
+        let upper = I::build_sorted(config, moving).map_err(RebalanceError::Build)?;
+        for k in &moved_keys {
+            guard.remove(k);
+        }
+        let mut bounds = table.bounds.clone();
+        bounds.insert(shard, at);
+        let mut shards = table.shards.clone();
+        shards.insert(shard + 1, Arc::new(RwLock::new(upper)));
+        *self.inner.table.write() = Arc::new(Table { bounds, shards });
+        self.inner
+            .epoch
+            .fetch_add(1, std::sync::atomic::Ordering::Release);
+        // Only now release the source lock: any operation that routed
+        // here under the old table revalidates against the new one.
+        drop(guard);
+        Ok(moved_keys.len())
+    }
+
+    /// Merges shard `shard + 1` into shard `shard`: the right shard's
+    /// entries bulk-move left, the boundary between them disappears,
+    /// and the right shard is retired. Returns the number of entries
+    /// moved.
+    ///
+    /// Both shards' write locks are held across the move and the
+    /// routing-table publish, so concurrent operations on either shard
+    /// re-route cleanly; every other shard proceeds untouched.
+    ///
+    /// # Errors
+    ///
+    /// Refused (changing nothing) when `shard + 1` does not name an
+    /// existing shard.
+    pub fn merge_with_next(&self, shard: usize) -> Result<usize, RebalanceError<I::BuildError>> {
+        let _serial = self.inner.rebalances.lock();
+        let table = self.table();
+        let shard_count = table.shards.len();
+        if shard + 1 >= shard_count {
+            return Err(RebalanceError::NoSuchShard {
+                shard: shard + 1,
+                shard_count,
+            });
+        }
+        let keep = Arc::clone(&table.shards[shard]);
+        let retire = Arc::clone(&table.shards[shard + 1]);
+        // Ascending acquisition; other operations hold at most one
+        // shard lock at a time, so holding two adjacent locks here
+        // cannot deadlock.
+        let mut keep_guard = keep.write();
+        let retire_guard = retire.write();
+        let moving = retire_guard.range_collect(..);
+        let moved = moving.len();
+        keep_guard.insert_many(moving);
+        let mut bounds = table.bounds.clone();
+        bounds.remove(shard);
+        let mut shards = table.shards.clone();
+        shards.remove(shard + 1);
+        *self.inner.table.write() = Arc::new(Table { bounds, shards });
+        self.inner
+            .epoch
+            .fetch_add(1, std::sync::atomic::Ordering::Release);
+        // The retired shard still holds its (now duplicate) entries,
+        // but no table references it: once the last stale operation
+        // revalidates and retries, it is dropped.
+        drop(retire_guard);
+        drop(keep_guard);
+        Ok(moved)
     }
 }
 
 impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
+    fn from_table(table: Table<K, I>) -> Self {
+        ShardedIndex {
+            inner: Arc::new(Inner {
+                table: RwLock::new(Arc::new(table)),
+                epoch: std::sync::atomic::AtomicU64::new(0),
+                rebalances: Mutex::new(()),
+            }),
+            _values: std::marker::PhantomData,
+        }
+    }
+
+    /// Clones the current routing-table snapshot (a brief read lock
+    /// around one `Arc` clone — the only lock ever nested inside a
+    /// shard lock, and never held across any other acquisition).
+    fn table(&self) -> Arc<Table<K, I>> {
+        Arc::clone(&self.inner.table.read())
+    }
+
+    /// Runs `f` with shared access to the shard that owns `key` under
+    /// the *current* routing table, retrying if a concurrent rebalance
+    /// moves the key's boundary between routing and lock acquisition.
+    fn read_owner<R>(&self, key: &K, f: impl FnOnce(&I) -> R) -> R {
+        use std::sync::atomic::Ordering;
+        let mut f = Some(f);
+        loop {
+            let epoch = self.inner.epoch.load(Ordering::Acquire);
+            let table = self.table();
+            let shard = Arc::clone(&table.shards[table.shard_for(key)]);
+            let guard = shard.read();
+            // Fast path: no rebalance published between routing and
+            // lock acquisition, so the routing is current by
+            // construction (a rebalance bumps the epoch before
+            // releasing the shard locks it holds).
+            if self.inner.epoch.load(Ordering::Acquire) == epoch {
+                return (f.take().expect("resolved on first success"))(&guard);
+            }
+            // Slow path: re-fetch the table. While we hold the shard
+            // lock, no rebalance touching this shard can publish; so if
+            // the current table routes `key` here, this shard
+            // authoritatively owns it.
+            let cur = self.table();
+            if Arc::ptr_eq(&cur, &table) || Arc::ptr_eq(&cur.shards[cur.shard_for(key)], &shard) {
+                return (f.take().expect("resolved on first success"))(&guard);
+            }
+        }
+    }
+
+    /// Exclusive-access counterpart of [`read_owner`](Self::read_owner).
+    fn write_owner<R>(&self, key: &K, f: impl FnOnce(&mut I) -> R) -> R {
+        use std::sync::atomic::Ordering;
+        let mut f = Some(f);
+        loop {
+            let epoch = self.inner.epoch.load(Ordering::Acquire);
+            let table = self.table();
+            let shard = Arc::clone(&table.shards[table.shard_for(key)]);
+            let mut guard = shard.write();
+            if self.inner.epoch.load(Ordering::Acquire) == epoch {
+                return (f.take().expect("resolved on first success"))(&mut guard);
+            }
+            let cur = self.table();
+            if Arc::ptr_eq(&cur, &table) || Arc::ptr_eq(&cur.shards[cur.shard_for(key)], &shard) {
+                return (f.take().expect("resolved on first success"))(&mut guard);
+            }
+        }
+    }
+
     /// Number of shards.
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.inner.shards.len()
+        self.table().shards.len()
     }
 
-    fn shard_for(&self, key: &K) -> usize {
-        self.inner.bounds.partition_point(|b| b <= key)
+    /// The current boundary keys, in increasing order: `boundaries()[i]`
+    /// is the smallest key routed to shard `i + 1`. Empty for a
+    /// single-shard index. A snapshot — rebalancing may move them.
+    #[must_use]
+    pub fn boundaries(&self) -> Vec<K> {
+        self.table().bounds.clone()
     }
 
     /// Index of the shard that owns `key` — the routing function,
-    /// exposed so layers above (the command-pipeline service) can
-    /// partition work per shard without taking any lock.
+    /// exposed so layers above can partition work per shard without
+    /// taking any lock. A snapshot: a concurrent rebalance can re-route
+    /// the key before the caller acts on the answer (every multi-key
+    /// operation on this type revalidates internally instead of
+    /// trusting a stale answer).
     #[must_use]
     pub fn shard_of(&self, key: &K) -> usize {
-        self.shard_for(key)
+        self.table().shard_for(key)
+    }
+
+    /// The key span shard `shard` currently routes, as
+    /// `(lower, upper)` bounds: `lower` is `None` for shard 0
+    /// (unbounded below), `upper` is `None` for the last shard. `None`
+    /// altogether when `shard` does not exist.
+    #[must_use]
+    pub fn shard_span(&self, shard: usize) -> Option<(Option<K>, Option<K>)> {
+        let table = self.table();
+        if shard >= table.shards.len() {
+            return None;
+        }
+        let lo = if shard == 0 {
+            None
+        } else {
+            Some(table.bounds[shard - 1])
+        };
+        Some((lo, table.bounds.get(shard).copied()))
+    }
+
+    /// The median key currently stored in shard `shard` (the entry at
+    /// position `len / 2` in key order), or `None` when the shard does
+    /// not exist or holds fewer than two entries. With strictly
+    /// increasing keys the result is always greater than the shard's
+    /// first key, so it is a valid [`split_shard`] point — the
+    /// fallback split boundary when no sampled median is available.
+    ///
+    /// Cost caveat: the generic [`SortedIndex::range`] iterator yields
+    /// owned pairs, so reaching position `len / 2` clones half the
+    /// shard's values under its read lock. Fine as the rare
+    /// sampler-miss fallback it exists for; prefer feeding the
+    /// [`WriteSampler`](crate::WriteSampler) so the sampled median is
+    /// used instead.
+    ///
+    /// [`split_shard`]: Self::split_shard
+    #[must_use]
+    pub fn shard_median(&self, shard: usize) -> Option<K> {
+        let table = self.table();
+        let guard = table.shards.get(shard)?.read();
+        let n = guard.len();
+        if n < 2 {
+            return None;
+        }
+        let median = guard.range(..).nth(n / 2).map(|(k, _)| k);
+        median
     }
 
     /// Point lookup under the owning shard's read lock; clones the
     /// value out.
     #[must_use]
     pub fn get(&self, key: &K) -> Option<V> {
-        self.inner.shards[self.shard_for(key)]
-            .read()
-            .get(key)
-            .cloned()
+        self.read_owner(key, |shard| shard.get(key).cloned())
     }
 
     /// Upsert under the owning shard's write lock.
     pub fn insert(&self, key: K, value: V) -> Option<V> {
-        self.inner.shards[self.shard_for(&key)]
-            .write()
-            .insert(key, value)
+        self.write_owner(&key, |shard| shard.insert(key, value))
     }
 
     /// Remove under the owning shard's write lock.
     pub fn remove(&self, key: &K) -> Option<V> {
-        self.inner.shards[self.shard_for(key)].write().remove(key)
+        self.write_owner(key, |shard| shard.remove(key))
     }
 
     /// Batched insert: groups the batch by destination shard, then
@@ -210,137 +556,239 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
     /// group through [`SortedIndex::insert_many`] — for `b` keys
     /// across `s` shards, `min(b, s)` lock acquisitions instead of `b`,
     /// plus whatever batch amortization the shard structure's own
-    /// `insert_many` provides.
+    /// `insert_many` provides. Keys whose boundary a concurrent
+    /// rebalance moves mid-batch are transparently re-grouped and
+    /// retried, so none are lost or misplaced.
     ///
     /// Returns the number of keys that were new (not overwrites).
     pub fn insert_many<It: IntoIterator<Item = (K, V)>>(&self, batch: It) -> usize {
-        let mut groups: Vec<Vec<(K, V)>> = (0..self.shard_count()).map(|_| Vec::new()).collect();
-        for (k, v) in batch {
-            groups[self.shard_for(&k)].push((k, v));
-        }
+        let mut pending: Vec<(K, V)> = batch.into_iter().collect();
         let mut fresh = 0;
-        for (i, group) in groups.into_iter().enumerate() {
-            if group.is_empty() {
-                continue;
+        while !pending.is_empty() {
+            let table = self.table();
+            let mut groups: Vec<Vec<(K, V)>> =
+                (0..table.shards.len()).map(|_| Vec::new()).collect();
+            for (k, v) in std::mem::take(&mut pending) {
+                groups[table.shard_for(&k)].push((k, v));
             }
-            fresh += self.inner.shards[i].write().insert_many(group);
+            for (sid, group) in groups.into_iter().enumerate() {
+                if group.is_empty() {
+                    continue;
+                }
+                let shard = Arc::clone(&table.shards[sid]);
+                let mut guard = shard.write();
+                let cur = self.table();
+                let mut owned = Vec::with_capacity(group.len());
+                for (k, v) in group {
+                    if Arc::ptr_eq(&cur.shards[cur.shard_for(&k)], &shard) {
+                        owned.push((k, v));
+                    } else {
+                        pending.push((k, v));
+                    }
+                }
+                if !owned.is_empty() {
+                    fresh += guard.insert_many(owned);
+                }
+            }
         }
         fresh
+    }
+
+    /// Applies `f` to every `(key, payload)` item under the owning
+    /// shard's *read* lock, grouping items so each involved shard's
+    /// lock is taken once per pass instead of once per item. Items
+    /// whose key a concurrent rebalance re-routes mid-pass are retried
+    /// against the new layout, so `f` runs exactly once per item and
+    /// always against the shard that owns the key at that moment.
+    ///
+    /// Returns the number of read-lock acquisitions taken — the
+    /// coalescing win the service layer reports as `read_runs`.
+    ///
+    /// Within one key, items keep their submitted order (grouping is
+    /// stable and a key's items always land in the same group).
+    pub fn with_read_groups<T>(&self, items: Vec<(K, T)>, mut f: impl FnMut(&I, K, T)) -> usize {
+        let mut pending = items;
+        let mut locks = 0;
+        while !pending.is_empty() {
+            let table = self.table();
+            let mut groups: Vec<Vec<(K, T)>> =
+                (0..table.shards.len()).map(|_| Vec::new()).collect();
+            for (k, t) in std::mem::take(&mut pending) {
+                groups[table.shard_for(&k)].push((k, t));
+            }
+            for (sid, group) in groups.into_iter().enumerate() {
+                if group.is_empty() {
+                    continue;
+                }
+                let shard = Arc::clone(&table.shards[sid]);
+                let guard = shard.read();
+                let cur = self.table();
+                locks += 1;
+                for (k, t) in group {
+                    if Arc::ptr_eq(&cur.shards[cur.shard_for(&k)], &shard) {
+                        f(&guard, k, t);
+                    } else {
+                        pending.push((k, t));
+                    }
+                }
+            }
+        }
+        locks
+    }
+
+    /// Write-lock counterpart of
+    /// [`with_read_groups`](Self::with_read_groups): applies `f` to
+    /// every `(key, payload)` item under the owning shard's write
+    /// lock, one acquisition per involved shard per pass, revalidating
+    /// against concurrent rebalances. Returns the number of write-lock
+    /// acquisitions taken.
+    pub fn with_write_groups<T>(
+        &self,
+        items: Vec<(K, T)>,
+        mut f: impl FnMut(&mut I, K, T),
+    ) -> usize {
+        let mut pending = items;
+        let mut locks = 0;
+        while !pending.is_empty() {
+            let table = self.table();
+            let mut groups: Vec<Vec<(K, T)>> =
+                (0..table.shards.len()).map(|_| Vec::new()).collect();
+            for (k, t) in std::mem::take(&mut pending) {
+                groups[table.shard_for(&k)].push((k, t));
+            }
+            for (sid, group) in groups.into_iter().enumerate() {
+                if group.is_empty() {
+                    continue;
+                }
+                let shard = Arc::clone(&table.shards[sid]);
+                let mut guard = shard.write();
+                let cur = self.table();
+                locks += 1;
+                for (k, t) in group {
+                    if Arc::ptr_eq(&cur.shards[cur.shard_for(&k)], &shard) {
+                        f(&mut guard, k, t);
+                    } else {
+                        pending.push((k, t));
+                    }
+                }
+            }
+        }
+        locks
     }
 
     /// Collects a cross-shard range scan, visiting each overlapping
     /// shard under its read lock in ascending key order.
     ///
     /// Each shard is read atomically; concurrent writers may be
-    /// interleaved *between* shards (see the module docs).
+    /// interleaved *between* shards (see the module docs). The walk
+    /// follows the *live* routing table from shard to shard, so a
+    /// concurrent split or merge neither skips nor repeats a key span —
+    /// though, like any cross-shard scan, entries a rebalance moves
+    /// between two visits may be seen in their pre- or post-move shard.
     #[must_use]
     pub fn range_collect<R: RangeBounds<K>>(&self, range: R) -> Vec<(K, V)> {
-        let lo: Bound<K> = range.start_bound().cloned();
         let hi: Bound<K> = range.end_bound().cloned();
-        let first = match &lo {
-            Bound::Included(k) | Bound::Excluded(k) => self.shard_for(k),
-            Bound::Unbounded => 0,
-        };
-        let last = match &hi {
-            // `shard_for` over-approximates for an excluded endpoint on
-            // a boundary; the per-shard range filter discards the
-            // excess.
-            Bound::Included(k) | Bound::Excluded(k) => self.shard_for(k),
-            Bound::Unbounded => self.shard_count() - 1,
-        };
-        if last < first {
-            // Inverted range: empty, matching every single-structure
-            // SortedIndex implementation.
-            return Vec::new();
-        }
+        let mut cursor: Bound<K> = range.start_bound().cloned();
         let mut out = Vec::new();
-        for shard in &self.inner.shards[first..=last] {
-            out.extend(shard.read().range((lo, hi)));
+        loop {
+            let table = self.table();
+            let sid = table.shard_for_bound(&cursor);
+            let shard = Arc::clone(&table.shards[sid]);
+            let guard = shard.read();
+            let cur = self.table();
+            let csid = cur.shard_for_bound(&cursor);
+            if !Arc::ptr_eq(&cur.shards[csid], &shard) {
+                continue; // the cursor's boundary moved; re-route
+            }
+            // Upper edge of the locked shard's span under the table we
+            // validated against (`None` for the last shard).
+            let shard_hi: Option<K> = cur.bounds.get(csid).copied();
+            let last_step = match (shard_hi, &hi) {
+                (None, _) => true,
+                (Some(b), Bound::Included(h)) => *h < b,
+                (Some(b), Bound::Excluded(h)) => *h <= b,
+                (Some(_), Bound::Unbounded) => false,
+            };
+            let step_hi = match (last_step, shard_hi) {
+                (true, _) => hi,
+                (false, Some(b)) => Bound::Excluded(b),
+                (false, None) => unreachable!("non-final steps have a shard boundary"),
+            };
+            out.extend(guard.range((cursor, step_hi)));
+            if last_step {
+                return out;
+            }
+            cursor = Bound::Included(shard_hi.expect("non-final steps have a shard boundary"));
         }
-        out
     }
 
     /// Total entries across shards (each shard counted under its read
     /// lock, one at a time).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.shards.iter().map(|s| s.read().len()).sum()
+        self.table().shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Whether no shard holds any entry.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.inner.shards.iter().all(|s| s.read().is_empty())
+        self.table().shards.iter().all(|s| s.read().is_empty())
     }
 
     /// Bytes of index structure: every shard's own accounting plus
     /// [`SHARD_METADATA_BYTES`] per shard for the routing table.
     #[must_use]
     pub fn size_bytes(&self) -> usize {
-        let shards: usize = self
-            .inner
-            .shards
-            .iter()
-            .map(|s| s.read().size_bytes())
-            .sum();
-        shards + self.shard_count() * SHARD_METADATA_BYTES
+        let table = self.table();
+        let shards: usize = table.shards.iter().map(|s| s.read().size_bytes()).sum();
+        shards + table.shards.len() * SHARD_METADATA_BYTES
     }
 
     /// Display name, derived from the shard structure's name.
     #[must_use]
     pub fn name(&self) -> String {
+        let table = self.table();
         format!(
             "Sharded<{}>x{}",
-            self.inner.shards[0].read().name(),
-            self.shard_count()
+            table.shards[0].read().name(),
+            table.shards.len()
         )
     }
 
     /// Runs `f` on every shard in key order under its read lock (for
-    /// stats and invariant checks).
+    /// stats and invariant checks). Iterates one routing-table
+    /// snapshot; a concurrent rebalance can move entries between
+    /// not-yet-visited shards mid-iteration.
     pub fn for_each_shard(&self, mut f: impl FnMut(&I)) {
-        for shard in &self.inner.shards {
+        for shard in &self.table().shards {
             f(&shard.read());
         }
     }
 
-    /// Runs `f` with shared access to the shard that owns `key`.
+    /// Runs `f` with shared access to the shard that owns `key`,
+    /// revalidating against concurrent rebalances (like every key-
+    /// routed operation).
     pub fn with_shard_read<R>(&self, key: &K, f: impl FnOnce(&I) -> R) -> R {
-        f(&self.inner.shards[self.shard_for(key)].read())
+        self.read_owner(key, f)
     }
 
-    /// Runs `f` with exclusive access to the shard that owns `key`.
+    /// Runs `f` with exclusive access to the shard that owns `key`,
+    /// revalidating against concurrent rebalances.
     pub fn with_shard_write<R>(&self, key: &K, f: impl FnOnce(&mut I) -> R) -> R {
-        f(&mut self.inner.shards[self.shard_for(key)].write())
+        self.write_owner(key, f)
     }
 
-    /// Runs `f` with shared access to shard `shard` (one read-lock
-    /// acquisition) — the hook the service layer's per-shard workers
-    /// use to answer a whole drained batch of point reads at once.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `shard >= self.shard_count()`.
-    pub fn with_shard_read_at<R>(&self, shard: usize, f: impl FnOnce(&I) -> R) -> R {
-        f(&self.inner.shards[shard].read())
-    }
-
-    /// Runs `f` with exclusive access to shard `shard` (one write-lock
-    /// acquisition) — the hook the service layer's per-shard workers
-    /// use to apply a coalesced run of writes at once.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `shard >= self.shard_count()`.
-    pub fn with_shard_write_at<R>(&self, shard: usize, f: impl FnOnce(&mut I) -> R) -> R {
-        f(&mut self.inner.shards[shard].write())
-    }
+    // Positional lock accessors (`with_shard_read_at`/`write_at`) were
+    // retired with movable boundaries: a shard *index* validated by the
+    // caller can be renumbered by a concurrent merge before the call,
+    // making their panic contract unsatisfiable. The key-routed and
+    // grouped accessors above are the supported forms.
 
     /// Per-shard entry counts, in shard order (each shard read under
     /// its own lock, one at a time) — the quick imbalance probe.
     #[must_use]
     pub fn shard_lens(&self) -> Vec<usize> {
-        self.inner.shards.iter().map(|s| s.read().len()).collect()
+        self.table().shards.iter().map(|s| s.read().len()).collect()
     }
 
     /// Per-shard [`ShardStats`] snapshots, in shard order.
@@ -350,7 +798,7 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
     /// concurrent writes.
     #[must_use]
     pub fn shard_stats(&self) -> Vec<ShardStats> {
-        self.inner
+        self.table()
             .shards
             .iter()
             .map(|s| {
@@ -486,5 +934,243 @@ mod tests {
         for k in 0..4u64 {
             assert_eq!(idx.get(&k), Some(k));
         }
+    }
+
+    #[test]
+    fn split_moves_upper_run_and_reroutes() {
+        let idx = load(1_000, 2); // keys 0..2000 even; boundary at 1000
+        assert_eq!(idx.boundaries(), vec![1_000]);
+        let before: Vec<usize> = idx.shard_lens();
+        assert_eq!(before, vec![500, 500]);
+
+        // Split shard 1 (keys 1000..1998) at 1500.
+        let moved = idx.split_shard(&(), 1, 1_500).unwrap();
+        assert_eq!(moved, 250);
+        assert_eq!(idx.shard_count(), 3);
+        assert_eq!(idx.boundaries(), vec![1_000, 1_500]);
+        assert_eq!(idx.shard_lens(), vec![500, 250, 250]);
+        assert_eq!(idx.len(), 1_000);
+
+        // Every key still resolves, on both sides of the new boundary.
+        for k in 0..1_000u64 {
+            assert_eq!(idx.get(&(k * 2)), Some(k), "key {}", k * 2);
+        }
+        // Routing sends new writes to the right place.
+        assert_eq!(idx.shard_of(&1_499), 1);
+        assert_eq!(idx.shard_of(&1_500), 2);
+        idx.insert(1_501, 42);
+        assert_eq!(idx.shard_lens(), vec![500, 250, 251]);
+        // Cross-boundary range scans stitch the split shards together.
+        assert_eq!(idx.range_collect(1_400..1_600).len(), 101);
+    }
+
+    #[test]
+    fn merge_absorbs_right_neighbor() {
+        let idx = load(1_000, 4);
+        let bounds_before = idx.boundaries();
+        let moved = idx.merge_with_next(1).unwrap();
+        assert_eq!(moved, 250);
+        assert_eq!(idx.shard_count(), 3);
+        assert_eq!(idx.len(), 1_000);
+        // The boundary between shards 1 and 2 is gone; the others hold.
+        assert_eq!(idx.boundaries(), vec![bounds_before[0], bounds_before[2]],);
+        for k in (0..1_000u64).step_by(7) {
+            assert_eq!(idx.get(&(k * 2)), Some(k));
+        }
+        assert_eq!(idx.range_collect(..).len(), 1_000);
+    }
+
+    #[test]
+    fn split_validation_rejects_bad_boundaries() {
+        let idx = load(1_000, 2); // boundary at 1000
+        let count = idx.shard_count();
+        assert_eq!(
+            idx.split_shard(&(), 5, 1_500),
+            Err(RebalanceError::NoSuchShard {
+                shard: 5,
+                shard_count: count
+            })
+        );
+        // Outside shard 1's span (≤ its lower bound / ≥ next bound).
+        assert_eq!(
+            idx.split_shard(&(), 1, 1_000),
+            Err(RebalanceError::BoundaryOutOfSpan)
+        );
+        assert_eq!(
+            idx.split_shard(&(), 0, 1_000),
+            Err(RebalanceError::BoundaryOutOfSpan)
+        );
+        // Inside the span but above every key in the shard: the upper
+        // side would be empty.
+        assert_eq!(
+            idx.split_shard(&(), 1, 1_999),
+            Err(RebalanceError::EmptySide)
+        );
+        // At or below the shard's first key: the lower side would be
+        // empty (0 is shard 0's minimum, so everything moves).
+        assert_eq!(idx.split_shard(&(), 0, 0), Err(RebalanceError::EmptySide));
+        // Nothing changed.
+        assert_eq!(idx.shard_count(), 2);
+        assert_eq!(idx.len(), 1_000);
+
+        // Merge off the end is refused too.
+        assert_eq!(
+            idx.merge_with_next(1),
+            Err(RebalanceError::NoSuchShard {
+                shard: 2,
+                shard_count: 2
+            })
+        );
+    }
+
+    #[test]
+    fn split_and_merge_round_trip_preserves_contents() {
+        let idx = load(2_000, 3);
+        let model = idx.range_collect(..);
+        for _ in 0..4 {
+            let hot = idx
+                .shard_lens()
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &l)| l)
+                .map(|(i, _)| i)
+                .unwrap();
+            let at = idx.shard_median(hot).unwrap();
+            idx.split_shard(&(), hot, at).unwrap();
+        }
+        assert_eq!(idx.shard_count(), 7);
+        assert_eq!(idx.range_collect(..), model);
+        while idx.shard_count() > 3 {
+            idx.merge_with_next(0).unwrap();
+        }
+        assert_eq!(idx.range_collect(..), model);
+        assert_eq!(idx.len(), model.len());
+    }
+
+    #[test]
+    fn concurrent_readers_survive_split_storm() {
+        // Readers hammer a fixed key set while the main thread splits
+        // and merges; every lookup must hit (no key is ever unroutable
+        // mid-rebalance).
+        let idx = load(4_000, 2);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for t in 0..2 {
+            let idx = idx.clone();
+            let stop = Arc::clone(&stop);
+            readers.push(thread::spawn(move || {
+                let mut hits = 0u64;
+                // At least one full pass even if the storm finishes
+                // before this thread is scheduled.
+                loop {
+                    for k in (t..4_000u64).step_by(37) {
+                        assert_eq!(idx.get(&(k * 2)), Some(k), "lost key {}", k * 2);
+                        hits += 1;
+                    }
+                    if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        return hits;
+                    }
+                }
+            }));
+        }
+        for _ in 0..6 {
+            let hot = idx
+                .shard_lens()
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &l)| l)
+                .map(|(i, _)| i)
+                .unwrap();
+            if let Some(at) = idx.shard_median(hot) {
+                let _ = idx.split_shard(&(), hot, at);
+            }
+        }
+        while idx.shard_count() > 2 {
+            idx.merge_with_next(0).unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+        assert_eq!(idx.len(), 4_000);
+    }
+
+    #[test]
+    fn concurrent_writers_survive_split_storm() {
+        // Writers insert fresh odd keys while splits/merges run; at the
+        // end every write must be present exactly where routing says.
+        let idx = load(4_000, 2);
+        let mut writers = Vec::new();
+        for t in 0..2u64 {
+            let idx = idx.clone();
+            writers.push(thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    let k = (t * 1_000 + i) * 2 + 1;
+                    idx.insert(k, k);
+                }
+            }));
+        }
+        for _ in 0..8 {
+            let hot = idx
+                .shard_lens()
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &l)| l)
+                .map(|(i, _)| i)
+                .unwrap();
+            if let Some(at) = idx.shard_median(hot) {
+                let _ = idx.split_shard(&(), hot, at);
+            }
+            if idx.shard_count() > 3 {
+                let _ = idx.merge_with_next(0);
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(idx.len(), 6_000);
+        for t in 0..2u64 {
+            for i in (0..1_000u64).step_by(13) {
+                let k = (t * 1_000 + i) * 2 + 1;
+                assert_eq!(idx.get(&k), Some(k), "lost write {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_accessors_apply_every_item_once() {
+        let idx = load(1_000, 4);
+        let writes: Vec<(u64, u64)> = (0..300u64).map(|k| (k * 2 + 1, k)).collect();
+        let mut applied = 0;
+        let locks = idx.with_write_groups(writes, |shard, k, v| {
+            shard.insert(k, v);
+            applied += 1;
+        });
+        assert_eq!(applied, 300);
+        assert!(locks <= 4, "one write lock per involved shard");
+        assert_eq!(idx.len(), 1_300);
+
+        let reads: Vec<(u64, usize)> = (0..300u64).map(|k| (k * 2 + 1, 0usize)).collect();
+        let mut hits = 0;
+        let locks = idx.with_read_groups(reads, |shard, k, _| {
+            assert!(shard.get(&k).is_some());
+            hits += 1;
+        });
+        assert_eq!(hits, 300);
+        assert!(locks <= 4);
+    }
+
+    #[test]
+    fn spans_and_medians_describe_current_layout() {
+        let idx = load(1_000, 2);
+        assert_eq!(idx.shard_span(0), Some((None, Some(1_000))));
+        assert_eq!(idx.shard_span(1), Some((Some(1_000), None)));
+        assert_eq!(idx.shard_span(2), None);
+        let m = idx.shard_median(1).unwrap();
+        assert!(m > 1_000 && m < 1_998);
+        // A single-entry shard has no usable median.
+        let tiny: ShardedIndex<u64, u64, VecIndex<u64, u64>> =
+            ShardedIndex::bulk_load(&(), 1, vec![(1, 1)]).unwrap();
+        assert_eq!(tiny.shard_median(0), None);
     }
 }

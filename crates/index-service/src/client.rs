@@ -5,7 +5,10 @@
 //! thread. Submission is two-level:
 //!
 //! * [`submit`](Client::submit) / [`try_submit`](Client::try_submit)
-//!   take a raw [`Command`] and route it to the owning shard's queue —
+//!   take a raw [`Command`] and route it to the owning **lane**'s
+//!   queue (lane routing is a boundary snapshot frozen at service
+//!   start; the live shard a key maps to is re-resolved by the worker
+//!   at execution time, so rebalancing never re-orders a key) —
 //!   `submit` blocks when that queue is full (backpressure),
 //!   `try_submit` hands the command back as
 //!   [`Busy`](TryPushError::Busy) so the caller can shed load.
@@ -18,26 +21,27 @@
 //!
 //! # Ordering
 //!
-//! Commands routed to the same shard execute in submission order, so
+//! Commands routed to the same lane execute in submission order, so
 //! operations on a single key from a single submitter are applied in
-//! program order and a `get` observes every earlier write to that key.
-//! Across shards there is no global order, and two command shapes span
-//! shards:
+//! program order and a `get` observes every earlier write to that key
+//! (the frozen lane table makes key → lane stable for the service's
+//! lifetime). Across lanes there is no global order, and two command
+//! shapes span lanes:
 //!
 //! * A `Range` is routed by its **lower bound**; shards past the first
-//!   are read directly at execution time, bypassing their queues. A
-//!   pipelined scan therefore observes the submitter's earlier writes
-//!   only for keys owned by the lower bound's shard — writes still
-//!   queued on later shards may be missed. Wait on the write tickets
-//!   first when a scan must see them.
-//! * A raw `Command::InsertMany` whose batch spans shards is routed by
+//!   are read directly at execution time, bypassing other lanes'
+//!   queues. A pipelined scan therefore observes the submitter's
+//!   earlier writes only for keys owned by the lower bound's lane —
+//!   writes still queued on later lanes may be missed. Wait on the
+//!   write tickets first when a scan must see them.
+//! * A raw `Command::InsertMany` whose batch spans lanes is routed by
 //!   its *first* key and executed as one cross-shard call — keys
-//!   living on other shards bypass those shards' queues and may race
+//!   living on other lanes bypass those lanes' queues and may race
 //!   queued commands for the same keys.
 //!   [`insert_many`](Client::insert_many) instead splits the batch per
-//!   shard and fans completion back into one ticket, preserving the
+//!   lane and fans completion back into one ticket, preserving the
 //!   per-key ordering guarantee; prefer it unless the batch is known
-//!   to be shard-local.
+//!   to be lane-local.
 
 use crate::command::Command;
 use crate::queue::{Closed, TryPushError};
@@ -68,19 +72,25 @@ where
     V: Clone + Send + 'static,
     I: SortedIndex<K, V>,
 {
-    /// The shard queue `cmd` routes to.
+    /// The lane queue `cmd` routes to.
+    ///
+    /// Lane routing uses the boundary snapshot frozen at service start
+    /// — *not* the index's live shard layout — so a key's commands
+    /// always share a lane (and therefore a worker, and therefore an
+    /// order) even while the rebalancer moves shard boundaries
+    /// underneath. Workers re-resolve the live owning shard at
+    /// execution time.
     fn route(&self, cmd: &Command<K, V>) -> usize {
-        let index = &self.shared.index;
         match cmd {
             Command::Get { key, .. }
             | Command::Insert { key, .. }
-            | Command::Remove { key, .. } => index.shard_of(key),
+            | Command::Remove { key, .. } => self.shared.lane_of(key),
             Command::Range { lo, .. } => match lo {
-                Bound::Included(k) | Bound::Excluded(k) => index.shard_of(k),
+                Bound::Included(k) | Bound::Excluded(k) => self.shared.lane_of(k),
                 Bound::Unbounded => 0,
             },
             Command::InsertMany { batch, .. } => {
-                batch.first().map_or(0, |(k, _)| index.shard_of(k))
+                batch.first().map_or(0, |(k, _)| self.shared.lane_of(k))
             }
         }
     }
@@ -144,10 +154,10 @@ where
         t
     }
 
-    /// Submits a batched upsert, split per destination shard so every
-    /// key goes through its owning shard's queue (full per-key
+    /// Submits a batched upsert, split per destination lane so every
+    /// key goes through its owning lane's queue (full per-key
     /// ordering). The single ticket resolves with the total fresh-key
-    /// count once every shard's sub-batch has been applied.
+    /// count once every lane's sub-batch has been applied.
     ///
     /// If shutdown interrupts the fan-out, the ticket resolves
     /// [`Canceled`](crate::Canceled) — some sub-batches may still have
@@ -156,10 +166,10 @@ where
     #[must_use]
     pub fn insert_many(&self, batch: Vec<(K, V)>) -> Ticket<usize> {
         let (t, done) = ticket();
-        let shards = self.shared.index.shard_count();
-        let mut groups: Vec<Vec<(K, V)>> = (0..shards).map(|_| Vec::new()).collect();
+        let lanes = self.shared.queues.len();
+        let mut groups: Vec<Vec<(K, V)>> = (0..lanes).map(|_| Vec::new()).collect();
         for (k, v) in batch {
-            groups[self.shared.index.shard_of(&k)].push((k, v));
+            groups[self.shared.lane_of(&k)].push((k, v));
         }
         let groups: Vec<(usize, Vec<(K, V)>)> = groups
             .into_iter()
@@ -171,29 +181,30 @@ where
             return t;
         }
         let agg = Arc::new(Aggregate::new(groups.len(), done));
-        for (shard, group) in groups {
+        for (lane, group) in groups {
             let agg = Arc::clone(&agg);
             let cmd = Command::InsertMany {
                 batch: group,
                 done: Completer::from_fn(move |o| agg.resolve_one(o)),
             };
-            // `route` sends a single-shard batch to `shard`; a Closed
+            // `route` sends a single-lane batch to `lane`; a Closed
             // rejection drops the sub-completer, canceling the
             // aggregate.
-            debug_assert_eq!(self.route(&cmd), shard);
+            debug_assert_eq!(self.route(&cmd), lane);
             let _ = self.submit(cmd);
         }
         t
     }
 
-    /// Number of shards (and therefore queues/workers) behind this
-    /// client.
+    /// Number of lanes (queue/worker pairs) behind this client — fixed
+    /// at service start, even as the index's shard count changes under
+    /// rebalancing.
     #[must_use]
-    pub fn shard_count(&self) -> usize {
-        self.shared.index.shard_count()
+    pub fn lane_count(&self) -> usize {
+        self.shared.queues.len()
     }
 
-    /// Racy snapshot of each shard queue's depth — the live
+    /// Racy snapshot of each lane queue's depth — the live
     /// backpressure signal, cheap enough to poll per request.
     #[must_use]
     pub fn queue_depths(&self) -> Vec<usize> {

@@ -9,11 +9,14 @@
 //! batches, and `ShardedIndex` already has a batched `insert_many` —
 //! but no caller-facing API *produced* batches. Here, callers hold a
 //! cheap [`Client`] handle and submit typed [`Command`]s into bounded
-//! per-shard queues; one worker thread per shard drains its queue and
-//! manufactures the batches automatically:
+//! per-lane queues (a **lane** is one queue + one worker thread; lane
+//! routing is a boundary snapshot frozen at service start); each lane's
+//! worker drains its queue and manufactures the batches automatically:
 //!
-//! * runs of point writes apply under **one** write-lock acquisition,
-//! * runs of point reads answer under **one** read-lock acquisition,
+//! * runs of point writes apply under **one** write-lock acquisition
+//!   per involved shard,
+//! * runs of point reads answer under **one** read-lock acquisition
+//!   per involved shard,
 //! * `InsertMany` flows through a single `insert_many` call,
 //! * each command resolves a std-only Condvar [`Ticket`] the submitter
 //!   holds (executor-agnostic: a future `tokio` front-end wraps
@@ -22,10 +25,23 @@
 //!
 //! Backpressure is structural: queues are bounded, so
 //! [`Client::submit`] blocks — and [`Client::try_submit`] refuses with
-//! [`TryPushError::Busy`] — when a shard falls behind.
+//! [`TryPushError::Busy`] — when a lane falls behind.
 //! [`IndexService::shutdown`] closes the queues, drains every accepted
 //! command, resolves every ticket, joins the workers, and hands the
 //! index back.
+//!
+//! # Online rebalancing
+//!
+//! [`IndexService::start_rebalancing`] additionally runs a coordinator
+//! thread that periodically [`step`](Rebalancer::step)s a
+//! [`Rebalancer`]: the workers feed every inserted key to its
+//! [`WriteSampler`], and when a shard runs hot the coordinator splits
+//! it at the sampled write median (or merges cold neighbors) without
+//! stopping traffic — lanes and their ordering guarantee are
+//! unaffected because lane routing is frozen while *shard* routing
+//! moves. [`stats`](IndexService::stats) reports the split/merge/moved
+//! totals next to the per-lane queue counters and the live per-shard
+//! occupancy.
 //!
 //! # End to end
 //!
@@ -67,20 +83,24 @@ mod worker;
 pub use client::Client;
 pub use command::Command;
 pub use queue::{BoundedQueue, Closed, TryPushError};
-pub use stats::{ServiceStats, ShardServiceStats};
+pub use stats::{LaneServiceStats, ServiceStats};
 pub use ticket::{ticket, Canceled, Completer, Outcome, Ticket};
 
-use fiting_index_api::{Key, ShardedIndex, SortedIndex};
+// Re-exported so service users can configure rebalancing without a
+// separate fiting-index-api import.
+pub use fiting_index_api::{RebalancePolicy, RebalanceStats, Rebalancer, WriteSampler};
+
+use fiting_index_api::{BuildableIndex, Key, RebalanceCounters, ShardedIndex, SortedIndex};
 use stats::WorkerCounters;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Tuning for one [`IndexService`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Per-shard queue bound — the backpressure threshold. Submitters
-    /// block (or get [`TryPushError::Busy`]) once a shard has this many
+    /// Per-lane queue bound — the backpressure threshold. Submitters
+    /// block (or get [`TryPushError::Busy`]) once a lane has this many
     /// commands in flight.
     pub queue_capacity: usize,
     /// Most commands one queue drain may return; caps worker
@@ -103,17 +123,36 @@ impl Default for ServiceConfig {
     }
 }
 
-/// Everything clients and workers share: the index, the per-shard
-/// queues, and the per-shard counters.
+/// Everything clients and workers share: the index, the frozen lane
+/// router, the per-lane queues and counters, and the (optional)
+/// rebalancing hooks.
 pub(crate) struct ServiceShared<K: Key, V: Clone, I: SortedIndex<K, V>> {
     pub(crate) index: ShardedIndex<K, V, I>,
+    /// Lane routing boundaries — the index's shard boundaries at
+    /// service start, frozen so key → lane (and therefore per-key
+    /// ordering) is stable while shard boundaries move underneath.
+    pub(crate) router: Vec<K>,
     pub(crate) queues: Vec<BoundedQueue<Command<K, V>>>,
     pub(crate) counters: Vec<WorkerCounters>,
     pub(crate) config: ServiceConfig,
+    /// Write-stream sampler feeding the rebalancer's split boundaries;
+    /// `None` when the service runs without rebalancing.
+    pub(crate) sampler: Option<Arc<fiting_index_api::WriteSampler<K>>>,
+    /// Rebalancing totals for [`IndexService::stats`]; `None` when the
+    /// service runs without rebalancing.
+    pub(crate) rebalance: Option<Arc<RebalanceCounters>>,
+}
+
+impl<K: Key, V: Clone, I: SortedIndex<K, V>> ServiceShared<K, V, I> {
+    /// The lane owning `key` under the frozen router.
+    pub(crate) fn lane_of(&self, key: &K) -> usize {
+        self.router.partition_point(|b| b <= key)
+    }
 }
 
 /// A running command-pipeline service: one bounded queue plus one
-/// worker thread per shard of the wrapped [`ShardedIndex`].
+/// worker thread per lane (lanes mirror the wrapped [`ShardedIndex`]'s
+/// shards at start time), optionally plus a rebalance coordinator.
 ///
 /// Dropping the service shuts it down (close → drain → join); prefer
 /// the explicit [`shutdown`](Self::shutdown), which also returns the
@@ -121,6 +160,8 @@ pub(crate) struct ServiceShared<K: Key, V: Clone, I: SortedIndex<K, V>> {
 pub struct IndexService<K: Key, V: Clone, I: SortedIndex<K, V>> {
     shared: Arc<ServiceShared<K, V, I>>,
     workers: Vec<JoinHandle<()>>,
+    coordinator: Option<JoinHandle<()>>,
+    coordinator_stop: Arc<(Mutex<bool>, Condvar)>,
 }
 
 impl<K, V, I> IndexService<K, V, I>
@@ -130,28 +171,97 @@ where
     I: SortedIndex<K, V> + Send + Sync + 'static,
 {
     /// Starts the service over `index`: one queue and one worker
-    /// thread per shard.
+    /// thread per lane (= per shard at start time), with no
+    /// rebalancing.
     #[must_use]
     pub fn start(index: ShardedIndex<K, V, I>, config: ServiceConfig) -> Self {
-        let shards = index.shard_count();
+        Self::launch(index, config, None, None)
+    }
+
+    /// Starts the service *and* a rebalance coordinator thread that
+    /// calls [`Rebalancer::step`] every `interval`.
+    ///
+    /// Workers feed every inserted key to the rebalancer's
+    /// [`WriteSampler`], so split boundaries track the live write
+    /// distribution. Lane count (and with it the per-key ordering
+    /// guarantee) stays fixed at the shard count seen here, while the
+    /// underlying shard layout adapts; size the initial shard count
+    /// for the worker parallelism wanted.
+    #[must_use]
+    pub fn start_rebalancing(
+        index: ShardedIndex<K, V, I>,
+        config: ServiceConfig,
+        rebalancer: Rebalancer<K, V, I>,
+        interval: Duration,
+    ) -> Self
+    where
+        I: BuildableIndex<K, V>,
+        I::Config: Send + 'static,
+    {
+        let sampler = rebalancer.sampler();
+        let counters = rebalancer.counters();
+        let mut service = Self::launch(index, config, Some(sampler), Some(counters));
+        let stop = Arc::clone(&service.coordinator_stop);
+        let index = service.shared.index.clone();
+        let mut rebalancer = rebalancer;
+        let coordinator = std::thread::Builder::new()
+            .name("index-service-rebalance".into())
+            .spawn(move || {
+                let (lock, cvar) = &*stop;
+                loop {
+                    let mut stopped = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                    if !*stopped {
+                        let (guard, _) = cvar
+                            .wait_timeout(stopped, interval)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        stopped = guard;
+                    }
+                    if *stopped {
+                        return;
+                    }
+                    drop(stopped);
+                    rebalancer.step(&index);
+                }
+            })
+            .expect("spawn rebalance coordinator");
+        service.coordinator = Some(coordinator);
+        service
+    }
+
+    fn launch(
+        index: ShardedIndex<K, V, I>,
+        config: ServiceConfig,
+        sampler: Option<Arc<fiting_index_api::WriteSampler<K>>>,
+        rebalance: Option<Arc<RebalanceCounters>>,
+    ) -> Self {
+        let router = index.boundaries();
+        let lanes = router.len() + 1;
         let shared = Arc::new(ServiceShared {
-            queues: (0..shards)
+            queues: (0..lanes)
                 .map(|_| BoundedQueue::new(config.queue_capacity))
                 .collect(),
-            counters: (0..shards).map(|_| WorkerCounters::default()).collect(),
+            counters: (0..lanes).map(|_| WorkerCounters::default()).collect(),
             index,
+            router,
             config,
+            sampler,
+            rebalance,
         });
-        let workers = (0..shards)
-            .map(|shard| {
+        let workers = (0..lanes)
+            .map(|lane| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
-                    .name(format!("index-service-{shard}"))
-                    .spawn(move || worker::run(shard, &shared))
+                    .name(format!("index-service-{lane}"))
+                    .spawn(move || worker::run(lane, &shared))
                     .expect("spawn index-service worker")
             })
             .collect();
-        IndexService { shared, workers }
+        IndexService {
+            shared,
+            workers,
+            coordinator: None,
+            coordinator_stop: Arc::new((Mutex::new(false), Condvar::new())),
+        }
     }
 
     /// A new submission handle; clone freely, one per connection.
@@ -162,42 +272,45 @@ where
         }
     }
 
-    /// Point-in-time pipeline snapshot: queue depths, batch counters,
-    /// and the underlying shards' occupancy, per shard.
+    /// Point-in-time pipeline snapshot: per-lane queue depths and batch
+    /// counters, the underlying index's live per-shard occupancy, and
+    /// — when started with [`start_rebalancing`](Self::start_rebalancing)
+    /// — the rebalancing totals.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
-        let shard_stats = self.shared.index.shard_stats();
         ServiceStats {
-            shards: self
+            lanes: self
                 .shared
                 .counters
                 .iter()
                 .enumerate()
-                .map(|(shard, counters)| {
-                    ShardServiceStats::from_counters(
-                        shard,
-                        self.shared.queues[shard].len(),
-                        self.shared.queues[shard].capacity(),
-                        shard_stats[shard],
+                .map(|(lane, counters)| {
+                    LaneServiceStats::from_counters(
+                        lane,
+                        self.shared.queues[lane].len(),
+                        self.shared.queues[lane].capacity(),
                         counters,
                     )
                 })
                 .collect(),
+            shards: self.shared.index.shard_stats(),
+            rebalance: self.shared.rebalance.as_ref().map(|c| c.snapshot()),
         }
     }
 
     /// Shared handle to the underlying index (same shards the workers
     /// serve). Direct reads race queued commands; direct writes are
-    /// safe (the shard locks still arbitrate) but bypass the per-shard
+    /// safe (the shard locks still arbitrate) but bypass the per-lane
     /// ordering the queues provide.
     #[must_use]
     pub fn index(&self) -> ShardedIndex<K, V, I> {
         self.shared.index.clone()
     }
 
-    /// Clean shutdown: closes every queue (further submissions fail),
-    /// drains and executes every already-accepted command — resolving
-    /// its ticket — joins the workers, and returns the index.
+    /// Clean shutdown: stops the rebalance coordinator (if any),
+    /// closes every queue (further submissions fail), drains and
+    /// executes every already-accepted command — resolving its ticket
+    /// — joins the workers, and returns the index.
     #[must_use = "shutdown returns the drained index"]
     pub fn shutdown(mut self) -> ShardedIndex<K, V, I> {
         self.stop();
@@ -207,6 +320,16 @@ where
 
 impl<K: Key, V: Clone, I: SortedIndex<K, V>> IndexService<K, V, I> {
     fn stop(&mut self) {
+        // Coordinator first, so the layout stops moving while queues
+        // drain (purely a nicety: draining is correct either way).
+        {
+            let (lock, cvar) = &*self.coordinator_stop;
+            *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
+            cvar.notify_all();
+        }
+        if let Some(coordinator) = self.coordinator.take() {
+            let _ = coordinator.join();
+        }
         for queue in &self.shared.queues {
             queue.close();
         }
@@ -228,6 +351,7 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> Drop for IndexService<K, V, I> {
 mod tests {
     use super::*;
     use fiting_index_api::doctest_support::VecIndex;
+    use fiting_index_api::RebalanceOutcome;
     use std::thread;
 
     type Svc = IndexService<u64, u64, VecIndex<u64, u64>>;
@@ -261,7 +385,7 @@ mod tests {
     fn insert_many_fans_out_and_sums() {
         let svc = start(10_000, 8, ServiceConfig::default());
         let client = svc.client();
-        // Odd keys across the whole key space: touches every shard.
+        // Odd keys across the whole key space: touches every lane.
         let fresh = client.insert_many((0..1_000u64).map(|k| (k * 20 + 1, k)).collect());
         assert_eq!(fresh.wait(), Ok(1_000));
         // Overwrites are not fresh.
@@ -276,7 +400,7 @@ mod tests {
         let svc = start(100, 4, ServiceConfig::default());
         let client = svc.client();
         // Pipelined writes then a read on the same key, no waits
-        // between: the single worker per shard applies them in order.
+        // between: the single worker per lane applies them in order.
         let mut tickets = Vec::new();
         for v in 0..50u64 {
             tickets.push(client.insert(3, v));
@@ -353,13 +477,15 @@ mod tests {
             t.wait().unwrap();
         }
         let stats = svc.stats();
-        assert_eq!(stats.shards.len(), 4);
+        assert_eq!(stats.lanes.len(), 4);
+        assert_eq!(stats.shards.len(), 4, "no rebalancer: shards == lanes");
+        assert_eq!(stats.rebalance, None);
         assert_eq!(stats.total_processed(), 2_000);
         assert!(stats.mean_batch_len() >= 1.0);
-        let entries: usize = stats.shards.iter().map(|s| s.index.entries).sum();
+        let entries: usize = stats.shards.iter().map(|s| s.entries).sum();
         assert_eq!(entries, 12_000);
         assert!(stats.imbalance() >= 1.0);
-        for s in &stats.shards {
+        for s in &stats.lanes {
             assert_eq!(s.queue_capacity, 1_024);
             assert!(s.enqueued >= s.processed);
         }
@@ -411,7 +537,69 @@ mod tests {
         b.wait().unwrap();
         let stats = svc.stats();
         assert_eq!(stats.total_processed(), 2);
-        assert!(stats.shards[0].batches <= 2);
+        assert!(stats.lanes[0].batches <= 2);
         let _ = svc.shutdown();
+    }
+
+    #[test]
+    fn rebalancing_service_splits_hot_shard_under_load() {
+        let index: fiting_index_api::ShardedIndex<u64, u64, VecIndex<u64, u64>> =
+            ShardedIndex::bulk_load(&(), 4, (0..4_000u64).map(|k| (k, k)).collect()).unwrap();
+        let rebalancer: Rebalancer<u64, u64, VecIndex<u64, u64>> = Rebalancer::new(
+            (),
+            RebalancePolicy {
+                trigger_steps: 1,
+                cooldown_steps: 0,
+                min_split_entries: 256,
+                min_reservoir_samples: 8,
+                ..RebalancePolicy::default()
+            },
+        );
+        let svc = IndexService::start_rebalancing(
+            index,
+            ServiceConfig::default(),
+            rebalancer,
+            Duration::from_millis(1),
+        );
+        let client = svc.client();
+        // Append-skew through the pipeline: all writes land past the
+        // last boundary.
+        let mut tickets = Vec::new();
+        for k in 4_000..12_000u64 {
+            tickets.push(client.insert(k, k));
+        }
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        // The coordinator runs every 1ms; give it a few beats.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats = svc.stats();
+            let reb = stats.rebalance.expect("rebalancer attached");
+            if reb.splits >= 1 {
+                assert!(stats.shards.len() > stats.lanes.len());
+                assert!(reb.moved_keys > 0);
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no split within deadline: {stats:?}"
+            );
+            thread::sleep(Duration::from_millis(2));
+        }
+        // Reads still resolve for every key, on both layouts' terms.
+        for k in (0..12_000u64).step_by(251) {
+            assert_eq!(client.get(k).wait(), Ok(Some(k)), "lost key {k}");
+        }
+        let index = svc.shutdown();
+        assert_eq!(index.len(), 12_000);
+    }
+
+    #[test]
+    fn rebalance_outcome_is_exported() {
+        // The outcome enum rides along for embedders that step a
+        // Rebalancer by hand; make sure the re-export path stays.
+        let o = RebalanceOutcome::Idle;
+        assert_eq!(o, RebalanceOutcome::Idle);
     }
 }

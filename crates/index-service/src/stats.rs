@@ -1,21 +1,27 @@
-//! Pipeline observability: per-shard counters the workers maintain and
+//! Pipeline observability: per-lane counters the workers maintain and
 //! the snapshot types [`IndexService::stats`](crate::IndexService::stats)
 //! assembles.
 //!
 //! The counters are plain relaxed atomics — they order nothing, they
-//! only count — and the snapshot combines them with the queue depth and
-//! the underlying shard's [`ShardStats`], so one call shows where load
-//! is piling up *and* where data is piling up (the imbalance signal the
-//! ROADMAP's rebalancing item needs).
+//! only count — and the snapshot combines them with the queue depths,
+//! the underlying index's live per-shard occupancy, and (when a
+//! rebalancer is attached) the rebalancing totals, so one call shows
+//! where load is piling up, where data is piling up, *and* what the
+//! rebalancer has done about it.
+//!
+//! Lanes vs shards: commands are routed to **lanes** — queue/worker
+//! pairs fixed at service start — while the index's **shards** move
+//! underneath as the rebalancer splits and merges them. The two
+//! vectors in [`ServiceStats`] therefore have independent lengths.
 
-use fiting_index_api::ShardStats;
+use fiting_index_api::{RebalanceStats, ShardStats};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Live counters for one shard worker (internal; snapshot via
-/// [`ShardServiceStats`]).
+/// Live counters for one lane worker (internal; snapshot via
+/// [`LaneServiceStats`]).
 #[derive(Debug, Default)]
 pub(crate) struct WorkerCounters {
-    /// Commands accepted into the shard's queue.
+    /// Commands accepted into the lane's queue.
     pub enqueued: AtomicU64,
     /// Commands fully executed (their tickets resolved).
     pub processed: AtomicU64,
@@ -23,7 +29,9 @@ pub(crate) struct WorkerCounters {
     pub batches: AtomicU64,
     /// Largest single drain seen.
     pub largest_batch: AtomicU64,
-    /// Write-lock acquisitions taken for runs of ≥ 1 write commands.
+    /// Write-lock acquisitions taken for coalesced point-write runs,
+    /// plus one per `InsertMany` command (whose cross-shard call may
+    /// take one lock per destination shard internally).
     pub write_runs: AtomicU64,
     /// Read-lock acquisitions taken for runs of ≥ 1 point reads.
     pub read_runs: AtomicU64,
@@ -40,17 +48,16 @@ impl WorkerCounters {
     }
 }
 
-/// Snapshot of one shard's pipeline state.
+/// Snapshot of one lane's pipeline state (a lane is one bounded queue
+/// plus its worker thread; lane routing is fixed at service start).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ShardServiceStats {
-    /// Shard index in routing order.
-    pub shard: usize,
-    /// Commands currently waiting in the shard's queue.
+pub struct LaneServiceStats {
+    /// Lane index in routing order.
+    pub lane: usize,
+    /// Commands currently waiting in the lane's queue.
     pub queue_depth: usize,
     /// The queue's fixed capacity (backpressure threshold).
     pub queue_capacity: usize,
-    /// Entries and Section 6.2 bytes in the underlying shard.
-    pub index: ShardStats,
     /// Commands accepted into the queue so far.
     pub enqueued: u64,
     /// Commands executed so far.
@@ -59,7 +66,8 @@ pub struct ShardServiceStats {
     pub batches: u64,
     /// Largest single drain.
     pub largest_batch: u64,
-    /// Write-lock acquisitions for coalesced write runs.
+    /// Write-lock acquisitions for coalesced point-write runs, plus
+    /// one per `InsertMany` command.
     pub write_runs: u64,
     /// Read-lock acquisitions for batched point-read runs.
     pub read_runs: u64,
@@ -67,19 +75,17 @@ pub struct ShardServiceStats {
     pub coalesced_writes: u64,
 }
 
-impl ShardServiceStats {
+impl LaneServiceStats {
     pub(crate) fn from_counters(
-        shard: usize,
+        lane: usize,
         queue_depth: usize,
         queue_capacity: usize,
-        index: ShardStats,
         c: &WorkerCounters,
     ) -> Self {
-        ShardServiceStats {
-            shard,
+        LaneServiceStats {
+            lane,
             queue_depth,
             queue_capacity,
-            index,
             enqueued: c.enqueued.load(Ordering::Relaxed),
             processed: c.processed.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
@@ -91,31 +97,39 @@ impl ShardServiceStats {
     }
 }
 
-/// Whole-service snapshot: one [`ShardServiceStats`] per shard.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Whole-service snapshot: pipeline state per lane, index occupancy
+/// per shard, and rebalancing totals when a rebalancer is attached.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceStats {
-    /// Per-shard snapshots, in shard order.
-    pub shards: Vec<ShardServiceStats>,
+    /// Per-lane pipeline snapshots, in lane order.
+    pub lanes: Vec<LaneServiceStats>,
+    /// Live per-shard occupancy of the underlying index, in shard
+    /// order. Under an active rebalancer this vector's length tracks
+    /// the current shard count, not the (fixed) lane count.
+    pub shards: Vec<ShardStats>,
+    /// Totals from the attached rebalancer; `None` when the service
+    /// was started without one.
+    pub rebalance: Option<RebalanceStats>,
 }
 
 impl ServiceStats {
-    /// Commands executed across all shards.
+    /// Commands executed across all lanes.
     #[must_use]
     pub fn total_processed(&self) -> u64 {
-        self.shards.iter().map(|s| s.processed).sum()
+        self.lanes.iter().map(|s| s.processed).sum()
     }
 
-    /// Commands waiting across all shards.
+    /// Commands waiting across all lanes.
     #[must_use]
     pub fn total_queued(&self) -> usize {
-        self.shards.iter().map(|s| s.queue_depth).sum()
+        self.lanes.iter().map(|s| s.queue_depth).sum()
     }
 
-    /// Mean commands per non-empty drain across all shards — how much
+    /// Mean commands per non-empty drain across all lanes — how much
     /// batching the pipeline actually achieved.
     #[must_use]
     pub fn mean_batch_len(&self) -> f64 {
-        let batches: u64 = self.shards.iter().map(|s| s.batches).sum();
+        let batches: u64 = self.lanes.iter().map(|s| s.batches).sum();
         if batches == 0 {
             return 0.0;
         }
@@ -123,10 +137,11 @@ impl ServiceStats {
     }
 
     /// Ratio of the fullest shard's entries to the mean — 1.0 is
-    /// perfectly balanced; the rebalancing item's trigger metric.
+    /// perfectly balanced; the trigger metric rebalancing acts on
+    /// (compare against `RebalancePolicy::split_imbalance`).
     #[must_use]
     pub fn imbalance(&self) -> f64 {
-        let lens: Vec<usize> = self.shards.iter().map(|s| s.index.entries).collect();
+        let lens: Vec<usize> = self.shards.iter().map(|s| s.entries).collect();
         let total: usize = lens.iter().sum();
         if total == 0 || lens.is_empty() {
             return 1.0;
@@ -141,41 +156,57 @@ mod tests {
     use super::*;
 
     #[test]
-    fn aggregates_across_shards() {
+    fn aggregates_across_lanes_and_shards() {
         let c = WorkerCounters::default();
         c.note_batch(4);
         c.note_batch(2);
-        let snap = ShardServiceStats::from_counters(
-            0,
-            1,
-            64,
-            ShardStats {
-                entries: 30,
-                size_bytes: 100,
-            },
-            &c,
-        );
+        let snap = LaneServiceStats::from_counters(0, 1, 64, &c);
         assert_eq!(snap.processed, 6);
         assert_eq!(snap.batches, 2);
         assert_eq!(snap.largest_batch, 4);
 
         let mut other = snap;
-        other.shard = 1;
-        other.index.entries = 10;
+        other.lane = 1;
         other.queue_depth = 3;
         let stats = ServiceStats {
-            shards: vec![snap, other],
+            lanes: vec![snap, other],
+            // Three shards under two lanes: a rebalancer has split one.
+            shards: vec![
+                ShardStats {
+                    entries: 30,
+                    size_bytes: 100,
+                },
+                ShardStats {
+                    entries: 10,
+                    size_bytes: 40,
+                },
+                ShardStats {
+                    entries: 20,
+                    size_bytes: 70,
+                },
+            ],
+            rebalance: Some(RebalanceStats {
+                steps: 5,
+                splits: 1,
+                merges: 0,
+                moved_keys: 20,
+            }),
         };
         assert_eq!(stats.total_processed(), 12);
         assert_eq!(stats.total_queued(), 4);
         assert!((stats.mean_batch_len() - 3.0).abs() < 1e-9);
-        // 30 vs 10 entries: max/mean = 30/20.
+        // 30/10/20 entries: max/mean = 30/20.
         assert!((stats.imbalance() - 1.5).abs() < 1e-9);
+        assert_eq!(stats.rebalance.unwrap().splits, 1);
     }
 
     #[test]
     fn empty_service_degenerates_cleanly() {
-        let stats = ServiceStats { shards: Vec::new() };
+        let stats = ServiceStats {
+            lanes: Vec::new(),
+            shards: Vec::new(),
+            rebalance: None,
+        };
         assert_eq!(stats.mean_batch_len(), 0.0);
         assert_eq!(stats.imbalance(), 1.0);
         assert_eq!(stats.total_processed(), 0);

@@ -1,20 +1,31 @@
-//! The per-shard worker loop: drain, coalesce, execute, complete.
+//! The per-lane worker loop: drain, coalesce, execute, complete.
 //!
-//! Each shard has exactly one worker thread, so commands routed to a
-//! shard execute **in submission order** — that single-consumer
+//! Each lane has exactly one worker thread, so commands routed to a
+//! lane execute **in submission order** — that single-consumer
 //! discipline is what turns the queue into a per-key ordering
-//! guarantee. Within one drained batch the worker groups maximal runs
-//! of like commands:
+//! guarantee (lane routing is frozen at service start, so a key's
+//! commands always share a lane even while the rebalancer moves shard
+//! boundaries underneath). Within one drained batch the worker groups
+//! maximal runs of like commands:
 //!
-//! * a run of point writes (`Insert`/`Remove`) executes under **one**
-//!   write-lock acquisition instead of one per op;
-//! * a run of point reads (`Get`) executes under **one** read-lock
-//!   acquisition;
+//! * a run of point writes (`Insert`/`Remove`) executes through
+//!   [`ShardedIndex::with_write_groups`] — **one** write-lock
+//!   acquisition per involved shard instead of one per op;
+//! * a run of point reads (`Get`) executes through
+//!   [`ShardedIndex::with_read_groups`] — one read-lock acquisition
+//!   per involved shard;
 //! * `InsertMany` goes through a single
 //!   [`ShardedIndex::insert_many`] call (cross-shard capable, one lock
 //!   per destination shard);
 //! * `Range` executes through [`ShardedIndex::range_collect`], which
-//!   takes shard read locks in ascending order, one at a time.
+//!   walks the live routing table shard by shard, one read lock at a
+//!   time.
+//!
+//! All four paths revalidate against the routing table after acquiring
+//! each shard lock, so a concurrent split/merge re-routes rather than
+//! strands a command. Inserted keys are fed to the rebalancer's
+//! [`WriteSampler`](fiting_index_api::WriteSampler) (when attached) so
+//! split boundaries track the live write distribution.
 //!
 //! The worker never holds two locks at once — every cross-shard call
 //! it makes acquires ascending and releases before the next — so
@@ -25,18 +36,28 @@
 //!
 //! [`ShardedIndex::insert_many`]: fiting_index_api::ShardedIndex::insert_many
 //! [`ShardedIndex::range_collect`]: fiting_index_api::ShardedIndex::range_collect
+//! [`ShardedIndex::with_read_groups`]: fiting_index_api::ShardedIndex::with_read_groups
+//! [`ShardedIndex::with_write_groups`]: fiting_index_api::ShardedIndex::with_write_groups
 
 use crate::command::Command;
+use crate::ticket::Completer;
 use crate::ServiceShared;
 use fiting_index_api::{Key, SortedIndex};
 use std::sync::atomic::Ordering;
 
-/// The body of shard `shard`'s worker thread.
+/// One point write travelling through a grouped run: what to do to the
+/// key, and the completer to resolve with the previous value.
+enum PointWrite<V> {
+    Put(V, Completer<Option<V>>),
+    Del(Completer<Option<V>>),
+}
+
+/// The body of lane `lane`'s worker thread.
 pub(crate) fn run<K: Key, V: Clone, I: SortedIndex<K, V>>(
-    shard: usize,
+    lane: usize,
     shared: &ServiceShared<K, V, I>,
 ) {
-    let queue = &shared.queues[shard];
+    let queue = &shared.queues[lane];
     loop {
         let batch = queue.pop_batch(shared.config.max_batch, shared.config.batch_window);
         if batch.is_empty() {
@@ -44,17 +65,17 @@ pub(crate) fn run<K: Key, V: Clone, I: SortedIndex<K, V>>(
             // been executed and completed.
             return;
         }
-        shared.counters[shard].note_batch(batch.len());
-        execute_batch(shard, shared, batch);
+        shared.counters[lane].note_batch(batch.len());
+        execute_batch(lane, shared, batch);
     }
 }
 
 fn execute_batch<K: Key, V: Clone, I: SortedIndex<K, V>>(
-    shard: usize,
+    lane: usize,
     shared: &ServiceShared<K, V, I>,
     batch: Vec<Command<K, V>>,
 ) {
-    let counters = &shared.counters[shard];
+    let counters = &shared.counters[lane];
     let mut cmds = batch.into_iter().peekable();
     while let Some(cmd) = cmds.next() {
         match cmd {
@@ -66,11 +87,14 @@ fn execute_batch<K: Key, V: Clone, I: SortedIndex<K, V>>(
                     .coalesced_writes
                     .fetch_add(batch.len() as u64, Ordering::Relaxed);
                 counters.write_runs.fetch_add(1, Ordering::Relaxed);
+                if let Some(sampler) = &shared.sampler {
+                    sampler.observe_all(batch.iter().map(|&(k, _)| k));
+                }
                 done.complete(shared.index.insert_many(batch));
             }
             Command::Get { key, done } => {
-                // Maximal run of point reads: answer them all under a
-                // single read-lock acquisition.
+                // Maximal run of point reads: answer them all with one
+                // read-lock acquisition per involved shard.
                 let mut run = vec![(key, done)];
                 while matches!(cmds.peek(), Some(Command::Get { .. })) {
                     match cmds.next() {
@@ -78,43 +102,53 @@ fn execute_batch<K: Key, V: Clone, I: SortedIndex<K, V>>(
                         _ => unreachable!(),
                     }
                 }
-                counters.read_runs.fetch_add(1, Ordering::Relaxed);
-                shared.index.with_shard_read_at(shard, |idx| {
-                    for (key, done) in run {
-                        done.complete(idx.get(&key).cloned());
-                    }
+                let locks = shared.index.with_read_groups(run, |idx, key, done| {
+                    done.complete(idx.get(&key).cloned());
                 });
+                counters
+                    .read_runs
+                    .fetch_add(locks as u64, Ordering::Relaxed);
             }
             first @ (Command::Insert { .. } | Command::Remove { .. }) => {
                 // Maximal run of point writes: apply them all — in
-                // submission order, so per-key results stay exact —
-                // under a single write-lock acquisition.
-                let mut run = vec![first];
+                // submission order per key, which grouping preserves —
+                // with one write-lock acquisition per involved shard.
+                let mut run: Vec<(K, PointWrite<V>)> = Vec::new();
+                let push = |cmd: Command<K, V>, run: &mut Vec<(K, PointWrite<V>)>| match cmd {
+                    Command::Insert { key, value, done } => {
+                        run.push((key, PointWrite::Put(value, done)));
+                    }
+                    Command::Remove { key, done } => run.push((key, PointWrite::Del(done))),
+                    _ => unreachable!("run holds only point writes"),
+                };
+                push(first, &mut run);
                 while matches!(
                     cmds.peek(),
                     Some(Command::Insert { .. } | Command::Remove { .. })
                 ) {
-                    run.push(cmds.next().expect("peeked"));
+                    push(cmds.next().expect("peeked"), &mut run);
                 }
-                counters.write_runs.fetch_add(1, Ordering::Relaxed);
-                if run.len() > 1 {
+                let coalesced = run.len();
+                if let Some(sampler) = &shared.sampler {
+                    sampler.observe_all(
+                        run.iter()
+                            .filter_map(|(k, w)| matches!(w, PointWrite::Put(..)).then_some(*k)),
+                    );
+                }
+                let locks = shared
+                    .index
+                    .with_write_groups(run, |idx, key, write| match write {
+                        PointWrite::Put(value, done) => done.complete(idx.insert(key, value)),
+                        PointWrite::Del(done) => done.complete(idx.remove(&key)),
+                    });
+                counters
+                    .write_runs
+                    .fetch_add(locks as u64, Ordering::Relaxed);
+                if coalesced > 1 {
                     counters
                         .coalesced_writes
-                        .fetch_add(run.len() as u64, Ordering::Relaxed);
+                        .fetch_add(coalesced as u64, Ordering::Relaxed);
                 }
-                shared.index.with_shard_write_at(shard, |idx| {
-                    for cmd in run {
-                        match cmd {
-                            Command::Insert { key, value, done } => {
-                                done.complete(idx.insert(key, value));
-                            }
-                            Command::Remove { key, done } => {
-                                done.complete(idx.remove(&key));
-                            }
-                            _ => unreachable!("run holds only point writes"),
-                        }
-                    }
-                });
             }
         }
     }

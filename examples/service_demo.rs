@@ -116,10 +116,10 @@ fn main() {
         stats.mean_batch_len(),
         stats.imbalance()
     );
-    for s in &stats.shards {
+    for (lane, shard) in stats.lanes.iter().zip(&stats.shards) {
         println!(
-            "  shard {}: {} entries, {} processed in {} batches (largest {})",
-            s.shard, s.index.entries, s.processed, s.batches, s.largest_batch
+            "  lane {}: {} entries, {} processed in {} batches (largest {})",
+            lane.lane, shard.entries, lane.processed, lane.batches, lane.largest_batch
         );
     }
 

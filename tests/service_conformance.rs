@@ -22,7 +22,7 @@ where
         ShardedIndex::bulk_load(config, 4, pairs).expect("bulk load");
     let service = IndexService::start(index, ServiceConfig::default());
     let client = service.client();
-    assert_eq!(client.shard_count(), 4, "{name}");
+    assert_eq!(client.lane_count(), 4, "{name}");
 
     // Typed round trips.
     assert_eq!(client.get(100).wait(), Ok(Some(50)), "{name}: get hit");
@@ -84,7 +84,8 @@ where
 
     // Stats reconcile with the work done.
     let stats = service.stats();
-    assert_eq!(stats.shards.len(), 4, "{name}");
+    assert_eq!(stats.lanes.len(), 4, "{name}");
+    assert_eq!(stats.shards.len(), 4, "{name}: no rebalancer attached");
     assert!(stats.total_processed() >= 14, "{name}: processed counted");
     assert!(stats.imbalance() >= 1.0, "{name}");
 
