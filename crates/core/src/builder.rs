@@ -13,7 +13,6 @@ use crate::segment::SearchStrategy;
 /// let index: FitingTree<u64, &str> = FitingTreeBuilder::new(100)
 ///     .buffer_size(32)                       // default: error / 2
 ///     .search_strategy(SearchStrategy::Exponential)
-///     .tree_order(32)
 ///     .build_empty()
 ///     .unwrap();
 /// assert_eq!(index.error(), 100);
@@ -23,7 +22,6 @@ pub struct FitingTreeBuilder {
     error: u64,
     buffer_size: Option<u64>,
     strategy: SearchStrategy,
-    tree_order: usize,
 }
 
 impl FitingTreeBuilder {
@@ -34,7 +32,6 @@ impl FitingTreeBuilder {
             error,
             buffer_size: None,
             strategy: SearchStrategy::Binary,
-            tree_order: fiting_btree::DEFAULT_ORDER,
         }
     }
 
@@ -54,17 +51,13 @@ impl FitingTreeBuilder {
         self
     }
 
-    /// Sets the directory B+ tree's node order (default: 16).
-    #[must_use]
-    pub fn tree_order(mut self, order: usize) -> Self {
-        self.tree_order = order;
-        self
-    }
+    // The `tree_order` knob was retired with the mutation-side B+
+    // tree: the flat directory has no node order to tune.
 
     /// Builds an empty index ready for inserts.
     pub fn build_empty<K: Key, V>(self) -> Result<FitingTree<K, V>, BuildError> {
         let buffer = self.buffer_size.unwrap_or(self.error / 2);
-        FitingTree::from_parts(self.error, buffer, self.strategy, self.tree_order)
+        FitingTree::from_parts(self.error, buffer, self.strategy)
     }
 
     /// Bulk loads strictly increasing `(key, value)` pairs.
@@ -105,7 +98,6 @@ mod tests {
     fn custom_knobs_apply() {
         let t: FitingTree<u64, ()> = FitingTreeBuilder::new(64)
             .buffer_size(8)
-            .tree_order(32)
             .build_empty()
             .unwrap();
         assert_eq!(t.buffer_size(), 8);

@@ -1,15 +1,24 @@
 //! The clustered FITing-Tree (paper Figure 2): unique keys over a sorted
-//! attribute, segments stored in a B+ tree keyed by segment start.
+//! attribute, segments owned by one dense flat directory.
+//!
+//! The paper stores segments under a conventional B+ tree; this
+//! implementation retired that tree entirely. The [`FlatDirectory`] —
+//! two dense SoA arrays of anchor keys and arena slots — is the *single*
+//! directory structure: lookups search it branchlessly (since PR 3) and
+//! structural mutations patch it in place with an incremental
+//! [`FlatDirectory::splice`] of the affected window (O(moved segments +
+//! tail shift), one `memmove`, no tree walk and no O(S) re-mirror).
+//! Whole-run handoffs ([`FitingTree::split_off`] / `absorb`) move SoA
+//! pages and directory spans between trees without re-segmentation.
 
 use crate::builder::FitingTreeBuilder;
 use crate::directory::FlatDirectory;
-use crate::error::BuildError;
+use crate::error::{AbsorbError, BuildError};
 use crate::key::Key;
 use crate::range::RangeIter;
 use crate::segment::{SearchStrategy, Segment};
 use crate::stats::{DirectoryPath, FitingTreeStats, LookupTrace};
 use crate::SEGMENT_METADATA_BYTES;
-use fiting_btree::BPlusTree;
 use fiting_plr::{Point, ShrinkingCone};
 use std::ops::RangeBounds;
 use std::time::Instant;
@@ -28,29 +37,35 @@ pub struct FitingTree<K: Key, V> {
     /// Segmentation budget: `error − buffer_size` (paper Section 5).
     pub(crate) seg_error: u64,
     pub(crate) strategy: SearchStrategy,
-    pub(crate) tree_order: usize,
-    /// Mutation-side segment directory: anchor key → arena slot.
-    /// Structural updates (segment split/merge/insert/remove) land here
-    /// in O(log S); **lookups never descend it** — they go through the
-    /// flat mirror below.
-    pub(crate) tree: BPlusTree<K, usize>,
-    /// Read-side segment directory: a dense SoA mirror of `tree`,
-    /// rebuilt by [`rebuild_directory`](Self::rebuild_directory) after
-    /// every structural mutation. All point and range lookups locate
-    /// their segment here with an interpolation-seeded branchless
-    /// bounded search instead of a pointer-chasing tree descent.
+    /// The segment directory — anchor keys and arena slots in two dense
+    /// SoA arrays. The **only** directory structure: lookups search it
+    /// with an interpolation-seeded branchless bounded search, and
+    /// structural mutations (segment split/merge/insert/remove) patch
+    /// the affected window in place with
+    /// [`FlatDirectory::splice`] instead of the retired B+ tree +
+    /// O(S) re-mirror.
     pub(crate) dir: FlatDirectory<K>,
     /// Segment arena; slots are recycled through `free`.
     pub(crate) segments: Vec<Option<Segment<K, V>>>,
     pub(crate) free: Vec<usize>,
     pub(crate) len: usize,
+    /// Cumulative directory splice operations (structural mutations
+    /// applied incrementally since construction).
+    pub(crate) splices: u64,
+    /// Cumulative `(anchor, slot)` entries written by those splices.
+    pub(crate) splice_entries: u64,
+    /// Bench-only baseline: when set, every splice is followed by a
+    /// from-scratch rebuild of the directory arrays — the retired O(S)
+    /// behavior — so the `insert-heavy` hotpath scenario can measure
+    /// splice vs rebuild on identical workloads.
+    pub(crate) rebuild_baseline: bool,
 }
 
 impl<K: Key, V> FitingTree<K, V> {
     /// Starts building an index with the given error budget (in slots).
     ///
     /// Defaults: buffer size `error / 2` (the paper's evaluation split),
-    /// binary in-segment search, B+ tree order 16.
+    /// binary in-segment search.
     #[must_use]
     pub fn builder(error: u64) -> FitingTreeBuilder {
         FitingTreeBuilder::new(error)
@@ -60,7 +75,6 @@ impl<K: Key, V> FitingTree<K, V> {
         error: u64,
         buffer_size: u64,
         strategy: SearchStrategy,
-        tree_order: usize,
     ) -> Result<Self, BuildError> {
         if buffer_size > error || (error > 0 && buffer_size == error) {
             return Err(BuildError::BufferConsumesError { error, buffer_size });
@@ -70,18 +84,26 @@ impl<K: Key, V> FitingTree<K, V> {
             buffer_size,
             seg_error: error - buffer_size,
             strategy,
-            tree_order,
-            tree: BPlusTree::with_order(tree_order),
             dir: FlatDirectory::new(),
             segments: Vec::new(),
             free: Vec::new(),
             len: 0,
+            splices: 0,
+            splice_entries: 0,
+            rebuild_baseline: false,
         })
     }
 
+    /// An empty tree sharing `self`'s configuration (error split,
+    /// strategy) — the seed for [`split_off`](Self::split_off).
+    fn empty_like(&self) -> Self {
+        FitingTree::from_parts(self.error, self.buffer_size, self.strategy)
+            .expect("configuration was already validated")
+    }
+
     /// Bulk loads strictly increasing `(key, value)` pairs (paper
-    /// Section 3): one segmentation pass, then a bottom-up B+ tree build
-    /// over the segment anchors.
+    /// Section 3): one segmentation pass, then one dense directory
+    /// build over the segment anchors.
     pub(crate) fn bulk_load_sorted<I>(mut self, iter: I) -> Result<Self, BuildError>
     where
         I: IntoIterator<Item = (K, V)>,
@@ -100,50 +122,52 @@ impl<K: Key, V> FitingTree<K, V> {
         }
         self.len = data.len();
 
-        // One streaming segmentation pass over the key projections.
-        let mut sc = ShrinkingCone::new(self.seg_error);
-        let mut plr_segs = Vec::new();
-        for (pos, (k, _)) in data.iter().enumerate() {
-            if let Some(seg) = sc.push(Point::new(k.to_f64(), pos as u64)) {
-                plr_segs.push(seg);
-            }
-        }
-        if let Some(seg) = sc.finish() {
-            plr_segs.push(seg);
-        }
-
-        // Carve the data vector into per-segment pages, back to front so
-        // each split_off is O(segment length).
-        let mut pages: Vec<Segment<K, V>> = Vec::with_capacity(plr_segs.len());
-        for ls in plr_segs.iter().rev() {
-            let page = data.split_off(ls.start_pos as usize);
-            let start_key = page[0].0;
-            pages.push(Segment::new(start_key, ls.slope, page));
-        }
-        pages.reverse();
-
-        // Install pages in the arena and bulk load the directory tree.
+        // Install pages in the arena and build the directory densely.
+        let pages = carve_segments(self.seg_error, data);
         self.segments = Vec::with_capacity(pages.len());
         let mut entries = Vec::with_capacity(pages.len());
         for (i, seg) in pages.into_iter().enumerate() {
-            entries.push((seg.start_key, i));
+            entries.push((seg.start_key, i as u32));
             self.segments.push(Some(seg));
         }
-        self.tree = BPlusTree::bulk_load_with(entries, self.tree_order, 1.0);
-        self.rebuild_directory();
+        debug_assert!(self.segments.len() <= u32::MAX as usize);
+        self.dir.rebuild(entries);
         Ok(self)
     }
 
-    /// Re-mirrors the mutation-side B+ tree into the flat read-side
-    /// directory — one dense O(S) pass, called after every structural
-    /// mutation (bulk load, segment split/merge/insert/remove). Between
-    /// calls the flat directory is immutable, which is what lets the
-    /// lookup path search it branchlessly with no locks or pointer
-    /// chases.
-    fn rebuild_directory(&mut self) {
-        debug_assert!(self.segments.len() <= u32::MAX as usize);
-        self.dir
-            .rebuild(self.tree.iter().map(|(k, &slot)| (*k, slot as u32)));
+    /// Applies one incremental directory mutation: replaces the
+    /// directory window `range` with `entries`, shifting only the tail
+    /// — O(entries + shift), the path that retired the per-mutation
+    /// O(S) re-mirror of the old B+ tree. Counts toward the splice
+    /// statistics; in bench-baseline mode it additionally re-runs the
+    /// old from-scratch rebuild so the two costs can be compared on
+    /// identical workloads.
+    fn splice_directory(&mut self, range: std::ops::Range<usize>, entries: &[(K, u32)]) {
+        self.splices += 1;
+        self.splice_entries += entries.len() as u64;
+        self.dir.splice(range, entries);
+        if self.rebuild_baseline {
+            self.dir.rebuild_in_place();
+        }
+    }
+
+    /// Directory position of the segment anchored exactly at `anchor`.
+    fn dir_pos_of(&self, anchor: K) -> usize {
+        let pos = self
+            .dir
+            .floor_index(anchor)
+            .expect("anchor lookup on non-empty directory");
+        debug_assert_eq!(self.dir.anchor_at(pos), anchor);
+        pos
+    }
+
+    /// Enables (or disables) the bench-only directory-rebuild baseline:
+    /// when on, every structural mutation pays the retired O(S)
+    /// from-scratch directory rebuild *in addition to* the splice, so
+    /// the `insert-heavy` benchmark can measure what the incremental
+    /// splice path saves. Not intended for production use.
+    pub fn set_directory_rebuild_baseline(&mut self, enabled: bool) {
+        self.rebuild_baseline = enabled;
     }
 
     /// Number of key/value pairs in the index.
@@ -176,10 +200,10 @@ impl<K: Key, V> FitingTree<K, V> {
         self.seg_error
     }
 
-    /// Number of segments (= leaf entries of the directory tree).
+    /// Number of segments (= entries of the flat directory).
     #[must_use]
     pub fn segment_count(&self) -> usize {
-        self.tree.len()
+        self.dir.len()
     }
 
     /// Locates the arena slot of the segment responsible for `key`:
@@ -187,8 +211,9 @@ impl<K: Key, V> FitingTree<K, V> {
     /// below every anchor.
     ///
     /// This is the read hot path: it searches the flat SoA directory
-    /// (interpolation seed → gallop → branchless binary) and never
-    /// descends the pointer-based B+ tree.
+    /// (interpolation seed → gallop → branchless binary). There is no
+    /// other directory left to descend — the mutation-side B+ tree is
+    /// retired.
     #[inline]
     fn locate(&self, key: &K) -> Option<usize> {
         self.locate_traced(key).map(|(slot, _)| slot)
@@ -197,10 +222,10 @@ impl<K: Key, V> FitingTree<K, V> {
     /// [`locate`](Self::locate) plus the [`DirectoryPath`] marker of
     /// the structure that produced the slot. The marker is attached at
     /// the routing site — each arm of this function names the directory
-    /// it actually searched — so rerouting lookups through the B+ tree
-    /// cannot keep reporting [`DirectoryPath::FlatDirectory`] without
-    /// the dishonesty being visible right here, and the trace-level
-    /// test in `tests/hotpath_differential.rs` pins the expected value.
+    /// it actually searched — so any future alternate routing cannot
+    /// keep reporting [`DirectoryPath::FlatDirectory`] without the
+    /// dishonesty being visible right here, and the trace-level test
+    /// in `tests/hotpath_differential.rs` pins the expected value.
     #[inline]
     fn locate_traced(&self, key: &K) -> Option<(usize, DirectoryPath)> {
         self.dir
@@ -273,8 +298,7 @@ impl<K: Key, V> FitingTree<K, V> {
         let Some(slot) = self.locate(&key) else {
             // Empty index: open the first segment.
             let slot = self.alloc_slot(Segment::new(key, 0.0, vec![(key, value)]));
-            self.tree.insert(key, slot);
-            self.rebuild_directory();
+            self.splice_directory(0..0, &[(key, slot as u32)]);
             self.len += 1;
             return None;
         };
@@ -299,15 +323,46 @@ impl<K: Key, V> FitingTree<K, V> {
     /// the dense page) and trigger re-segmentation once they exceed
     /// half the segmentation budget, so pages shed dead slots and the
     /// lookup bound stays `O(error)`.
+    ///
+    /// The `V: Clone` bound exists only to extract the value from a
+    /// tombstoned page slot (the dense value array keeps the slot until
+    /// the next re-segmentation). Non-`Clone` values can use
+    /// [`remove_take`](Self::remove_take) (`V: Default`) or
+    /// [`remove_replacing`](Self::remove_replacing) (any `V`).
     pub fn remove(&mut self, key: &K) -> Option<V>
     where
         V: Clone,
     {
+        self.remove_with(key, |v| v.clone())
+    }
+
+    /// [`remove`](Self::remove) for `V: Default`: the page-resident
+    /// value is moved out with `mem::take`, so no `Clone` is needed.
+    pub fn remove_take(&mut self, key: &K) -> Option<V>
+    where
+        V: Default,
+    {
+        self.remove_with(key, std::mem::take)
+    }
+
+    /// [`remove`](Self::remove) for arbitrary `V`: the caller supplies
+    /// the placeholder left in the (dead, never-read-again) page slot,
+    /// and the stored value is moved out with `mem::replace`.
+    pub fn remove_replacing(&mut self, key: &K, placeholder: V) -> Option<V> {
+        self.remove_with(key, move |v| std::mem::replace(v, placeholder))
+    }
+
+    /// The shared removal path: `extract` pulls the value out of a
+    /// tombstoned page slot (clone, take, or replace — buffer hits are
+    /// moved out directly and never call it). All structural
+    /// consequences (empty-segment drop, tombstone-pressure
+    /// re-segmentation) are bound-free.
+    fn remove_with(&mut self, key: &K, extract: impl FnOnce(&mut V) -> V) -> Option<V> {
         let slot = self.locate(key)?;
         let seg = self.segments[slot]
             .as_mut()
             .expect("directory points at live segment");
-        let removed = seg.remove(*key, self.seg_error, self.strategy)?;
+        let removed = seg.remove_with(*key, self.seg_error, self.strategy, extract)?;
         self.len -= 1;
         if seg.len() == 0 {
             // Drop the empty segment entirely (keep at least none: an
@@ -315,8 +370,8 @@ impl<K: Key, V> FitingTree<K, V> {
             let anchor = seg.start_key;
             self.segments[slot] = None;
             self.free.push(slot);
-            self.tree.remove(&anchor);
-            self.rebuild_directory();
+            let pos = self.dir_pos_of(anchor);
+            self.splice_directory(pos..pos + 1, &[]);
         } else if seg.removed > self.seg_error / 2 {
             self.resegment(slot);
         }
@@ -336,20 +391,17 @@ impl<K: Key, V> FitingTree<K, V> {
     }
 
     /// Index structure size in bytes, following the paper's accounting:
-    /// directory tree + flat read-side directory +
-    /// [`SEGMENT_METADATA_BYTES`] per segment. The table data itself is
-    /// *not* index overhead (it exists regardless).
+    /// the flat directory arrays + [`SEGMENT_METADATA_BYTES`] per
+    /// segment (the retired B+ tree's node bytes are gone). The table
+    /// data itself is *not* index overhead (it exists regardless).
     #[must_use]
     pub fn index_size_bytes(&self) -> usize {
-        self.tree.size_in_bytes()
-            + self.dir.size_bytes()
-            + self.segment_count() * SEGMENT_METADATA_BYTES
+        self.dir.size_bytes() + self.segment_count() * SEGMENT_METADATA_BYTES
     }
 
-    /// Full statistics snapshot; walks the directory tree and arena.
+    /// Full statistics snapshot; walks the directory and arena.
     #[must_use]
     pub fn stats(&self) -> FitingTreeStats {
-        let tree = self.tree.stats();
         let mut buffered = 0usize;
         let mut data_bytes = 0usize;
         let mut live = 0usize;
@@ -361,12 +413,12 @@ impl<K: Key, V> FitingTree<K, V> {
         FitingTreeStats {
             len: self.len,
             segment_count: live,
-            tree_depth: tree.depth,
-            tree_nodes: tree.total_nodes(),
             flat_directory_bytes: self.dir.size_bytes(),
             index_size_bytes: self.index_size_bytes(),
             data_size_bytes: data_bytes,
             buffered_entries: buffered,
+            directory_splices: self.splices,
+            directory_splice_entries: self.splice_entries,
             avg_segment_len: if live == 0 {
                 0.0
             } else {
@@ -416,9 +468,8 @@ impl<K: Key, V> FitingTree<K, V> {
     /// selectors (pick a new error, then `rebuild`).
     pub fn rebuild(self, error: u64) -> Result<Self, BuildError> {
         let strategy = self.strategy;
-        let order = self.tree_order;
         let mut entries: Vec<(K, V)> = Vec::with_capacity(self.len);
-        let slots: Vec<usize> = self.tree.iter().map(|(_, &slot)| slot).collect();
+        let slots: Vec<usize> = self.dir.entries().map(|(_, slot)| slot).collect();
         let mut segments = self.segments;
         for slot in slots {
             let seg = segments[slot]
@@ -426,12 +477,13 @@ impl<K: Key, V> FitingTree<K, V> {
                 .expect("directory points at live segment");
             entries.extend(seg.into_merged());
         }
-        FitingTree::from_parts(error, error / 2, strategy, order)?.bulk_load_sorted(entries)
+        FitingTree::from_parts(error, error / 2, strategy)?.bulk_load_sorted(entries)
     }
 
     /// Merges a segment's page and buffer, re-runs ShrinkingCone over the
-    /// merged run, and swaps the resulting segment(s) into the directory
-    /// (paper Algorithm 4, lines 5–9).
+    /// merged run, and splices the resulting segment(s) into the
+    /// directory window the old segment occupied (paper Algorithm 4,
+    /// lines 5–9) — O(merged run + directory tail shift), no tree walk.
     fn resegment(&mut self, slot: usize) {
         let seg = self.segments[slot]
             .take()
@@ -439,31 +491,190 @@ impl<K: Key, V> FitingTree<K, V> {
         self.free.push(slot);
         let anchor = seg.start_key;
         let merged = seg.into_merged();
-        self.tree.remove(&anchor);
+        let pos = self.dir_pos_of(anchor);
 
-        let mut sc = ShrinkingCone::new(self.seg_error);
-        let mut plr_segs = Vec::new();
-        for (pos, (k, _)) in merged.iter().enumerate() {
-            if let Some(s) = sc.push(Point::new(k.to_f64(), pos as u64)) {
-                plr_segs.push(s);
+        let pieces = carve_segments(self.seg_error, merged);
+        let mut entries = Vec::with_capacity(pieces.len());
+        for piece in pieces {
+            let start_key = piece.start_key;
+            let new_slot = self.alloc_slot(piece);
+            entries.push((start_key, new_slot as u32));
+        }
+        self.splice_directory(pos..pos + 1, &entries);
+    }
+
+    /// Splits the tree at `at`: every entry with key `>= at` moves into
+    /// the returned tree (same configuration), everything below stays.
+    ///
+    /// Cost is **O(moved segments + one boundary segment)**: whole SoA
+    /// pages and their directory span are handed off without
+    /// re-segmentation or per-entry copying — only the single segment
+    /// straddling `at` (if any) is merged and re-segmented into a left
+    /// and a right part. This is what makes
+    /// `ShardedIndex::split_shard` over FITing-Tree shards
+    /// O(moved-segment-count) instead of O(moved entries × rebuild).
+    ///
+    /// Degenerate cuts work: `at` below every key moves the whole tree,
+    /// `at` above every key returns an empty tree.
+    pub fn split_off(&mut self, at: &K) -> FitingTree<K, V> {
+        let mut right = self.empty_like();
+        if self.dir.is_empty() {
+            return right;
+        }
+        let p = self
+            .dir
+            .floor_index(*at)
+            .expect("directory is non-empty here");
+        // Whole segments strictly after the boundary position move
+        // as-is: their directory span is split off in one O(moved) cut.
+        let tail = self.dir.split_off(p + 1);
+        self.splices += 1;
+        self.splice_entries += tail.len() as u64;
+
+        // The boundary segment may straddle `at`; only then is it
+        // merged and re-segmented into a left and a right side (the
+        // only re-segmentation a split ever pays). A cut at or below
+        // its minimum key hands it off whole instead — fitted slope
+        // and measured envelope intact.
+        let bslot = self.dir.slot_at(p);
+        let (straddles, moves_whole) = {
+            let seg = self.segments[bslot]
+                .as_ref()
+                .expect("directory points at live segment");
+            let covers = seg.max_key().is_some_and(|m| m >= *at);
+            let whole = covers && seg.min_key().is_some_and(|m| m >= *at);
+            (covers && !whole, whole)
+        };
+        let mut right_entries: Vec<(K, u32)> = Vec::new();
+        if moves_whole {
+            let seg = self.segments[bslot]
+                .take()
+                .expect("directory points at live segment");
+            self.free.push(bslot);
+            self.len -= seg.len();
+            right.len += seg.len();
+            let anchor = seg.start_key;
+            let slot = right.alloc_slot(seg);
+            right_entries.push((anchor, slot as u32));
+            self.splice_directory(p..p + 1, &[]);
+        }
+        if straddles {
+            let seg = self.segments[bslot]
+                .take()
+                .expect("directory points at live segment");
+            self.free.push(bslot);
+            self.len -= seg.len();
+            let mut left_run = seg.into_merged();
+            let right_run = left_run.split_off(left_run.partition_point(|(k, _)| k < at));
+
+            self.len += left_run.len();
+            let mut left_entries = Vec::new();
+            for piece in carve_segments(self.seg_error, left_run) {
+                let anchor = piece.start_key;
+                let slot = self.alloc_slot(piece);
+                left_entries.push((anchor, slot as u32));
+            }
+            self.splice_directory(p..p + 1, &left_entries);
+
+            right.len += right_run.len();
+            for piece in carve_segments(right.seg_error, right_run) {
+                let anchor = piece.start_key;
+                let slot = right.alloc_slot(piece);
+                right_entries.push((anchor, slot as u32));
             }
         }
-        if let Some(s) = sc.finish() {
-            plr_segs.push(s);
+
+        // Hand the tail segments over wholesale: arena moves only, no
+        // page is touched.
+        for (anchor, old_slot) in tail.entries() {
+            let seg = self.segments[old_slot]
+                .take()
+                .expect("directory points at live segment");
+            self.free.push(old_slot);
+            self.len -= seg.len();
+            right.len += seg.len();
+            let new_slot = right.alloc_slot(seg);
+            right_entries.push((anchor, new_slot as u32));
+        }
+        right.splices += 1;
+        right.splice_entries += right_entries.len() as u64;
+        right.dir.rebuild(right_entries);
+        right
+    }
+
+    /// Absorbs every entry of `other` — all of whose keys must be
+    /// strictly greater than every key in `self` — leaving `other`
+    /// empty. The symmetric counterpart of
+    /// [`split_off`](Self::split_off): `other`'s segments (pages,
+    /// buffers, fitted slopes and measured error envelopes intact) move
+    /// into `self`'s arena and their directory span is appended with
+    /// one splice — **O(moved segments)**, no re-segmentation and no
+    /// per-entry copying.
+    ///
+    /// Returns the number of entries moved.
+    ///
+    /// # Errors
+    ///
+    /// * [`AbsorbError::ConfigMismatch`] when the two trees disagree on
+    ///   error budget or buffer split (moved segments would carry
+    ///   envelopes the absorbing tree's search window could clip).
+    /// * [`AbsorbError::KeyOverlap`] when `other` holds a key `<=`
+    ///   `self`'s maximum (the runs cannot be concatenated).
+    ///
+    /// Either error leaves both trees untouched.
+    pub fn absorb(&mut self, other: &mut FitingTree<K, V>) -> Result<usize, AbsorbError> {
+        if self.error != other.error || self.buffer_size != other.buffer_size {
+            return Err(AbsorbError::ConfigMismatch);
+        }
+        if other.is_empty() {
+            return Ok(0);
+        }
+        let moved = other.len;
+        let mut reinserts: Vec<(K, V)> = Vec::new();
+        if !self.is_empty() {
+            let self_max = *self.last().expect("non-empty tree has a last entry").0;
+            let other_min = *other.first().expect("non-empty tree has a first entry").0;
+            if other_min <= self_max {
+                return Err(AbsorbError::KeyOverlap);
+            }
+            // Only `other`'s *first* segment may hold buffered keys
+            // below its anchor; after the append those keys would route
+            // to `self`'s last segment instead. Drain them here and
+            // re-insert through the normal path after the handoff.
+            let first_slot = other.dir.slot_at(0);
+            let seg = other.segments[first_slot]
+                .as_mut()
+                .expect("directory points at live segment");
+            let below = seg.buffer.partition_point(|(k, _)| *k < seg.start_key);
+            reinserts.extend(seg.buffer.drain(..below));
         }
 
-        let mut rest = merged;
-        let mut pieces: Vec<Segment<K, V>> = Vec::with_capacity(plr_segs.len());
-        for ls in plr_segs.iter().rev() {
-            let page = rest.split_off(ls.start_pos as usize);
-            pieces.push(Segment::new(page[0].0, ls.slope, page));
-        }
-        for seg in pieces.into_iter().rev() {
-            let start_key = seg.start_key;
+        let mut entries: Vec<(K, u32)> = Vec::with_capacity(other.dir.len());
+        for (anchor, old_slot) in other.dir.entries() {
+            let seg = other.segments[old_slot]
+                .take()
+                .expect("directory points at live segment");
+            if seg.len() == 0 {
+                // The drain above emptied it; nothing left to move.
+                continue;
+            }
             let new_slot = self.alloc_slot(seg);
-            self.tree.insert(start_key, new_slot);
+            entries.push((anchor, new_slot as u32));
         }
-        self.rebuild_directory();
+        let n = self.dir.len();
+        self.len += moved - reinserts.len();
+        self.splice_directory(n..n, &entries);
+
+        // Reset `other` to a clean empty tree (its config survives).
+        other.dir.rebuild(std::iter::empty());
+        other.segments.clear();
+        other.free.clear();
+        other.len = 0;
+
+        for (k, v) in reinserts {
+            self.insert(k, v);
+        }
+        Ok(moved)
     }
 
     fn alloc_slot(&mut self, seg: Segment<K, V>) -> usize {
@@ -478,40 +689,50 @@ impl<K: Key, V> FitingTree<K, V> {
 
     /// Verifies structural invariants; used by tests.
     ///
-    /// Checks: the flat read-side directory is an exact mirror of the
-    /// mutation-side B+ tree; directory entries point at live segments
-    /// registered under their anchor; segment pages and buffers are
-    /// sorted; every live page key is found by a windowed lookup (the
-    /// error guarantee) *and* located to its segment by the flat
-    /// directory; `len` consistency; segments are disjoint and ordered.
+    /// With the mutation-side B+ tree retired there is no mirror to
+    /// compare against: coherence is checked **directly between the
+    /// flat directory and the segment run**. Checks: directory anchors
+    /// are strictly ascending and point at live arena segments
+    /// registered under their anchor; every live arena segment is
+    /// referenced exactly once (and free-list slots are dead); segment
+    /// pages and buffers are sorted; every live page key is found by a
+    /// windowed lookup (the error guarantee) *and* located to its
+    /// segment by the directory; `len` consistency; segments are
+    /// disjoint and ordered.
     pub fn check_invariants(&self) -> Result<(), String> {
-        self.tree.check_invariants()?;
-        if self.dir.len() != self.tree.len() {
+        let live_slots = self.segments.iter().filter(|s| s.is_some()).count();
+        if live_slots != self.dir.len() {
             return Err(format!(
-                "flat directory has {} entries, B+ tree has {}",
-                self.dir.len(),
-                self.tree.len()
+                "directory has {} entries but the arena holds {live_slots} live segments",
+                self.dir.len()
             ));
         }
-        for ((anchor, &slot), (flat_anchor, flat_slot)) in self.tree.iter().zip(self.dir.entries())
-        {
-            if *anchor != flat_anchor || slot != flat_slot {
+        for &slot in &self.free {
+            if self.segments.get(slot).is_none_or(|s| s.is_some()) {
                 return Err(format!(
-                    "flat directory diverged: tree ({anchor:?}, {slot}) vs flat \
-                     ({flat_anchor:?}, {flat_slot})"
+                    "free-list names slot {slot}, which is live or out of range"
                 ));
             }
         }
         let mut counted = 0usize;
+        let mut prev_anchor: Option<K> = None;
         let mut prev_max: Option<K> = None;
         let mut first = true;
-        for (anchor, &slot) in self.tree.iter() {
+        for (anchor, slot) in self.dir.entries() {
+            if let Some(prev) = prev_anchor {
+                if prev >= anchor {
+                    return Err(format!(
+                        "directory anchors not strictly ascending: {prev:?} then {anchor:?}"
+                    ));
+                }
+            }
+            prev_anchor = Some(anchor);
             let seg = self
                 .segments
                 .get(slot)
                 .and_then(|s| s.as_ref())
                 .ok_or_else(|| format!("directory entry {anchor:?} points at dead slot {slot}"))?;
-            if seg.start_key != *anchor {
+            if seg.start_key != anchor {
                 return Err(format!(
                     "segment anchored at {anchor:?} believes its start is {:?}",
                     seg.start_key
@@ -560,6 +781,13 @@ impl<K: Key, V> FitingTree<K, V> {
                     ));
                 }
             }
+            for (k, _) in &seg.buffer {
+                if self.dir.locate(*k) != Some(slot) {
+                    return Err(format!(
+                        "flat directory routes buffered key {k:?} away from its segment"
+                    ));
+                }
+            }
             counted += seg.len();
             prev_max = seg.max_key().or(prev_max);
             first = false;
@@ -572,6 +800,36 @@ impl<K: Key, V> FitingTree<K, V> {
         }
         Ok(())
     }
+}
+
+/// Runs ShrinkingCone over a sorted `(key, value)` run and carves it
+/// into per-segment SoA pages — the one segmentation pass shared by
+/// bulk load, re-segmentation, and the boundary-segment split.
+fn carve_segments<K: Key, V>(seg_error: u64, run: Vec<(K, V)>) -> Vec<Segment<K, V>> {
+    if run.is_empty() {
+        return Vec::new();
+    }
+    let mut sc = ShrinkingCone::new(seg_error);
+    let mut plr_segs = Vec::new();
+    for (pos, (k, _)) in run.iter().enumerate() {
+        if let Some(seg) = sc.push(Point::new(k.to_f64(), pos as u64)) {
+            plr_segs.push(seg);
+        }
+    }
+    if let Some(seg) = sc.finish() {
+        plr_segs.push(seg);
+    }
+
+    // Carve back to front so each split_off is O(segment length).
+    let mut rest = run;
+    let mut pages: Vec<Segment<K, V>> = Vec::with_capacity(plr_segs.len());
+    for ls in plr_segs.iter().rev() {
+        let page = rest.split_off(ls.start_pos as usize);
+        let start_key = page[0].0;
+        pages.push(Segment::new(start_key, ls.slope, page));
+    }
+    pages.reverse();
+    pages
 }
 
 impl<K: Key, V: std::fmt::Debug> std::fmt::Debug for FitingTree<K, V> {
@@ -618,6 +876,22 @@ impl<K: Key, V: Clone> fiting_index_api::SortedIndex<K, V> for FitingTree<K, V> 
 
     fn range<R: std::ops::RangeBounds<K>>(&self, range: R) -> Self::RangeIter<'_> {
         FitingTree::range(self, range).map(fiting_index_api::clone_pair as fn((&K, &V)) -> (K, V))
+    }
+
+    /// Native run handoff: `ShardedIndex::split_shard` over FITing-Tree
+    /// shards moves whole segments in O(moved segments) instead of
+    /// copying and re-segmenting every entry.
+    fn split_off_tail(&mut self, at: &K) -> Option<Self> {
+        Some(FitingTree::split_off(self, at))
+    }
+
+    /// Native append: `ShardedIndex::merge_with_next` hands the right
+    /// shard's segment run over without re-segmentation. Falls back
+    /// (returning `false`, touching nothing) on config mismatch or key
+    /// overlap, which the sharded layer resolves with the generic
+    /// copy path.
+    fn absorb_tail(&mut self, other: &mut Self) -> bool {
+        FitingTree::absorb(self, other).is_ok()
     }
 }
 
@@ -867,6 +1141,207 @@ mod tests {
             assert_eq!(rebuilt.get(&(k * 7 + 3)), Some(&k));
         }
         rebuilt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_take_and_replacing_work_for_non_clone_values() {
+        #[derive(Debug, Default, PartialEq)]
+        struct Blob(String); // deliberately !Clone
+        let mut t: FitingTree<u64, Blob> = FitingTreeBuilder::new(16).build_empty().unwrap();
+        for k in 0..200u64 {
+            t.insert(k * 3, Blob(format!("v{k}")));
+        }
+        assert_eq!(t.remove_take(&30), Some(Blob("v10".into())));
+        assert_eq!(t.get(&30), None);
+        assert_eq!(
+            t.remove_replacing(&60, Blob("tombstone".into())),
+            Some(Blob("v20".into()))
+        );
+        assert_eq!(t.get(&60), None);
+        assert_eq!(t.remove_take(&61), None);
+        assert_eq!(t.len(), 198);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn splice_counters_track_structural_mutations() {
+        let mut t = build(1_000, 16);
+        let s0 = t.stats();
+        assert_eq!(s0.directory_splices, 0, "bulk load is a dense rebuild");
+        // Force at least one re-segmentation.
+        for k in 0..200u64 {
+            t.insert(k * 7 + 1, k);
+        }
+        let s1 = t.stats();
+        assert!(s1.directory_splices > 0);
+        assert!(s1.directory_splice_entries >= s1.directory_splices);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn split_off_moves_upper_run_without_resegmenting() {
+        let mut t = build(10_000, 32);
+        let segs_before = t.segment_count();
+        let at = 7 * 6_000;
+        let right = t.split_off(&at);
+        assert_eq!(t.len() + right.len(), 10_000);
+        assert_eq!(right.len(), 4_000);
+        // Whole-run handoff: total segment count grows by at most the
+        // re-segmentation of the single boundary segment.
+        assert!(t.segment_count() + right.segment_count() <= segs_before + 4);
+        for k in 0..10_000u64 {
+            let key = k * 7;
+            if key < at {
+                assert_eq!(t.get(&key), Some(&k), "left {key}");
+                assert_eq!(right.get(&key), None, "right must not hold {key}");
+            } else {
+                assert_eq!(right.get(&key), Some(&k), "right {key}");
+                assert_eq!(t.get(&key), None, "left must not hold {key}");
+            }
+        }
+        t.check_invariants().unwrap();
+        right.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn split_at_segment_anchor_hands_boundary_off_whole() {
+        // A cut exactly at a segment's first key must not merge and
+        // re-carve that segment: every key in it is >= the cut, so the
+        // page moves intact and the total segment count is preserved.
+        let t = FitingTreeBuilder::new(8)
+            .bulk_load((0..20_000u64).map(|k| (k * k / 8 + k, k)))
+            .unwrap();
+        let before = t.segment_count();
+        assert!(before > 10);
+        // Pick a mid-directory anchor as the cut.
+        let anchor = t.dir.entries().nth(before / 2).map(|(a, _)| a).unwrap();
+        let mut left = t.clone();
+        let right = left.split_off(&anchor);
+        assert_eq!(
+            left.segment_count() + right.segment_count(),
+            before,
+            "anchor cut must not re-segment the boundary"
+        );
+        assert_eq!(left.len() + right.len(), t.len());
+        assert_eq!(right.first().map(|(k, _)| *k), Some(anchor));
+        left.check_invariants().unwrap();
+        right.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn split_off_degenerate_cuts() {
+        // Below every key: everything moves.
+        let mut t = build(500, 16);
+        let right = t.split_off(&0);
+        assert!(t.is_empty());
+        assert_eq!(right.len(), 500);
+        t.check_invariants().unwrap();
+        right.check_invariants().unwrap();
+
+        // Above every key: nothing moves.
+        let mut t = build(500, 16);
+        let right = t.split_off(&u64::MAX);
+        assert_eq!(t.len(), 500);
+        assert!(right.is_empty());
+        t.check_invariants().unwrap();
+        right.check_invariants().unwrap();
+
+        // Empty tree.
+        let mut t: FitingTree<u64, u64> = FitingTreeBuilder::new(16).build_empty().unwrap();
+        assert!(t.split_off(&5).is_empty());
+    }
+
+    #[test]
+    fn split_off_with_buffered_entries_across_the_cut() {
+        let mut t = FitingTreeBuilder::new(64)
+            .bulk_load((0..2_000u64).map(|k| (k * 10, k)))
+            .unwrap();
+        // Buffered inserts on both sides of the future cut.
+        for k in 0..400u64 {
+            t.insert(k * 50 + 3, 900_000 + k);
+        }
+        let len = t.len();
+        let right = t.split_off(&9_999);
+        assert_eq!(t.len() + right.len(), len);
+        for k in 0..400u64 {
+            let key = k * 50 + 3;
+            let side = if key >= 9_999 { &right } else { &t };
+            assert_eq!(side.get(&key), Some(&(900_000 + k)), "buffered {key}");
+        }
+        t.check_invariants().unwrap();
+        right.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn absorb_appends_disjoint_run_in_place() {
+        let mut left = build(3_000, 32); // keys 0..21_000 step 7
+        let mut right: FitingTree<u64, u64> = FitingTreeBuilder::new(32)
+            .bulk_load((0..2_000u64).map(|k| (30_000 + k * 5, k)))
+            .unwrap();
+        let right_segs = right.segment_count();
+        let left_segs = left.segment_count();
+        let moved = left.absorb(&mut right).unwrap();
+        assert_eq!(moved, 2_000);
+        assert!(right.is_empty());
+        assert_eq!(left.len(), 5_000);
+        // Pure handoff: segment counts just add.
+        assert_eq!(left.segment_count(), left_segs + right_segs);
+        for k in 0..2_000u64 {
+            assert_eq!(left.get(&(30_000 + k * 5)), Some(&k));
+        }
+        assert_eq!(left.get(&(3_000 * 7 - 7)), Some(&2_999));
+        left.check_invariants().unwrap();
+        right.check_invariants().unwrap();
+        // The drained tree is reusable.
+        right.insert(1, 1);
+        assert_eq!(right.get(&1), Some(&1));
+    }
+
+    #[test]
+    fn absorb_rejects_overlap_and_config_mismatch() {
+        let mut left = build(100, 32);
+        let mut overlapping = build(100, 32);
+        assert_eq!(
+            left.absorb(&mut overlapping),
+            Err(crate::error::AbsorbError::KeyOverlap)
+        );
+        assert_eq!(overlapping.len(), 100, "failed absorb must not drain");
+
+        let mut other_cfg: FitingTree<u64, u64> = FitingTreeBuilder::new(64)
+            .bulk_load((10_000..10_100u64).map(|k| (k, k)))
+            .unwrap();
+        assert_eq!(
+            left.absorb(&mut other_cfg),
+            Err(crate::error::AbsorbError::ConfigMismatch)
+        );
+        assert_eq!(other_cfg.len(), 100);
+        left.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn split_then_absorb_round_trips() {
+        let mut t = build(5_000, 16);
+        for k in 0..300u64 {
+            t.insert(k * 35 + 2, k);
+        }
+        let model: Vec<(u64, u64)> = t.iter().map(|(k, v)| (*k, *v)).collect();
+        // Split at a key that is *not* stored, so the right tree's first
+        // anchor sits above the cut...
+        let at = 7 * 2_500 + 3;
+        let mut right = t.split_off(&at);
+        assert!(!model.iter().any(|&(k, _)| k == at));
+        // ...then insert the cut key itself: it lands *below* the first
+        // anchor in the right tree's first-segment buffer, exercising
+        // absorb's drain-and-reinsert path.
+        right.insert(at, 424_242);
+        t.absorb(&mut right).unwrap();
+        assert_eq!(t.get(&at), Some(&424_242));
+        let mut want = model;
+        want.push((at, 424_242));
+        want.sort_unstable();
+        let got: Vec<(u64, u64)> = t.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, want);
+        t.check_invariants().unwrap();
     }
 
     #[test]

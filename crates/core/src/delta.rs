@@ -4,12 +4,12 @@
 //! similar to how column stores merge a write-optimized delta to the
 //! main compressed column."*
 //!
-//! [`DeltaFitingTree`] keeps a small ordered **delta** (a dense B+ tree,
-//! fast to insert into) in front of a bulk-loaded **main** FITing-Tree.
-//! Writes land in the delta in O(log d); reads consult the delta first
-//! (deletes are tombstones there); when the delta exceeds its budget,
-//! one merge pass rebuilds the main index — a single bulk load instead
-//! of thousands of per-segment re-segmentations.
+//! [`DeltaFitingTree`] keeps a small ordered **delta** (a standard
+//! ordered map, fast to insert into) in front of a bulk-loaded **main**
+//! FITing-Tree. Writes land in the delta in O(log d); reads consult the
+//! delta first (deletes are tombstones there); when the delta exceeds
+//! its budget, one merge pass rebuilds the main index — a single bulk
+//! load instead of thousands of per-segment re-segmentations.
 //!
 //! Compared to the per-segment buffers of the base [`FitingTree`]:
 //! per-segment buffers keep the error guarantee exact and localized but
@@ -22,7 +22,14 @@ use crate::builder::FitingTreeBuilder;
 use crate::clustered::FitingTree;
 use crate::error::BuildError;
 use crate::key::Key;
-use fiting_btree::BPlusTree;
+use std::collections::BTreeMap;
+
+/// Per-entry byte estimate for the delta map's node overhead in the
+/// Section 6.2 accounting (key + pending value + amortized tree-node
+/// bookkeeping). `std::collections::BTreeMap` does not expose its node
+/// layout, so this mirrors the convention the retired in-house B+ tree
+/// used: payload plus a pointer-sized overhead per entry.
+const DELTA_ENTRY_OVERHEAD_BYTES: usize = 16;
 
 /// Delta entry: a pending upsert or a tombstone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +58,7 @@ enum Pending<V> {
 /// ```
 pub struct DeltaFitingTree<K: Key, V> {
     main: FitingTree<K, V>,
-    delta: BPlusTree<K, Pending<V>>,
+    delta: BTreeMap<K, Pending<V>>,
     delta_budget: usize,
     /// Live entries (main ∪ delta, tombstones applied).
     len: usize,
@@ -74,7 +81,7 @@ impl<K: Key, V: Clone> DeltaFitingTree<K, V> {
         let len = main.len();
         Ok(DeltaFitingTree {
             main,
-            delta: BPlusTree::new(),
+            delta: BTreeMap::new(),
             delta_budget,
             len,
         })
@@ -148,7 +155,7 @@ impl<K: Key, V: Clone> DeltaFitingTree<K, V> {
         if self.delta.is_empty() {
             return Ok(());
         }
-        let delta = std::mem::take(&mut self.delta).into_sorted_vec();
+        let delta: Vec<(K, Pending<V>)> = std::mem::take(&mut self.delta).into_iter().collect();
         let main = std::mem::replace(&mut self.main, FitingTreeBuilder::new(1).build_empty()?);
         let error = main.error();
         let strategy_builder = FitingTreeBuilder::new(error);
@@ -316,10 +323,12 @@ impl<K: Key, V: Clone> fiting_index_api::SortedIndex<K, V> for DeltaFitingTree<K
         DeltaFitingTree::len(self)
     }
 
-    /// Main-index segment metadata plus the delta B+ tree — the delta
-    /// is index structure (it shadows, it does not store table data).
+    /// Main-index segment metadata plus the delta map — the delta is
+    /// index structure (it shadows, it does not store table data).
     fn size_bytes(&self) -> usize {
-        self.main.index_size_bytes() + self.delta.size_in_bytes()
+        self.main.index_size_bytes()
+            + self.delta.len()
+                * (std::mem::size_of::<(K, Pending<V>)>() + DELTA_ENTRY_OVERHEAD_BYTES)
     }
 
     fn range<R: std::ops::RangeBounds<K>>(&self, range: R) -> Self::RangeIter<'_> {

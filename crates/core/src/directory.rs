@@ -18,11 +18,15 @@
 //! 3. finish with a branchless binary search (conditional-move `base`
 //!    update, no unpredictable branches) inside the bracket.
 //!
-//! The B+ tree remains the *mutation-side* directory — structural
-//! updates (segment split/merge/insert/remove) are O(log S) there — and
-//! [`crate::FitingTree`] mirrors it into this flat form with one
-//! `rebuild_directory()` pass after every structural change.
-//! `check_invariants` verifies the mirror is exact.
+//! Since the mutation-side B+ tree was retired, this flat form is the
+//! **only** segment directory: structural mutations (segment
+//! split/merge/insert/remove) patch the affected window of the
+//! `anchors`/`slots` arrays in place with [`FlatDirectory::splice`] —
+//! O(moved segments + tail shift), one `memmove` instead of the old
+//! O(S) re-mirror of a pointer-based tree — and whole-run handoffs
+//! ([`FlatDirectory::split_off`]) move directory spans without touching
+//! the entries inside them. `FitingTree::check_invariants` verifies the
+//! directory directly against the segment run.
 
 use crate::key::Key;
 
@@ -66,7 +70,8 @@ impl<K: Key> FlatDirectory<K> {
     }
 
     /// Rebuilds from `(anchor, slot)` entries in ascending anchor order
-    /// — one dense pass, called after structural mutations.
+    /// — one dense pass, used by bulk load (where the whole run changes
+    /// anyway). Incremental mutations use [`splice`](Self::splice).
     pub fn rebuild<I: IntoIterator<Item = (K, u32)>>(&mut self, entries: I) {
         self.anchors.clear();
         self.slots.clear();
@@ -74,6 +79,12 @@ impl<K: Key> FlatDirectory<K> {
             self.anchors.push(anchor);
             self.slots.push(slot);
         }
+        self.reseed();
+    }
+
+    /// Recomputes the interpolation-seed state from the current anchor
+    /// run. O(1): only the endpoints are read.
+    fn reseed(&mut self) {
         debug_assert!(self.anchors.windows(2).all(|w| w[0] < w[1]));
         let n = self.anchors.len();
         self.min_f = 0.0;
@@ -86,6 +97,51 @@ impl<K: Key> FlatDirectory<K> {
                 self.inv_span = (n - 1) as f64 / span;
             }
         }
+    }
+
+    /// Replaces the directory window `range` with `entries`, shifting
+    /// the tail — the incremental mutation primitive. Cost is
+    /// O(`entries.len()` + tail shift): one `memmove` of the dense
+    /// arrays instead of the retired O(S) tree re-mirror. The resulting
+    /// anchor run must remain strictly ascending (debug-asserted).
+    pub fn splice(&mut self, range: std::ops::Range<usize>, entries: &[(K, u32)]) {
+        self.anchors
+            .splice(range.clone(), entries.iter().map(|&(a, _)| a));
+        self.slots.splice(range, entries.iter().map(|&(_, s)| s));
+        self.reseed();
+    }
+
+    /// Splits the directory at position `pos`: entries `[pos, len)`
+    /// move into the returned directory, `[0, pos)` stay. Both sides
+    /// reseed. O(moved entries) — the whole-run handoff primitive
+    /// behind `FitingTree::split_off`.
+    pub fn split_off(&mut self, pos: usize) -> FlatDirectory<K> {
+        let anchors = self.anchors.split_off(pos);
+        let slots = self.slots.split_off(pos);
+        self.reseed();
+        let mut upper = FlatDirectory {
+            anchors,
+            slots,
+            min_f: 0.0,
+            inv_span: 0.0,
+        };
+        upper.reseed();
+        upper
+    }
+
+    /// From-scratch reconstruction of the arrays from their own
+    /// contents — the retired `rebuild_directory()` cost (an O(S)
+    /// collect-and-repush), kept **only** as the measurable baseline
+    /// for the `insert-heavy` bench scenario's splice-vs-rebuild
+    /// comparison.
+    pub fn rebuild_in_place(&mut self) {
+        let entries: Vec<(K, u32)> = self
+            .anchors
+            .iter()
+            .copied()
+            .zip(self.slots.iter().copied())
+            .collect();
+        self.rebuild(entries);
     }
 
     /// Directory position of the segment responsible for `key`: the
@@ -121,6 +177,14 @@ impl<K: Key> FlatDirectory<K> {
     #[inline]
     pub fn slot_at(&self, i: usize) -> usize {
         self.slots[i] as usize
+    }
+
+    /// Anchor key at directory position `i` — O(1), used by the tree's
+    /// debug assertions so they don't reintroduce per-mutation O(S)
+    /// walks in debug builds.
+    #[inline]
+    pub fn anchor_at(&self, i: usize) -> K {
+        self.anchors[i]
     }
 
     /// Slot of the last (largest-anchor) segment.
@@ -290,6 +354,157 @@ mod tests {
             d.entries().collect::<Vec<_>>(),
             vec![(10, 5), (20, 0), (30, 9)]
         );
+    }
+
+    #[test]
+    fn splice_insert_remove_replace_match_rebuild() {
+        let mut d = dir(&[10, 20, 30, 40]);
+        // Insert in the middle.
+        d.splice(2..2, &[(25, 7)]);
+        assert_eq!(
+            d.entries().collect::<Vec<_>>(),
+            vec![(10, 0), (20, 1), (25, 7), (30, 2), (40, 3)]
+        );
+        // Replace one entry with two.
+        d.splice(1..2, &[(18, 8), (22, 9)]);
+        assert_eq!(
+            d.entries().collect::<Vec<_>>(),
+            vec![(10, 0), (18, 8), (22, 9), (25, 7), (30, 2), (40, 3)]
+        );
+        // Remove a window.
+        d.splice(1..4, &[]);
+        assert_eq!(
+            d.entries().collect::<Vec<_>>(),
+            vec![(10, 0), (30, 2), (40, 3)]
+        );
+        // Append splice.
+        let n = d.len();
+        d.splice(n..n, &[(50, 4)]);
+        assert_eq!(d.last_slot(), Some(4));
+        for key in [0u64, 10, 29, 30, 45, 50, 99] {
+            let want = [10u64, 30, 40, 50]
+                .iter()
+                .rposition(|&a| a <= key)
+                .unwrap_or(0);
+            assert_eq!(d.floor_index(key), Some(want), "key {key}");
+        }
+    }
+
+    /// Proptest-style battery: random splice sequences against a
+    /// from-scratch rebuild oracle, across sizes that cross the
+    /// interpolation-seeding threshold in both directions.
+    #[test]
+    fn random_splice_sequences_match_rebuild_oracle() {
+        let mut state = 0x1357_9bdf_2468_acecu64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..60u64 {
+            // Model: a sorted set of (anchor, slot) entries.
+            let start_n = (rng() % 200) as usize;
+            let mut model: Vec<(u64, u32)> = (0..start_n as u64)
+                .map(|i| (i * 1_000 + 500, rng() as u32))
+                .collect();
+            let mut d = FlatDirectory::new();
+            d.rebuild(model.iter().copied());
+            for _step in 0..40 {
+                let lo = if model.is_empty() {
+                    0
+                } else {
+                    (rng() as usize) % (model.len() + 1)
+                };
+                let hi = (lo + (rng() as usize) % 4).min(model.len());
+                // Replacement anchors strictly inside the hole's key gap.
+                let gap_lo = if lo == 0 { 0 } else { model[lo - 1].0 + 1 };
+                let gap_hi = if hi == model.len() {
+                    gap_lo + 1_000_000
+                } else {
+                    model[hi].0
+                };
+                let room = gap_hi.saturating_sub(gap_lo);
+                let count = (rng() % 4).min(room) as usize;
+                let repl: Vec<(u64, u32)> = (0..count as u64)
+                    .map(|i| {
+                        (
+                            gap_lo + i * (room / count.max(1) as u64).max(1),
+                            rng() as u32,
+                        )
+                    })
+                    .collect();
+                // Skip degenerate replacements that would collide.
+                if repl.windows(2).any(|w| w[0].0 >= w[1].0)
+                    || repl.last().is_some_and(|&(a, _)| a >= gap_hi)
+                {
+                    continue;
+                }
+                model.splice(lo..hi, repl.iter().copied());
+                d.splice(lo..hi, &repl);
+
+                // Oracle: a from-scratch rebuild of the same entries.
+                let mut oracle = FlatDirectory::new();
+                oracle.rebuild(model.iter().copied());
+                assert_eq!(
+                    d.entries().collect::<Vec<_>>(),
+                    oracle.entries().collect::<Vec<_>>(),
+                    "case {case} entries diverged"
+                );
+                // Every floor query agrees with both the oracle and a
+                // linear scan of the model.
+                let mut probes: Vec<u64> = model.iter().map(|&(a, _)| a).collect();
+                probes.extend(model.iter().map(|&(a, _)| a.saturating_sub(1)));
+                probes.extend(model.iter().map(|&(a, _)| a + 1));
+                probes.push(0);
+                probes.push(u64::MAX);
+                for key in probes {
+                    let want = model.iter().rposition(|&(a, _)| a <= key).unwrap_or(0);
+                    let want = (!model.is_empty()).then_some(want);
+                    assert_eq!(d.floor_index(key), want, "case {case} key {key}");
+                    assert_eq!(oracle.floor_index(key), want, "case {case} oracle {key}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_off_partitions_and_reseeds() {
+        let anchors: Vec<u64> = (0..300u64).map(|i| i * 17 + 3).collect();
+        let mut d = dir(&anchors);
+        let upper = {
+            let mut d = d.clone();
+            let u = d.split_off(120);
+            assert_eq!(d.len(), 120);
+            assert_eq!(u.len(), 180);
+            // Both sides answer floor queries as if rebuilt fresh.
+            for key in (0..6_000u64).step_by(7) {
+                let want = anchors[..120].iter().rposition(|&a| a <= key).unwrap_or(0);
+                assert_eq!(d.floor_index(key), Some(want), "lower {key}");
+                let want = anchors[120..].iter().rposition(|&a| a <= key).unwrap_or(0);
+                assert_eq!(u.floor_index(key), Some(want), "upper {key}");
+            }
+            u
+        };
+        // Degenerate splits.
+        let all = d.split_off(0);
+        assert!(d.is_empty());
+        assert_eq!(all.len(), 300);
+        let mut d2 = all.clone();
+        let none = d2.split_off(300);
+        assert!(none.is_empty());
+        assert_eq!(d2.len(), 300);
+        drop(upper);
+    }
+
+    #[test]
+    fn rebuild_in_place_is_identity() {
+        let anchors: Vec<u64> = (0..150u64).map(|i| i * i).collect();
+        let mut d = dir(&anchors);
+        let before: Vec<_> = d.entries().collect();
+        d.rebuild_in_place();
+        assert_eq!(d.entries().collect::<Vec<_>>(), before);
+        assert_eq!(d.floor_index(100), dir(&anchors).floor_index(100));
     }
 
     #[test]

@@ -43,6 +43,41 @@ impl fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
+/// Why [`crate::FitingTree::absorb`] refused to append another tree's
+/// segment run. Either variant leaves both trees untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsorbError {
+    /// The trees disagree on error budget or buffer split: moved
+    /// segments would carry measured error envelopes the absorbing
+    /// tree's (smaller) search window could clip, breaking the lookup
+    /// guarantee.
+    ConfigMismatch,
+    /// The other tree holds a key `<=` this tree's maximum, so the two
+    /// segment runs cannot be concatenated in order.
+    KeyOverlap,
+}
+
+impl fmt::Display for AbsorbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsorbError::ConfigMismatch => {
+                write!(
+                    f,
+                    "cannot absorb a tree with a different error/buffer configuration"
+                )
+            }
+            AbsorbError::KeyOverlap => {
+                write!(
+                    f,
+                    "cannot absorb a tree whose keys overlap this tree's range"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AbsorbError {}
+
 /// Why an insert was rejected. (Currently unused by the core paths —
 /// inserts always succeed — but part of the public API for extensions
 /// such as bounded-memory operation.)

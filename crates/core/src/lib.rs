@@ -7,11 +7,13 @@
 //! A FITing-Tree indexes a sorted attribute by approximating the key →
 //! position function with variable-sized *linear segments* instead of
 //! indexing every key. Each segment stores only its start key, slope,
-//! and a pointer to the underlying page. Lookups locate their segment
-//! in a **flat SoA directory** of anchor keys (interpolation-seeded,
-//! branchless bounded search — no pointer chasing); a B+ tree keyed by
-//! segment start remains as the mutation-side directory for structural
-//! updates and is mirrored into the flat form after each one. A lookup
+//! and a pointer to the underlying page. The **flat SoA directory** of
+//! anchor keys is the *only* directory structure: lookups locate their
+//! segment there (interpolation-seeded, branchless bounded search — no
+//! pointer chasing), and structural mutations splice the affected
+//! window of the same arrays in place (the paper's B+ tree directory —
+//! and our former mutation-side copy of it — is retired entirely;
+//! `crates/btree` survives only as a benchmark baseline). A lookup
 //! therefore costs
 //!
 //! ```text
@@ -96,7 +98,7 @@ pub use builder::FitingTreeBuilder;
 pub use clustered::FitingTree;
 pub use concurrent::{ConcurrentFitingTree, FitingService};
 pub use delta::{DeltaConfig, DeltaFitingTree};
-pub use error::{BuildError, InsertError};
+pub use error::{AbsorbError, BuildError, InsertError};
 pub use fiting_index_api::{BuildableIndex, DynSortedIndex, ShardedIndex, SortedIndex};
 pub use key::{Key, OrderedF64};
 pub use range::RangeIter;

@@ -445,16 +445,39 @@ impl<K: Key, V> Segment<K, V> {
     /// predictions stay exact — the old shifting `Vec::remove` was
     /// O(page)). Returns the value if present; page removals clone it
     /// out, since the dense value array keeps the slot until the next
-    /// re-segmentation.
+    /// re-segmentation. A convenience wrapper over
+    /// [`remove_with`](Self::remove_with) — non-`Clone` values pass an
+    /// extraction of their own (`mem::take`, `mem::replace`); the tree
+    /// layer routes everything through `remove_with` directly, so this
+    /// wrapper survives for in-crate callers and tests.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn remove(&mut self, key: K, seg_error: u64, strategy: SearchStrategy) -> Option<V>
     where
         V: Clone,
     {
+        self.remove_with(key, seg_error, strategy, |v| v.clone())
+    }
+
+    /// [`remove`](Self::remove) with a caller-supplied extraction for
+    /// the page case, so the operation works for **non-`Clone`**
+    /// values. `extract` pulls the value out of the tombstoned slot
+    /// (the dense value array keeps the slot until re-segmentation, so
+    /// *something* must stay behind): `|v| v.clone()` for `Clone`
+    /// types, `mem::take` for `Default` types, or a `mem::replace`
+    /// with any placeholder. Buffer hits are moved out directly and
+    /// never invoke it; the extracted slot is never read again.
+    pub fn remove_with(
+        &mut self,
+        key: K,
+        seg_error: u64,
+        strategy: SearchStrategy,
+        extract: impl FnOnce(&mut V) -> V,
+    ) -> Option<V> {
         if let Some(i) = self.search_buffer(key) {
             return Some(self.buffer.remove(i).1);
         }
         if let Some(i) = self.search_data(key, seg_error, strategy) {
-            let value = self.values[i].clone();
+            let value = extract(&mut self.values[i]);
             self.mark_dead(i);
             return Some(value);
         }
@@ -646,6 +669,49 @@ mod tests {
         assert_eq!(s.removed, 0);
         assert_eq!(s.buffer.len(), 0);
         assert_eq!(s.get(20, 2, SearchStrategy::Binary), Some(&7));
+    }
+
+    #[test]
+    fn remove_with_extracts_non_clone_values() {
+        // A deliberately non-Clone value type: the PR 3 note said
+        // `remove` needed `V: Clone` only to clone out of a tombstoned
+        // slot; `remove_with` relaxes that with a caller extraction.
+        #[derive(Debug, Default, PartialEq)]
+        struct Token(u64);
+        let mut s: Segment<u64, Token> = Segment::new(
+            10,
+            1.0,
+            vec![(10, Token(1)), (11, Token(2)), (12, Token(3))],
+        );
+        // Page hit: moved out via mem::take (V: Default).
+        assert_eq!(
+            s.remove_with(11, 2, SearchStrategy::Binary, std::mem::take),
+            Some(Token(2))
+        );
+        assert_eq!(s.get(11, 2, SearchStrategy::Binary), None);
+        assert_eq!(s.removed, 1);
+        // Page hit: moved out via mem::replace with a placeholder.
+        assert_eq!(
+            s.remove_with(12, 2, SearchStrategy::Binary, |v| std::mem::replace(
+                v,
+                Token(u64::MAX)
+            )),
+            Some(Token(3))
+        );
+        // Buffer hit: moved out directly, extraction never called.
+        s.insert(15, Token(5), 2, SearchStrategy::Binary);
+        assert_eq!(
+            s.remove_with(15, 2, SearchStrategy::Binary, |_| unreachable!(
+                "buffer removals never extract"
+            )),
+            Some(Token(5))
+        );
+        // Miss.
+        assert_eq!(
+            s.remove_with(99, 2, SearchStrategy::Binary, std::mem::take),
+            None
+        );
+        assert_eq!(s.get(10, 2, SearchStrategy::Binary), Some(&Token(1)));
     }
 
     #[test]

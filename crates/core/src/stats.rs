@@ -7,15 +7,12 @@ pub struct FitingTreeStats {
     pub len: usize,
     /// Live segments (variable-sized pages).
     pub segment_count: usize,
-    /// Height of the mutation-side directory B+ tree (not descended by
-    /// lookups).
-    pub tree_depth: usize,
-    /// Total mutation-side directory tree nodes.
-    pub tree_nodes: usize,
-    /// Bytes of the flat read-side segment directory (anchor + slot
-    /// arrays) that lookups actually search.
+    /// Bytes of the flat segment directory (anchor + slot arrays) —
+    /// since the mutation-side B+ tree was retired, the *only*
+    /// directory structure, searched by lookups and spliced by
+    /// structural mutations.
     pub flat_directory_bytes: usize,
-    /// Index overhead in bytes: directory tree + per-segment metadata
+    /// Index overhead in bytes: flat directory + per-segment metadata
     /// (the quantity plotted on the x-axis of the paper's Figure 6).
     pub index_size_bytes: usize,
     /// Bytes of table data held in pages and buffers (not index
@@ -23,6 +20,14 @@ pub struct FitingTreeStats {
     pub data_size_bytes: usize,
     /// Entries currently sitting in segment insert buffers.
     pub buffered_entries: usize,
+    /// Cumulative incremental directory splices since construction —
+    /// one per structural mutation (segment insert/remove,
+    /// re-segmentation, run handoff). The operations that previously
+    /// each paid an O(S) directory re-mirror.
+    pub directory_splices: u64,
+    /// Cumulative `(anchor, slot)` entries written by those splices
+    /// (the "moved segments" side of the O(moved + shift) splice cost).
+    pub directory_splice_entries: u64,
     /// Mean entries per segment.
     pub avg_segment_len: f64,
     /// Configured total error budget.
@@ -43,15 +48,17 @@ pub enum DirectoryPath {
     /// The dense SoA anchor array (interpolation-seeded branchless
     /// search) — the only routing the hot path is allowed to take.
     FlatDirectory,
-    /// A pointer-chasing B+ tree descent (mutation-side structure).
+    /// A pointer-chasing B+ tree descent.
     ///
-    /// Intentionally never constructed on the current hot path: it
-    /// exists so any future fallback routing has an honest value to
-    /// report, and so the trace-level test pins the expected variant.
-    /// The *behavioral* enforcement that lookups use the flat directory
-    /// is `FitingTree::check_invariants`, which independently verifies
-    /// that the flat directory mirrors the tree exactly and routes
-    /// every live key to its owning segment.
+    /// **Unconstructible in the current code**: the mutation-side B+
+    /// tree was retired entirely (the flat directory is the only
+    /// directory structure), so no routing site can produce this value.
+    /// The variant is retained so recorded traces stay comparable
+    /// across versions and the trace-level test keeps pinning the
+    /// expected `FlatDirectory` variant. The *behavioral* enforcement
+    /// is `FitingTree::check_invariants`, which verifies the directory
+    /// directly against the segment run and that every live key routes
+    /// to its owning segment.
     BTreeDescent,
 }
 

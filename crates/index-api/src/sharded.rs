@@ -286,8 +286,17 @@ impl<K: Key, V: Clone, I: BuildableIndex<K, V>> ShardedIndex<K, V, I> {
     }
 
     /// Splits shard `shard` at key `at`: entries with keys `>= at` move
-    /// into a newly built shard inserted immediately after, and `at`
-    /// becomes a routing boundary. Returns the number of entries moved.
+    /// into a new shard inserted immediately after, and `at` becomes a
+    /// routing boundary. Returns the number of entries moved.
+    ///
+    /// When the shard structure provides a native run handoff
+    /// ([`SortedIndex::split_off_tail`] — the FITing-Tree moves whole
+    /// segment pages plus their directory span), the split costs
+    /// **O(moved segments)** and the new shard inherits the source
+    /// shard's configuration (`config` is unused). Otherwise the
+    /// generic fallback copies the upper run out, builds the new shard
+    /// with `config`, and removes the moved keys from the source —
+    /// O(moved entries × structure op).
     ///
     /// The move happens under the source shard's write lock and the new
     /// routing table is published *before* that lock is released, so
@@ -300,7 +309,7 @@ impl<K: Key, V: Clone, I: BuildableIndex<K, V>> ShardedIndex<K, V, I> {
     /// Refused (changing nothing) when `shard` does not exist, when
     /// `at` falls outside the shard's routed span, when either side of
     /// the split would hold no entries, or when building the upper
-    /// shard fails.
+    /// shard fails (fallback path only).
     pub fn split_shard(
         &self,
         config: &I::Config,
@@ -322,17 +331,38 @@ impl<K: Key, V: Clone, I: BuildableIndex<K, V>> ShardedIndex<K, V, I> {
         }
         let source = Arc::clone(&table.shards[shard]);
         let mut guard = source.write();
-        let moving = guard.range_collect(at..);
-        if moving.is_empty() || moving.len() == guard.len() {
+        // Cheap pre-checks (one cursor step each, no bulk copy): both
+        // sides of the split must end up non-empty.
+        if guard
+            .range((Bound::Included(at), Bound::Unbounded))
+            .next()
+            .is_none()
+            || guard
+                .range((Bound::Unbounded, Bound::Excluded(at)))
+                .next()
+                .is_none()
+        {
             return Err(RebalanceError::EmptySide);
         }
-        let moved_keys: Vec<K> = moving.iter().map(|&(k, _)| k).collect();
-        // Build the new shard *before* draining the source, so a build
-        // failure leaves the index untouched.
-        let upper = I::build_sorted(config, moving).map_err(RebalanceError::Build)?;
-        for k in &moved_keys {
-            guard.remove(k);
-        }
+        let (upper, moved) = match guard.split_off_tail(&at) {
+            // Fast path: structure-level handoff, O(moved segments).
+            Some(upper) => {
+                let moved = upper.len();
+                (upper, moved)
+            }
+            // Fallback: copy the upper run out and build the new shard
+            // *before* draining the source, so a build failure leaves
+            // the index untouched.
+            None => {
+                let moving = guard.range_collect(at..);
+                let moved_keys: Vec<K> = moving.iter().map(|&(k, _)| k).collect();
+                let upper = I::build_sorted(config, moving).map_err(RebalanceError::Build)?;
+                for k in &moved_keys {
+                    guard.remove(k);
+                }
+                (upper, moved_keys.len())
+            }
+        };
         let mut bounds = table.bounds.clone();
         bounds.insert(shard, at);
         let mut shards = table.shards.clone();
@@ -344,13 +374,20 @@ impl<K: Key, V: Clone, I: BuildableIndex<K, V>> ShardedIndex<K, V, I> {
         // Only now release the source lock: any operation that routed
         // here under the old table revalidates against the new one.
         drop(guard);
-        Ok(moved_keys.len())
+        Ok(moved)
     }
 
     /// Merges shard `shard + 1` into shard `shard`: the right shard's
     /// entries bulk-move left, the boundary between them disappears,
     /// and the right shard is retired. Returns the number of entries
     /// moved.
+    ///
+    /// When the shard structure provides a native append
+    /// ([`SortedIndex::absorb_tail`] — the FITing-Tree hands the right
+    /// shard's whole segment run over), the merge costs **O(moved
+    /// segments)** with no re-segmentation or per-entry copying;
+    /// otherwise the right shard's entries are copied out and
+    /// re-inserted through `insert_many`.
     ///
     /// Both shards' write locks are held across the move and the
     /// routing-table publish, so concurrent operations on either shard
@@ -376,10 +413,22 @@ impl<K: Key, V: Clone, I: BuildableIndex<K, V>> ShardedIndex<K, V, I> {
         // shard lock at a time, so holding two adjacent locks here
         // cannot deadlock.
         let mut keep_guard = keep.write();
-        let retire_guard = retire.write();
-        let moving = retire_guard.range_collect(..);
-        let moved = moving.len();
-        keep_guard.insert_many(moving);
+        let mut retire_guard = retire.write();
+        let to_move = retire_guard.len();
+        let moved = if keep_guard.absorb_tail(&mut retire_guard) {
+            // Fast path: segment-run handoff; the retired shard is
+            // drained in place.
+            to_move
+        } else {
+            // Fallback: copy + re-insert. The retired shard then still
+            // holds its (now duplicate) entries, but no table
+            // references it: once the last stale operation revalidates
+            // and retries, it is dropped.
+            let moving = retire_guard.range_collect(..);
+            let moved = moving.len();
+            keep_guard.insert_many(moving);
+            moved
+        };
         let mut bounds = table.bounds.clone();
         bounds.remove(shard);
         let mut shards = table.shards.clone();
@@ -388,9 +437,6 @@ impl<K: Key, V: Clone, I: BuildableIndex<K, V>> ShardedIndex<K, V, I> {
         self.inner
             .epoch
             .fetch_add(1, std::sync::atomic::Ordering::Release);
-        // The retired shard still holds its (now duplicate) entries,
-        // but no table references it: once the last stale operation
-        // revalidates and retries, it is dropped.
         drop(retire_guard);
         drop(keep_guard);
         Ok(moved)

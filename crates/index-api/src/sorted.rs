@@ -97,6 +97,47 @@ pub trait SortedIndex<K: Key, V: Clone> {
         }
         fresh
     }
+
+    /// Splits off every entry with key `>= *at` into a new instance of
+    /// the same structure **and configuration**, leaving the rest in
+    /// `self` — the structure-level handoff behind
+    /// [`ShardedIndex::split_shard`](crate::ShardedIndex::split_shard).
+    ///
+    /// Structures with a native run handoff (the FITing-Tree moves
+    /// whole segment pages plus their directory span, in O(moved
+    /// segments)) override this; the default returns `None`, telling
+    /// callers to fall back to the generic copy-out + rebuild + remove
+    /// path. Implementations must either move the entries or return
+    /// `None` without touching anything.
+    ///
+    /// Excluded from [`DynSortedIndex`] (returns `Self`); `where Self:
+    /// Sized` keeps the trait object-safe.
+    fn split_off_tail(&mut self, at: &K) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        let _ = at;
+        None
+    }
+
+    /// Absorbs every entry of `other` — all of whose keys must be
+    /// strictly greater than every key in `self` — leaving `other`
+    /// empty. The append counterpart of
+    /// [`split_off_tail`](Self::split_off_tail), behind
+    /// [`ShardedIndex::merge_with_next`](crate::ShardedIndex::merge_with_next).
+    ///
+    /// Returns `true` when the handoff happened; `false` (touching
+    /// neither structure) when the structure has no native append path
+    /// or its preconditions — disjoint ascending key runs, matching
+    /// configuration — do not hold, in which case callers fall back to
+    /// copy + `insert_many`.
+    fn absorb_tail(&mut self, other: &mut Self) -> bool
+    where
+        Self: Sized,
+    {
+        let _ = other;
+        false
+    }
 }
 
 /// A [`SortedIndex`] that can be constructed in one pass from sorted

@@ -13,8 +13,9 @@
 //!   insert path, cost model). This is the paper's contribution.
 //! * [`plr`] — bounded-error piecewise-linear segmentation
 //!   (ShrinkingCone and the optimal DP).
-//! * [`btree`] — the in-memory B+ tree substrate shared by the
-//!   FITing-Tree and the baselines.
+//! * [`btree`] — a standalone in-memory B+ tree, kept purely as a
+//!   benchmark baseline (the FITing-Tree no longer uses it: its flat
+//!   directory is spliced in place on mutation).
 //! * [`baselines`] — full (dense) index, fixed-size-page index, and
 //!   binary search, benchmarked against the FITing-Tree throughout the
 //!   paper's evaluation.

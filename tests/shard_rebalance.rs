@@ -26,7 +26,21 @@ type Reb = Rebalancer<u64, u64, FitingTree<u64, u64>>;
 
 const SHARDS: usize = 4;
 const BULK: u64 = 20_000;
-const TAIL: u64 = 40_000;
+
+/// Appended hot-tail size: `4 × FITING_STRESS_OPS` (the same knob the
+/// linearizability stress honors), floored at the historical 40 000
+/// appends. The knob only scales *up* (the nightly CI job raises it
+/// for a longer soak): below ~4 000 appends the skew never pushes the
+/// hot shard strictly past the 1.5× split threshold (4·(5 000 + T) /
+/// (20 000 + T) > 1.5 requires T > 4 000), so a small stress value
+/// would turn the "splits must fire" assertions into guaranteed
+/// failures rather than a cheaper run.
+fn tail_len() -> u64 {
+    std::env::var("FITING_STRESS_OPS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(40_000, |ops| (ops * 4).max(40_000))
+}
 
 /// Uniformly spaced bulk pairs: keys 0, 10, 20, …
 fn bulk_pairs() -> Vec<(u64, u64)> {
@@ -97,7 +111,8 @@ fn skew_stress_direct_rebalance_drops_imbalance_no_lost_keys() {
     // batches, stepping the rebalancer as it goes (a coordinator-less
     // embedder's maintenance loop).
     let mut splits = 0;
-    for batch in 0..(TAIL / 1_000) {
+    let tail = tail_len();
+    for batch in 0..(tail / 1_000) {
         let keys: Vec<(u64, u64)> = (batch * 1_000..(batch + 1) * 1_000)
             .map(|i| (tail_key(i), tail_key(i)))
             .collect();
@@ -130,9 +145,9 @@ fn skew_stress_direct_rebalance_drops_imbalance_no_lost_keys() {
         "post-rebalance imbalance {imb:.2} still above threshold: {lens:?}"
     );
     // Nothing lost, nothing duplicated.
-    assert_eq!(index.len(), (BULK + TAIL) as usize);
+    assert_eq!(index.len(), (BULK + tail) as usize);
     let all = index.range_collect(..);
-    assert_eq!(all.len(), (BULK + TAIL) as usize);
+    assert_eq!(all.len(), (BULK + tail) as usize);
     assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "keys stay sorted");
 }
 
@@ -173,7 +188,8 @@ fn skew_stress_service_rebalances_under_pipelined_load() {
     };
 
     let client = service.client();
-    for batch in 0..(TAIL / 1_000) {
+    let tail = tail_len();
+    for batch in 0..(tail / 1_000) {
         let keys: Vec<(u64, u64)> = (batch * 1_000..(batch + 1) * 1_000)
             .map(|i| (tail_key(i), tail_key(i)))
             .collect();
@@ -203,12 +219,12 @@ fn skew_stress_service_rebalances_under_pipelined_load() {
     assert!(stats.rebalance.unwrap().moved_keys > 0);
 
     // Every appended key visible through the pipeline.
-    for i in (0..TAIL).step_by(503) {
+    for i in (0..tail).step_by(503) {
         let k = tail_key(i);
         assert_eq!(client.get(k).wait(), Ok(Some(k)), "lost appended key {k}");
     }
     let index = service.shutdown();
-    assert_eq!(index.len(), (BULK + TAIL) as usize);
+    assert_eq!(index.len(), (BULK + tail) as usize);
 }
 
 #[test]

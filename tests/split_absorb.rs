@@ -1,0 +1,227 @@
+//! Round-trip battery for the structure-level segment-run handoff:
+//! `FitingTree::split_off` / `FitingTree::absorb` (the primitives
+//! behind the O(moved-segments) shard split) must preserve **every**
+//! key and every per-segment error envelope under arbitrary cuts.
+//!
+//! Envelope preservation is asserted through `check_invariants`, which
+//! verifies for every live page key that the windowed (error-bounded)
+//! lookup finds it — i.e. that handed-off pages kept prediction
+//! windows that still contain their keys — and that the flat directory
+//! routes every page and buffer key to its owning segment.
+
+use fiting::tree::{AbsorbError, FitingTree, FitingTreeBuilder};
+use std::collections::BTreeMap;
+
+/// Deterministic xorshift64* stream.
+fn rng(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed.max(1);
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Key shapes that stress the directory and the boundary-segment
+/// re-segmentation differently (mirrors the hotpath differential
+/// battery).
+fn key_shapes() -> Vec<(&'static str, Vec<u64>)> {
+    let skewed: Vec<u64> = (0..3_000u64).map(|i| i * i * i).collect();
+    let lossy: Vec<u64> = (0..2_000u64)
+        .map(|i| (1u64 << 60) + (i / 100) * (1 << 12) + (i % 100))
+        .collect();
+    let dense: Vec<u64> = (0..4_000).collect();
+    let mut r = rng(0xFACE);
+    let mut uniform: Vec<u64> = (0..4_000).map(|_| r() >> 1).collect();
+    uniform.sort_unstable();
+    uniform.dedup();
+    vec![
+        ("skewed-cubic", skewed),
+        ("lossy-f64-span", lossy),
+        ("dense", dense),
+        ("uniform", uniform),
+    ]
+}
+
+/// A tree with page data, buffered inserts, and tombstones — all three
+/// states the handoff has to move correctly.
+fn churned(keys: &[u64], error: u64, seed: u64) -> (FitingTree<u64, u64>, BTreeMap<u64, u64>) {
+    let mut t = FitingTreeBuilder::new(error)
+        .bulk_load(keys.iter().map(|&k| (k, k ^ 0x5555)))
+        .expect("strictly increasing keys");
+    let mut model: BTreeMap<u64, u64> = keys.iter().map(|&k| (k, k ^ 0x5555)).collect();
+    let mut r = rng(seed);
+    for step in 0..1_000u64 {
+        let k = keys[(r() as usize) % keys.len()];
+        match r() % 3 {
+            0 => {
+                let k = k.wrapping_add(1 + r() % 3);
+                assert_eq!(t.insert(k, step), model.insert(k, step));
+            }
+            1 => {
+                assert_eq!(t.remove(&k), model.remove(&k));
+            }
+            _ => {
+                assert_eq!(t.get(&k), model.get(&k));
+            }
+        }
+    }
+    (t, model)
+}
+
+#[test]
+fn split_off_partitions_exactly_at_random_cuts() {
+    for (shape, keys) in key_shapes() {
+        for error in [8u64, 64] {
+            let (base, model) = churned(&keys, error, 0xA11CE ^ keys.len() as u64);
+            let mut r = rng(0xC07 ^ error);
+            // Random cuts: existing keys, near-misses, and extremes.
+            let mut cuts: Vec<u64> = (0..12)
+                .map(|_| keys[(r() as usize) % keys.len()].wrapping_add(r() % 5))
+                .collect();
+            cuts.push(0);
+            cuts.push(u64::MAX);
+            for at in cuts {
+                let mut left = base.clone();
+                let right = left.split_off(&at);
+                left.check_invariants()
+                    .unwrap_or_else(|e| panic!("{shape}/e={error}/at={at} left: {e}"));
+                right
+                    .check_invariants()
+                    .unwrap_or_else(|e| panic!("{shape}/e={error}/at={at} right: {e}"));
+                assert_eq!(left.len() + right.len(), model.len(), "{shape} at={at}");
+                // Exact partition: left < at <= right, contents intact.
+                let got_left: Vec<(u64, u64)> = left.iter().map(|(k, v)| (*k, *v)).collect();
+                let got_right: Vec<(u64, u64)> = right.iter().map(|(k, v)| (*k, *v)).collect();
+                let want_left: Vec<(u64, u64)> = model.range(..at).map(|(&k, &v)| (k, v)).collect();
+                let want_right: Vec<(u64, u64)> =
+                    model.range(at..).map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(got_left, want_left, "{shape}/e={error} left of {at}");
+                assert_eq!(got_right, want_right, "{shape}/e={error} right of {at}");
+                // Every moved key still resolves through the windowed
+                // point path on its new owner.
+                for (k, v) in want_right.iter().take(200) {
+                    assert_eq!(right.get(k), Some(v), "{shape} moved key {k}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn split_absorb_round_trip_restores_every_key() {
+    for (shape, keys) in key_shapes() {
+        for error in [8u64, 64] {
+            let (base, model) = churned(&keys, error, 0xB0B ^ keys.len() as u64);
+            let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+            let mut r = rng(0xD1CE ^ error);
+            for _ in 0..8 {
+                let at = keys[(r() as usize) % keys.len()].wrapping_add(r() % 3);
+                let mut left = base.clone();
+                let mut right = left.split_off(&at);
+                left.absorb(&mut right)
+                    .unwrap_or_else(|e| panic!("{shape}/e={error}/at={at} absorb: {e}"));
+                assert!(right.is_empty());
+                let got: Vec<(u64, u64)> = left.iter().map(|(k, v)| (*k, *v)).collect();
+                assert_eq!(got, want, "{shape}/e={error} round trip at {at}");
+                left.check_invariants()
+                    .unwrap_or_else(|e| panic!("{shape}/e={error}/at={at}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_splits_then_absorb_all_back() {
+    let keys: Vec<u64> = (0..6_000u64).map(|i| i * 13 + (i % 7)).collect();
+    let (base, model) = churned(&keys, 32, 0x5EED);
+    let mut r = rng(0xFEED);
+
+    // Shatter into ~9 pieces at random cuts.
+    let mut pieces = vec![base];
+    for _ in 0..8 {
+        let idx = (r() as usize) % pieces.len();
+        let at = keys[(r() as usize) % keys.len()];
+        let right = pieces[idx].split_off(&at);
+        pieces.push(right);
+    }
+    let total: usize = pieces.iter().map(FitingTree::len).sum();
+    assert_eq!(total, model.len(), "shatter conserves entries");
+    for p in &pieces {
+        p.check_invariants().unwrap();
+    }
+
+    // Reassemble in key order: sort pieces by first key and absorb.
+    pieces.retain(|p| !p.is_empty());
+    pieces.sort_by_key(|p| p.first().map(|(k, _)| *k));
+    let mut whole = pieces.remove(0);
+    for mut piece in pieces {
+        whole.absorb(&mut piece).expect("pieces are disjoint runs");
+    }
+    let got: Vec<(u64, u64)> = whole.iter().map(|(k, v)| (*k, *v)).collect();
+    let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(got, want, "reassembled tree matches the model");
+    whole.check_invariants().unwrap();
+}
+
+#[test]
+fn handoff_moves_pages_not_entries() {
+    // The O(moved-segments) claim, observable from the outside: a split
+    // plus the boundary re-segmentation may only add a constant number
+    // of segments, and an absorb of disjoint runs adds segment counts
+    // exactly.
+    let mut r = rng(0xBEEF);
+    let mut key = 0u64;
+    let dedup: Vec<u64> = (0..50_000u64)
+        .map(|_| {
+            // Heavy-tailed gaps: no linear model covers many keys, so a
+            // tight budget yields thousands of segments.
+            key += 1 + (r() % 1_000) * (r() % 50);
+            key
+        })
+        .collect();
+    let mut t = FitingTreeBuilder::new(16)
+        .bulk_load(dedup.iter().map(|&k| (k, k)))
+        .unwrap();
+    let before = t.segment_count();
+    assert!(before > 100, "need a segment-rich tree ({before})");
+    let right = t.split_off(&dedup[dedup.len() / 3]);
+    assert!(
+        t.segment_count() + right.segment_count() <= before + 4,
+        "split re-segmented more than the boundary: {} + {} vs {before}",
+        t.segment_count(),
+        right.segment_count()
+    );
+    let (left_segs, right_segs) = (t.segment_count(), right.segment_count());
+    let mut right = right;
+    t.absorb(&mut right).unwrap();
+    assert!(
+        t.segment_count() <= left_segs + right_segs,
+        "absorb must not re-segment moved pages"
+    );
+    t.check_invariants().unwrap();
+}
+
+#[test]
+fn absorb_error_paths_leave_trees_untouched() {
+    let mut a = FitingTreeBuilder::new(32)
+        .bulk_load((0..1_000u64).map(|k| (k * 2, k)))
+        .unwrap();
+    // Overlap.
+    let mut b = FitingTreeBuilder::new(32)
+        .bulk_load((500..1_500u64).map(|k| (k * 2, k)))
+        .unwrap();
+    assert_eq!(a.absorb(&mut b), Err(AbsorbError::KeyOverlap));
+    assert_eq!(a.len(), 1_000);
+    assert_eq!(b.len(), 1_000);
+    // Config mismatch.
+    let mut c = FitingTreeBuilder::new(8)
+        .bulk_load((10_000..10_500u64).map(|k| (k, k)))
+        .unwrap();
+    assert_eq!(a.absorb(&mut c), Err(AbsorbError::ConfigMismatch));
+    assert_eq!(c.len(), 500);
+    a.check_invariants().unwrap();
+    b.check_invariants().unwrap();
+    c.check_invariants().unwrap();
+}
