@@ -92,6 +92,7 @@ mod key;
 mod range;
 mod secondary;
 mod segment;
+pub mod snapshot;
 mod stats;
 
 pub use builder::FitingTreeBuilder;

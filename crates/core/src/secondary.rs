@@ -30,11 +30,31 @@ pub type RowId = u64;
 struct DupKey<K>(K, u64);
 
 impl<K: Key> Key for DupKey<K> {
+    const ENCODED_LEN: usize = K::ENCODED_LEN + 8;
+
     #[inline]
     fn to_f64(self) -> f64 {
         // Duplicates share an interpolation coordinate: the paper's
         // vertical runs in the key → position function.
         self.0.to_f64()
+    }
+
+    // Attribute bytes then discriminator bytes — fixed-width because
+    // both parts are, so secondary indexes snapshot/log through the
+    // same durability machinery as clustered ones.
+    fn to_le_bytes(self) -> fiting_index_api::KeyBytes {
+        let mut buf = [0u8; fiting_index_api::KeyBytes::MAX_LEN];
+        let attr = self.0.to_le_bytes();
+        buf[..K::ENCODED_LEN].copy_from_slice(attr.as_slice());
+        buf[K::ENCODED_LEN..K::ENCODED_LEN + 8].copy_from_slice(&self.1.to_le_bytes());
+        fiting_index_api::KeyBytes::new(&buf[..K::ENCODED_LEN + 8])
+    }
+
+    fn from_le_bytes(bytes: &[u8]) -> Self {
+        DupKey(
+            K::from_le_bytes(&bytes[..K::ENCODED_LEN]),
+            u64::from_le_bytes(bytes[K::ENCODED_LEN..].try_into().expect("8-byte seq")),
+        )
     }
 }
 

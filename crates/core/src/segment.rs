@@ -125,6 +125,66 @@ impl<K: Key, V> Segment<K, V> {
         seg
     }
 
+    /// The tombstone bitmap words (empty when no slot was ever
+    /// removed) — read by the snapshot writer, which persists liveness
+    /// alongside the SoA page arrays.
+    pub(crate) fn dead_words(&self) -> &[u64] {
+        &self.dead
+    }
+
+    /// The measured prediction-error envelope `(under, over)` — read
+    /// by the snapshot writer, which persists it so the decoder can
+    /// skip the O(page) re-measurement pass.
+    pub(crate) fn error_envelope(&self) -> (u32, u32) {
+        (self.under, self.over)
+    }
+
+    /// Reassembles a segment from its persisted parts — the snapshot
+    /// decoder's constructor. `removed` is recounted from the bitmap
+    /// (a cheap popcount); the error envelope `(under, over)` is taken
+    /// as persisted — it sits under the section checksum, and debug
+    /// builds re-measure it to catch codec bugs.
+    ///
+    /// `dead` must be either empty or exactly
+    /// `keys.len().div_ceil(64)` words; `buffer` must be sorted by key.
+    pub(crate) fn from_raw_parts(
+        start_key: K,
+        slope: f64,
+        keys: Vec<K>,
+        values: Vec<V>,
+        dead: Vec<u64>,
+        buffer: Vec<(K, V)>,
+        envelope: (u32, u32),
+    ) -> Self {
+        debug_assert!(dead.is_empty() || dead.len() == keys.len().div_ceil(64));
+        debug_assert!(buffer.windows(2).all(|w| w[0].0 <= w[1].0));
+        let removed: u64 = dead.iter().map(|w| u64::from(w.count_ones())).sum();
+        let seg = Segment {
+            start_key,
+            start_key_f: start_key.to_f64(),
+            slope,
+            keys,
+            values,
+            dead,
+            buffer,
+            removed,
+            under: envelope.0,
+            over: envelope.1,
+        };
+        if cfg!(debug_assertions) {
+            let mut check = seg;
+            check.measure_error_bounds();
+            assert_eq!(
+                (check.under, check.over),
+                envelope,
+                "persisted error envelope disagrees with the page"
+            );
+            check
+        } else {
+            seg
+        }
+    }
+
     /// Whether page slot `i` holds a live (non-tombstoned) entry.
     #[inline]
     pub(crate) fn is_live(&self, i: usize) -> bool {

@@ -1,0 +1,624 @@
+//! On-disk snapshot codec for the clustered FITing-Tree.
+//!
+//! Serializes a [`FitingTree`]'s SoA segment pages (`keys` ∥ `values` ∥
+//! tombstone bitmap ∥ insert buffer) and its flat directory
+//! (`anchors` ∥ `slots`) as length-prefixed, CRC32-checksummed
+//! little-endian sections. The layout is **mmap-ready** — every record
+//! is fixed-width (via the [`Key`] byte codecs) and every section
+//! starts on a 64-byte boundary — but the reader shipped here is a
+//! plain std-only byte-slice decoder; a zero-copy mapped reader can
+//! layer on later without a format change.
+//!
+//! # Layout
+//!
+//! ```text
+//! header (one 64-byte block)
+//!   0..8    magic "FITSNP01"
+//!   8..10   key width in bytes   (u16, = K::ENCODED_LEN)
+//!   10..12  value width in bytes (u16, = V::ENCODED_LEN)
+//!   12      search strategy      (u8)
+//!   13..16  zero
+//!   16..24  error budget         (u64)
+//!   24..32  buffer size          (u64)
+//!   32..40  entry count          (u64)
+//!   40..48  segment count        (u64)
+//!   48..52  CRC32 of bytes 0..48
+//!   52..64  zero
+//! section (starts 64-byte aligned; one per block below)
+//!   0..8    payload length       (u64)
+//!   8..12   CRC32 of the payload
+//!   12..16  zero
+//!   16..    payload, zero-padded to the next 64-byte boundary
+//! ```
+//!
+//! Sections, in order: the directory anchor array (`segment_count`
+//! keys), the directory slot array (`segment_count` × u32 — written
+//! *compacted*, i.e. slot `i` for the `i`-th segment in key order,
+//! since arena slot numbers are an in-memory artifact), then one
+//! section per segment:
+//!
+//! ```text
+//! start_key | slope (f64 bits) | page_len u64 | buf_len u64 | dead_words u64
+//! | under u32 | over u32
+//! | keys (page_len × key width)   | values (page_len × value width)
+//! | tombstone bitmap (dead_words × u64) | buffer (buf_len × (key+value))
+//! ```
+//!
+//! The decoder re-derives what is cheap to re-derive (the tombstone
+//! count, the directory's interpolation seed) and trusts the
+//! checksummed copy of what is not (the measured error envelope
+//! `under`/`over` — an O(n) float pass the restart path should not
+//! pay). Structural validation — sortedness, anchor agreement, exact
+//! section consumption — always runs; the tree's exhaustive per-key
+//! invariant check additionally runs in debug builds, where the crash
+//! and round-trip suites live.
+
+use crate::clustered::FitingTree;
+use crate::error::BuildError;
+use crate::key::Key;
+use crate::segment::{SearchStrategy, Segment};
+
+/// First eight bytes of every snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"FITSNP01";
+
+/// Alignment of the header and of every section start.
+pub const SNAPSHOT_ALIGN: usize = 64;
+
+const HEADER_LEN: usize = 64;
+const SECTION_HEADER_LEN: usize = 16;
+
+// CRC32 (IEEE 802.3, polynomial 0xEDB88320) lookup tables, built at
+// compile time — the workspace is offline, so the checksum is
+// implemented here and shared with the WAL via re-export. Eight
+// tables drive a slicing-by-8 kernel: table `t` advances a byte's
+// contribution `t` further positions through the register, so eight
+// input bytes fold into the CRC with eight independent loads instead
+// of eight serially dependent single-byte steps — recovery reads
+// checksum whole snapshots, so this is restart-path critical.
+const CRC_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        tables[0][i] = c;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+};
+
+/// CRC32 (IEEE) of `bytes` — the checksum both the snapshot sections
+/// and the `fiting-storage` WAL records carry. Slicing-by-8: eight
+/// bytes per step through eight derived tables.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = u32::MAX;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ c;
+        let hi = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+        c = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = CRC_TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Why a snapshot failed to decode. Every variant leaves nothing
+/// half-built — decoding either returns a fully validated tree or one
+/// of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The input ended before the named structure was complete.
+    Truncated(&'static str),
+    /// The first eight bytes are not [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// A stored CRC32 did not match the bytes it covers (section 0 is
+    /// the header).
+    ChecksumMismatch {
+        /// Which checksummed block failed (0 = header, then sections
+        /// in file order).
+        section: usize,
+    },
+    /// The stored key width does not match `K::ENCODED_LEN`.
+    KeyWidthMismatch {
+        /// Width the decoding type expects.
+        expected: usize,
+        /// Width stored in the header.
+        found: usize,
+    },
+    /// The stored value width does not match `V::ENCODED_LEN`.
+    ValueWidthMismatch {
+        /// Width the decoding type expects.
+        expected: usize,
+        /// Width stored in the header.
+        found: usize,
+    },
+    /// The strategy byte is not a known [`SearchStrategy`].
+    BadStrategy(u8),
+    /// The stored configuration is itself invalid (e.g. buffer size
+    /// consuming the whole error budget).
+    Config(BuildError),
+    /// The sections decoded but describe an inconsistent tree (counts
+    /// disagree, unsorted anchors, …).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated(what) => write!(f, "snapshot truncated reading {what}"),
+            SnapshotError::BadMagic => f.write_str("not a FITing-Tree snapshot (bad magic)"),
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in block {section}")
+            }
+            SnapshotError::KeyWidthMismatch { expected, found } => {
+                write!(f, "key width {found} (expected {expected})")
+            }
+            SnapshotError::ValueWidthMismatch { expected, found } => {
+                write!(f, "value width {found} (expected {expected})")
+            }
+            SnapshotError::BadStrategy(b) => write!(f, "unknown search strategy byte {b}"),
+            SnapshotError::Config(e) => write!(f, "stored configuration invalid: {e}"),
+            SnapshotError::Corrupt(why) => write!(f, "snapshot inconsistent: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn strategy_byte(s: SearchStrategy) -> u8 {
+    match s {
+        SearchStrategy::Binary => 0,
+        SearchStrategy::Linear => 1,
+        SearchStrategy::Exponential => 2,
+        SearchStrategy::Interpolation => 3,
+    }
+}
+
+fn strategy_from_byte(b: u8) -> Result<SearchStrategy, SnapshotError> {
+    match b {
+        0 => Ok(SearchStrategy::Binary),
+        1 => Ok(SearchStrategy::Linear),
+        2 => Ok(SearchStrategy::Exponential),
+        3 => Ok(SearchStrategy::Interpolation),
+        other => Err(SnapshotError::BadStrategy(other)),
+    }
+}
+
+fn pad_to(out: &mut Vec<u8>, align: usize) {
+    let rem = out.len() % align;
+    if rem != 0 {
+        out.resize(out.len() + (align - rem), 0);
+    }
+}
+
+/// Appends one `len | crc | payload` section, 64-byte aligned.
+fn push_section(out: &mut Vec<u8>, payload: &[u8]) {
+    debug_assert_eq!(out.len() % SNAPSHOT_ALIGN, 0);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]);
+    out.extend_from_slice(payload);
+    pad_to(out, SNAPSHOT_ALIGN);
+}
+
+/// Serializes `tree` into an owned snapshot image (see the module docs
+/// for the layout).
+#[must_use]
+pub fn encode_tree<K: Key, V: Key>(tree: &FitingTree<K, V>) -> Vec<u8> {
+    let entries: Vec<(K, usize)> = tree.dir.entries().collect();
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&(K::ENCODED_LEN as u16).to_le_bytes());
+    out.extend_from_slice(&(V::ENCODED_LEN as u16).to_le_bytes());
+    out.push(strategy_byte(tree.strategy));
+    out.extend_from_slice(&[0u8; 3]);
+    out.extend_from_slice(&tree.error.to_le_bytes());
+    out.extend_from_slice(&tree.buffer_size.to_le_bytes());
+    out.extend_from_slice(&(tree.len as u64).to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    pad_to(&mut out, SNAPSHOT_ALIGN);
+    debug_assert_eq!(out.len(), HEADER_LEN);
+
+    // Directory: anchors in key order, then compacted slot numbers.
+    let mut anchors = Vec::with_capacity(entries.len() * K::ENCODED_LEN);
+    for &(anchor, _) in &entries {
+        anchors.extend_from_slice(&anchor.to_le_bytes());
+    }
+    push_section(&mut out, &anchors);
+    let mut slots = Vec::with_capacity(entries.len() * 4);
+    for i in 0..entries.len() as u32 {
+        slots.extend_from_slice(&i.to_le_bytes());
+    }
+    push_section(&mut out, &slots);
+
+    // One section per segment, in directory (key) order.
+    let mut payload = Vec::new();
+    for &(_, slot) in &entries {
+        let seg = tree.segments[slot]
+            .as_ref()
+            .expect("directory entries name live arena slots");
+        payload.clear();
+        payload.extend_from_slice(&seg.start_key.to_le_bytes());
+        payload.extend_from_slice(&seg.slope.to_bits().to_le_bytes());
+        payload.extend_from_slice(&(seg.keys.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&(seg.buffer.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&(seg.dead_words().len() as u64).to_le_bytes());
+        let (under, over) = seg.error_envelope();
+        payload.extend_from_slice(&under.to_le_bytes());
+        payload.extend_from_slice(&over.to_le_bytes());
+        for &k in &seg.keys {
+            payload.extend_from_slice(&k.to_le_bytes());
+        }
+        for &v in &seg.values {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        for &w in seg.dead_words() {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        for &(k, v) in &seg.buffer {
+            payload.extend_from_slice(&k.to_le_bytes());
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        push_section(&mut out, &payload);
+    }
+    out
+}
+
+/// Cursor over a byte slice with truncation-checked reads.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(SnapshotError::Truncated(what))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Skips to the next `align` boundary, requiring the skipped
+    /// padding to be all zeros — this makes *every* byte of a snapshot
+    /// significant, so any single corrupted byte is detected (by a
+    /// checksum, a consistency check, or this).
+    fn align(&mut self, align: usize) -> Result<(), SnapshotError> {
+        let rem = self.pos % align;
+        if rem != 0 {
+            let pad = self.take(align - rem, "alignment padding")?;
+            if pad.iter().any(|&b| b != 0) {
+                return Err(SnapshotError::Corrupt("nonzero alignment padding".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one section header + payload, verifying its checksum.
+    fn section(&mut self, index: usize) -> Result<&'a [u8], SnapshotError> {
+        self.align(SNAPSHOT_ALIGN)?;
+        let header = self.take(SECTION_HEADER_LEN, "section header")?;
+        let len = u64::from_le_bytes(header[0..8].try_into().unwrap());
+        let stored_crc = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if header[12..16] != [0u8; 4] {
+            return Err(SnapshotError::Corrupt("nonzero section reserve".into()));
+        }
+        let len = usize::try_from(len).map_err(|_| SnapshotError::Truncated("section length"))?;
+        let payload = self.take(len, "section payload")?;
+        if crc32(payload) != stored_crc {
+            return Err(SnapshotError::ChecksumMismatch { section: index });
+        }
+        Ok(payload)
+    }
+}
+
+fn read_key<K: Key>(r: &mut Reader<'_>, what: &'static str) -> Result<K, SnapshotError> {
+    Ok(K::from_le_bytes(r.take(K::ENCODED_LEN, what)?))
+}
+
+/// Decodes a snapshot image back into a [`FitingTree`], verifying the
+/// header checksum, every section checksum, and finally the tree's own
+/// structural invariants.
+///
+/// # Errors
+///
+/// Any truncation, checksum mismatch, width/strategy disagreement with
+/// the requested `K`/`V` types, or structural inconsistency returns a
+/// [`SnapshotError`] and builds nothing.
+pub fn decode_tree<K: Key, V: Key>(bytes: &[u8]) -> Result<FitingTree<K, V>, SnapshotError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let header = r.take(HEADER_LEN, "header")?;
+    if header[0..8] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let stored_crc = u32::from_le_bytes(header[48..52].try_into().unwrap());
+    if crc32(&header[0..48]) != stored_crc {
+        return Err(SnapshotError::ChecksumMismatch { section: 0 });
+    }
+    if header[52..64].iter().any(|&b| b != 0) {
+        return Err(SnapshotError::Corrupt("nonzero header reserve".into()));
+    }
+    let key_width = u16::from_le_bytes(header[8..10].try_into().unwrap()) as usize;
+    if key_width != K::ENCODED_LEN {
+        return Err(SnapshotError::KeyWidthMismatch {
+            expected: K::ENCODED_LEN,
+            found: key_width,
+        });
+    }
+    let value_width = u16::from_le_bytes(header[10..12].try_into().unwrap()) as usize;
+    if value_width != V::ENCODED_LEN {
+        return Err(SnapshotError::ValueWidthMismatch {
+            expected: V::ENCODED_LEN,
+            found: value_width,
+        });
+    }
+    let strategy = strategy_from_byte(header[12])?;
+    let error = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    let buffer_size = u64::from_le_bytes(header[24..32].try_into().unwrap());
+    let len = u64::from_le_bytes(header[32..40].try_into().unwrap());
+    let len = usize::try_from(len).map_err(|_| SnapshotError::Truncated("entry count"))?;
+    let seg_count = u64::from_le_bytes(header[40..48].try_into().unwrap());
+    let seg_count =
+        usize::try_from(seg_count).map_err(|_| SnapshotError::Truncated("segment count"))?;
+
+    let mut tree = FitingTree::<K, V>::from_parts(error, buffer_size, strategy)
+        .map_err(SnapshotError::Config)?;
+
+    // Directory sections.
+    let anchors_payload = r.section(1)?;
+    if anchors_payload.len() != seg_count * K::ENCODED_LEN {
+        return Err(SnapshotError::Corrupt(format!(
+            "anchor section holds {} bytes for {seg_count} segments",
+            anchors_payload.len()
+        )));
+    }
+    let anchors: Vec<K> = anchors_payload
+        .chunks_exact(K::ENCODED_LEN)
+        .map(K::from_le_bytes)
+        .collect();
+    if !anchors.windows(2).all(|w| w[0] < w[1]) {
+        return Err(SnapshotError::Corrupt(
+            "directory anchors not strictly increasing".into(),
+        ));
+    }
+    let slots_payload = r.section(2)?;
+    if slots_payload.len() != seg_count * 4 {
+        return Err(SnapshotError::Corrupt(format!(
+            "slot section holds {} bytes for {seg_count} segments",
+            slots_payload.len()
+        )));
+    }
+    for (i, chunk) in slots_payload.chunks_exact(4).enumerate() {
+        let slot = u32::from_le_bytes(chunk.try_into().unwrap());
+        // Snapshots store compacted slots; anything else is foreign.
+        if slot as usize != i {
+            return Err(SnapshotError::Corrupt(format!(
+                "slot {i} stored as {slot}; snapshots are compacted"
+            )));
+        }
+    }
+
+    // Segment sections, in directory order → compacted arena order.
+    let mut segments: Vec<Option<Segment<K, V>>> = Vec::with_capacity(seg_count);
+    for (i, &anchor) in anchors.iter().enumerate() {
+        let payload = r.section(3 + i)?;
+        let mut s = Reader {
+            bytes: payload,
+            pos: 0,
+        };
+        let start_key: K = read_key(&mut s, "segment start key")?;
+        if start_key != anchor {
+            return Err(SnapshotError::Corrupt(format!(
+                "segment {i} start key disagrees with its directory anchor"
+            )));
+        }
+        let slope = f64::from_bits(s.u64("segment slope")?);
+        let page_len = s.u64("page length")?;
+        let page_len =
+            usize::try_from(page_len).map_err(|_| SnapshotError::Truncated("page length"))?;
+        let buf_len = s.u64("buffer length")?;
+        let buf_len =
+            usize::try_from(buf_len).map_err(|_| SnapshotError::Truncated("buffer length"))?;
+        let dead_words = s.u64("bitmap length")?;
+        let dead_words =
+            usize::try_from(dead_words).map_err(|_| SnapshotError::Truncated("bitmap length"))?;
+        if dead_words != 0 && dead_words != page_len.div_ceil(64) {
+            return Err(SnapshotError::Corrupt(format!(
+                "segment {i}: {dead_words} bitmap words for a {page_len}-slot page"
+            )));
+        }
+        let under = u32::from_le_bytes(s.take(4, "error envelope")?.try_into().unwrap());
+        let over = u32::from_le_bytes(s.take(4, "error envelope")?.try_into().unwrap());
+        let keys: Vec<K> = s
+            .take(page_len * K::ENCODED_LEN, "page keys")?
+            .chunks_exact(K::ENCODED_LEN)
+            .map(K::from_le_bytes)
+            .collect();
+        if !keys.windows(2).all(|w| w[0] < w[1]) {
+            return Err(SnapshotError::Corrupt(format!("segment {i} page unsorted")));
+        }
+        let values: Vec<V> = s
+            .take(page_len * V::ENCODED_LEN, "page values")?
+            .chunks_exact(V::ENCODED_LEN)
+            .map(V::from_le_bytes)
+            .collect();
+        let dead: Vec<u64> = s
+            .take(dead_words * 8, "tombstone bitmap")?
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let pair_width = K::ENCODED_LEN + V::ENCODED_LEN;
+        let buffer: Vec<(K, V)> = s
+            .take(buf_len * pair_width, "insert buffer")?
+            .chunks_exact(pair_width)
+            .map(|c| {
+                (
+                    K::from_le_bytes(&c[..K::ENCODED_LEN]),
+                    V::from_le_bytes(&c[K::ENCODED_LEN..]),
+                )
+            })
+            .collect();
+        if !buffer.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err(SnapshotError::Corrupt(format!(
+                "segment {i} buffer unsorted"
+            )));
+        }
+        if s.pos != payload.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "segment {i} section has {} trailing bytes",
+                payload.len() - s.pos
+            )));
+        }
+        segments.push(Some(Segment::from_raw_parts(
+            start_key,
+            slope,
+            keys,
+            values,
+            dead,
+            buffer,
+            (under, over),
+        )));
+    }
+
+    r.align(SNAPSHOT_ALIGN)?;
+    if r.pos != bytes.len() {
+        return Err(SnapshotError::Corrupt(format!(
+            "{} trailing bytes after the last section",
+            bytes.len() - r.pos
+        )));
+    }
+
+    tree.segments = segments;
+    tree.free = Vec::new();
+    tree.len = len;
+    tree.dir
+        .rebuild(anchors.into_iter().enumerate().map(|(i, a)| (a, i as u32)));
+    // The exhaustive per-key invariant sweep (windowed-lookup proof for
+    // every page entry) is an O(n) pass the restart path should not
+    // pay for data the checksums already cover; it runs in debug
+    // builds, where the round-trip and crash-injection suites live.
+    if cfg!(debug_assertions) {
+        tree.check_invariants().map_err(SnapshotError::Corrupt)?;
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FitingTreeBuilder;
+
+    fn sample_tree(n: u64) -> FitingTree<u64, u64> {
+        let mut t = FitingTreeBuilder::new(64)
+            .buffer_size(8)
+            .bulk_load((0..n).map(|k| (k * 3, k)))
+            .unwrap();
+        // Dirty it: buffered inserts and tombstones in several segments.
+        for k in 0..n / 7 {
+            t.insert(k * 21 + 1, k);
+        }
+        for k in 0..n / 11 {
+            t.remove(&(k * 33));
+        }
+        t
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_dirty_tree() {
+        let tree = sample_tree(5000);
+        let expect: Vec<(u64, u64)> = tree.range(..).map(|(k, v)| (*k, *v)).collect();
+        let bytes = encode_tree(&tree);
+        assert_eq!(bytes.len() % SNAPSHOT_ALIGN, 0);
+        let back: FitingTree<u64, u64> = decode_tree(&bytes).unwrap();
+        assert_eq!(back.len(), tree.len());
+        assert_eq!(back.error(), tree.error());
+        assert_eq!(back.buffer_size(), tree.buffer_size());
+        assert_eq!(back.segment_count(), tree.segment_count());
+        let got: Vec<(u64, u64)> = back.range(..).map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, expect);
+        back.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn snapshot_round_trips_empty_tree() {
+        let tree: FitingTree<u64, u64> = FitingTreeBuilder::new(32).build_empty().unwrap();
+        let bytes = encode_tree(&tree);
+        let back: FitingTree<u64, u64> = decode_tree(&bytes).unwrap();
+        assert_eq!(back.len(), 0);
+        assert_eq!(back.segment_count(), 0);
+    }
+
+    #[test]
+    fn decode_rejects_corruption_everywhere() {
+        let tree = sample_tree(2000);
+        let good = encode_tree(&tree);
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            decode_tree::<u64, u64>(&bad),
+            Err(SnapshotError::BadMagic)
+        ));
+        // Truncations at every block boundary and a few interiors.
+        for cut in [0, 8, HEADER_LEN - 1, HEADER_LEN, good.len() - 1] {
+            assert!(decode_tree::<u64, u64>(&good[..cut]).is_err(), "cut={cut}");
+        }
+        // A flipped byte anywhere past the magic must be caught by a
+        // checksum (or a downstream consistency check) — sample evenly.
+        for i in (8..good.len()).step_by(97) {
+            let mut bad = good.clone();
+            bad[i] ^= 0x20;
+            assert!(decode_tree::<u64, u64>(&bad).is_err(), "flip at {i}");
+        }
+        // Wrong decode type: u32 values against a u64-valued snapshot.
+        assert!(matches!(
+            decode_tree::<u64, u32>(&good),
+            Err(SnapshotError::ValueWidthMismatch { .. })
+        ));
+    }
+}

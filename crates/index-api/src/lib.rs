@@ -46,7 +46,7 @@ pub mod rebalance;
 mod sharded;
 mod sorted;
 
-pub use key::{Key, OrderedF64};
+pub use key::{Key, KeyBytes, OrderedF64};
 pub use rebalance::{
     RebalanceCounters, RebalanceOutcome, RebalancePolicy, RebalanceStats, Rebalancer, WriteSampler,
 };

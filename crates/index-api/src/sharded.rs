@@ -73,6 +73,13 @@ pub struct ShardStats {
     pub entries: usize,
     /// The shard structure's own Section 6.2 byte accounting.
     pub size_bytes: usize,
+    /// Bytes of the shard's on-disk snapshot
+    /// ([`SortedIndex::disk_bytes`]); `0` for volatile structures.
+    pub disk_bytes: usize,
+    /// Bytes appended to the shard's write-ahead log since its last
+    /// checkpoint ([`SortedIndex::wal_bytes`]); `0` for volatile
+    /// structures.
+    pub wal_bytes: usize,
 }
 
 /// Why a [`split_shard`](ShardedIndex::split_shard) or
@@ -283,6 +290,41 @@ impl<K: Key, V: Clone, I: BuildableIndex<K, V>> ShardedIndex<K, V, I> {
         }
         debug_assert_eq!(shards.len(), bounds.len() + 1);
         Ok(ShardedIndex::from_table(Table { bounds, shards }))
+    }
+
+    /// Reassembles a sharded index from already-built shard structures
+    /// — the recovery path: the durability layer reopens each shard's
+    /// snapshot + WAL independently, then hands the restored shards
+    /// back here in key order.
+    ///
+    /// `bounds[i]` becomes the smallest key routed to `shards[i + 1]`,
+    /// exactly as [`bulk_load`](Self::bulk_load) would have chosen; the
+    /// caller asserts that every key already inside `shards[i]` falls
+    /// within its routed span.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is empty, when
+    /// `shards.len() != bounds.len() + 1`, or when `bounds` is not
+    /// strictly increasing.
+    pub fn from_shards(bounds: Vec<K>, shards: Vec<I>) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        assert_eq!(
+            shards.len(),
+            bounds.len() + 1,
+            "shards must outnumber bounds by exactly one"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly increasing"
+        );
+        ShardedIndex::from_table(Table {
+            bounds,
+            shards: shards
+                .into_iter()
+                .map(|s| Arc::new(RwLock::new(s)))
+                .collect(),
+        })
     }
 
     /// Splits shard `shard` at key `at`: entries with keys `>= at` move
@@ -852,9 +894,47 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
                 ShardStats {
                     entries: shard.len(),
                     size_bytes: shard.size_bytes(),
+                    disk_bytes: shard.disk_bytes(),
+                    wal_bytes: shard.wal_bytes(),
                 }
             })
             .collect()
+    }
+
+    /// Flushes every shard's buffered write-ahead log records
+    /// ([`SortedIndex::sync`]) — the sharded group-commit point the
+    /// service worker invokes after draining a batch that contained
+    /// writes. Returns the number of shards that actually flushed.
+    ///
+    /// Each shard is write-locked one at a time (never two locks at
+    /// once); for volatile shard structures every call is a no-op and
+    /// the cost is one uncontended lock round per shard.
+    pub fn sync_all(&self) -> usize {
+        self.table()
+            .shards
+            .iter()
+            .filter(|s| s.write().sync())
+            .count()
+    }
+
+    /// Checkpoints ([`SortedIndex::checkpoint`]) every shard whose
+    /// write-ahead log has grown to at least `min_wal_bytes`, bounding
+    /// recovery replay time. Returns the number of shards
+    /// checkpointed.
+    ///
+    /// Like [`sync_all`](Self::sync_all), shards are write-locked one
+    /// at a time; volatile shard structures report `wal_bytes() == 0`
+    /// and are skipped (unless `min_wal_bytes == 0`, where the
+    /// checkpoint call itself is still a no-op for them).
+    pub fn checkpoint_shards(&self, min_wal_bytes: usize) -> usize {
+        self.table()
+            .shards
+            .iter()
+            .filter(|s| {
+                let mut shard = s.write();
+                shard.wal_bytes() >= min_wal_bytes && shard.checkpoint()
+            })
+            .count()
     }
 }
 

@@ -138,6 +138,40 @@ pub trait SortedIndex<K: Key, V: Clone> {
         let _ = other;
         false
     }
+
+    /// Bytes of persistent state held on disk (the latest snapshot).
+    ///
+    /// Volatile structures — everything except the durability layer's
+    /// `DurableIndex` wrapper — keep the default `0`.
+    fn disk_bytes(&self) -> usize {
+        0
+    }
+
+    /// Bytes appended to the write-ahead log since the last
+    /// checkpoint. `0` for volatile structures.
+    fn wal_bytes(&self) -> usize {
+        0
+    }
+
+    /// Flushes and (policy permitting) fsyncs any buffered write-ahead
+    /// log records — the group-commit point the service layer invokes
+    /// once per drained write batch.
+    ///
+    /// Returns `true` when the structure is durable and performed a
+    /// flush; volatile structures keep the default no-op `false`, so
+    /// calling this unconditionally costs nothing.
+    fn sync(&mut self) -> bool {
+        false
+    }
+
+    /// Writes a fresh snapshot of the current state and rotates the
+    /// write-ahead log, bounding recovery replay time.
+    ///
+    /// Returns `true` when a checkpoint was taken; volatile structures
+    /// keep the default no-op `false`.
+    fn checkpoint(&mut self) -> bool {
+        false
+    }
 }
 
 /// A [`SortedIndex`] that can be constructed in one pass from sorted

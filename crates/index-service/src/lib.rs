@@ -123,6 +123,41 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Durability hooks for a service whose shards are durable wrappers
+/// (e.g. `fiting-storage`'s `DurableIndex`): group-commit the
+/// write-ahead logs after each drained write batch, and periodically
+/// checkpoint shards whose log has outgrown a threshold.
+///
+/// The service layer stays storage-agnostic — both hooks go through
+/// [`SortedIndex`] provided methods (`sync`, `checkpoint`,
+/// `wal_bytes`), which volatile structures implement as no-ops. A
+/// `DurabilityConfig` over a volatile index is therefore harmless;
+/// it simply does nothing.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Group-commit every shard's WAL after each drained batch that
+    /// contained a write ([`ShardedIndex::sync_all`]). This is the
+    /// service's commit point: by the time a write batch's tickets
+    /// resolve *and* the next batch has been synced, those writes are
+    /// as durable as the store's fsync policy allows.
+    pub sync_each_batch: bool,
+    /// How often the checkpoint coordinator scans the shards.
+    pub checkpoint_interval: Duration,
+    /// Per-shard WAL size (bytes) that triggers a checkpoint on the
+    /// next coordinator pass; smaller logs are left to keep growing.
+    pub checkpoint_wal_bytes: usize,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            sync_each_batch: true,
+            checkpoint_interval: Duration::from_secs(30),
+            checkpoint_wal_bytes: 1 << 20,
+        }
+    }
+}
+
 /// Everything clients and workers share: the index, the frozen lane
 /// router, the per-lane queues and counters, and the (optional)
 /// rebalancing hooks.
@@ -141,6 +176,8 @@ pub(crate) struct ServiceShared<K: Key, V: Clone, I: SortedIndex<K, V>> {
     /// Rebalancing totals for [`IndexService::stats`]; `None` when the
     /// service runs without rebalancing.
     pub(crate) rebalance: Option<Arc<RebalanceCounters>>,
+    /// Durability hooks; `None` when the service runs volatile.
+    pub(crate) durability: Option<DurabilityConfig>,
 }
 
 impl<K: Key, V: Clone, I: SortedIndex<K, V>> ServiceShared<K, V, I> {
@@ -161,6 +198,7 @@ pub struct IndexService<K: Key, V: Clone, I: SortedIndex<K, V>> {
     shared: Arc<ServiceShared<K, V, I>>,
     workers: Vec<JoinHandle<()>>,
     coordinator: Option<JoinHandle<()>>,
+    checkpointer: Option<JoinHandle<()>>,
     coordinator_stop: Arc<(Mutex<bool>, Condvar)>,
 }
 
@@ -175,7 +213,54 @@ where
     /// rebalancing.
     #[must_use]
     pub fn start(index: ShardedIndex<K, V, I>, config: ServiceConfig) -> Self {
-        Self::launch(index, config, None, None)
+        Self::launch(index, config, None, None, None)
+    }
+
+    /// Starts the service with durability hooks: workers group-commit
+    /// the shards' write-ahead logs after every drained batch that
+    /// contained a write (when
+    /// [`sync_each_batch`](DurabilityConfig::sync_each_batch) is set),
+    /// and a checkpoint coordinator thread wakes every
+    /// [`checkpoint_interval`](DurabilityConfig::checkpoint_interval)
+    /// to snapshot-and-rotate shards whose WAL has reached
+    /// [`checkpoint_wal_bytes`](DurabilityConfig::checkpoint_wal_bytes).
+    ///
+    /// Shutdown issues one final [`ShardedIndex::sync_all`] after the
+    /// workers drain, so a clean [`shutdown`](Self::shutdown) leaves
+    /// every accepted write in the log.
+    #[must_use]
+    pub fn start_durable(
+        index: ShardedIndex<K, V, I>,
+        config: ServiceConfig,
+        durability: DurabilityConfig,
+    ) -> Self {
+        let interval = durability.checkpoint_interval;
+        let threshold = durability.checkpoint_wal_bytes;
+        let mut service = Self::launch(index, config, None, None, Some(durability));
+        let stop = Arc::clone(&service.coordinator_stop);
+        let index = service.shared.index.clone();
+        let checkpointer = std::thread::Builder::new()
+            .name("index-service-checkpoint".into())
+            .spawn(move || {
+                let (lock, cvar) = &*stop;
+                loop {
+                    let mut stopped = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                    if !*stopped {
+                        let (guard, _) = cvar
+                            .wait_timeout(stopped, interval)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        stopped = guard;
+                    }
+                    if *stopped {
+                        return;
+                    }
+                    drop(stopped);
+                    index.checkpoint_shards(threshold);
+                }
+            })
+            .expect("spawn checkpoint coordinator");
+        service.checkpointer = Some(checkpointer);
+        service
     }
 
     /// Starts the service *and* a rebalance coordinator thread that
@@ -200,7 +285,7 @@ where
     {
         let sampler = rebalancer.sampler();
         let counters = rebalancer.counters();
-        let mut service = Self::launch(index, config, Some(sampler), Some(counters));
+        let mut service = Self::launch(index, config, Some(sampler), Some(counters), None);
         let stop = Arc::clone(&service.coordinator_stop);
         let index = service.shared.index.clone();
         let mut rebalancer = rebalancer;
@@ -233,6 +318,7 @@ where
         config: ServiceConfig,
         sampler: Option<Arc<fiting_index_api::WriteSampler<K>>>,
         rebalance: Option<Arc<RebalanceCounters>>,
+        durability: Option<DurabilityConfig>,
     ) -> Self {
         let router = index.boundaries();
         let lanes = router.len() + 1;
@@ -246,6 +332,7 @@ where
             config,
             sampler,
             rebalance,
+            durability,
         });
         let workers = (0..lanes)
             .map(|lane| {
@@ -260,6 +347,7 @@ where
             shared,
             workers,
             coordinator: None,
+            checkpointer: None,
             coordinator_stop: Arc::new((Mutex::new(false), Condvar::new())),
         }
     }
@@ -330,6 +418,9 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> IndexService<K, V, I> {
         if let Some(coordinator) = self.coordinator.take() {
             let _ = coordinator.join();
         }
+        if let Some(checkpointer) = self.checkpointer.take() {
+            let _ = checkpointer.join();
+        }
         for queue in &self.shared.queues {
             queue.close();
         }
@@ -337,6 +428,11 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> IndexService<K, V, I> {
             // A panicked worker already canceled its in-flight tickets
             // (completers resolve on drop); nothing more to salvage.
             let _ = worker.join();
+        }
+        // Final group commit: a durable service leaves no accepted
+        // write sitting in an unsynced WAL buffer after clean shutdown.
+        if self.shared.durability.is_some() {
+            self.shared.index.sync_all();
         }
     }
 }
@@ -379,6 +475,30 @@ mod tests {
             vec![(10, 5), (12, 6), (14, 7), (16, 8), (18, 9), (20, 10)]
         );
         assert_eq!(svc.shutdown().len(), 1_000);
+    }
+
+    #[test]
+    fn durable_hooks_are_noops_on_volatile_shards() {
+        // VecIndex leaves the SortedIndex durability defaults in place
+        // (sync/checkpoint return false), so a durable service over it
+        // must behave exactly like a volatile one — hooks fire, nothing
+        // breaks, shutdown is clean.
+        let index: ShardedIndex<u64, u64, VecIndex<u64, u64>> =
+            ShardedIndex::bulk_load(&(), 4, (0..1_000u64).map(|k| (k * 2, k)).collect()).unwrap();
+        let durability = DurabilityConfig {
+            sync_each_batch: true,
+            checkpoint_interval: Duration::from_millis(1),
+            checkpoint_wal_bytes: 0,
+        };
+        let svc = IndexService::start_durable(index, ServiceConfig::default(), durability);
+        let client = svc.client();
+        assert_eq!(client.insert(1, 7).wait(), Ok(None));
+        assert_eq!(client.remove(1).wait(), Ok(Some(7)));
+        assert_eq!(client.insert_many(vec![(3, 1), (5, 2)]).wait(), Ok(2));
+        // Give the checkpoint coordinator a few beats; every pass is a
+        // no-op because checkpoint() defaults to false.
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(svc.shutdown().len(), 1_002);
     }
 
     #[test]

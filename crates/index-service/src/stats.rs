@@ -175,14 +175,17 @@ mod tests {
                 ShardStats {
                     entries: 30,
                     size_bytes: 100,
+                    ..Default::default()
                 },
                 ShardStats {
                     entries: 10,
                     size_bytes: 40,
+                    ..Default::default()
                 },
                 ShardStats {
                     entries: 20,
                     size_bytes: 70,
+                    ..Default::default()
                 },
             ],
             rebalance: Some(RebalanceStats {

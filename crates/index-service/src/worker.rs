@@ -58,6 +58,10 @@ pub(crate) fn run<K: Key, V: Clone, I: SortedIndex<K, V>>(
     shared: &ServiceShared<K, V, I>,
 ) {
     let queue = &shared.queues[lane];
+    let sync_batches = shared
+        .durability
+        .as_ref()
+        .is_some_and(|d| d.sync_each_batch);
     loop {
         let batch = queue.pop_batch(shared.config.max_batch, shared.config.batch_window);
         if batch.is_empty() {
@@ -66,7 +70,14 @@ pub(crate) fn run<K: Key, V: Clone, I: SortedIndex<K, V>>(
             return;
         }
         shared.counters[lane].note_batch(batch.len());
+        let had_writes = sync_batches && batch.iter().any(Command::is_write);
         execute_batch(lane, shared, batch);
+        if had_writes {
+            // Group commit: one flush(+fsync per the store's policy)
+            // per drained write batch rather than per operation. Shards
+            // with an empty WAL buffer make this a cheap no-op.
+            shared.index.sync_all();
+        }
     }
 }
 

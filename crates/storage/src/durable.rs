@@ -1,0 +1,578 @@
+//! The [`DurableIndex`] wrapper: any snapshot-capable index structure
+//! plus a per-shard snapshot + WAL directory on disk.
+//!
+//! # Shard directory layout
+//!
+//! Each shard owns one directory under the store root:
+//!
+//! ```text
+//! <root>/shard-000000/
+//!   snapshot.000003   latest checkpoint (core snapshot format)
+//!   wal.000003        mutations since that checkpoint
+//! ```
+//!
+//! Snapshot and log share a **generation** number; `checkpoint()`
+//! writes generation `g+1` via temp-file + atomic rename (+ directory
+//! fsync), opens a fresh `wal.(g+1)`, then deletes generation `g` —
+//! so at every instant at least one complete (snapshot, log) pair is
+//! on disk.
+//!
+//! # Recovery invariant
+//!
+//! `open` = decode the newest intact snapshot, replay its log's
+//! longest intact record prefix, truncate the torn tail. The recovered
+//! state is therefore always *prefix-consistent*: exactly the state
+//! after some prefix of the logged mutations, never a torn record,
+//! never a partial operation — the property the crash-injection suite
+//! verifies against a `BTreeMap` oracle at every record boundary and
+//! at random corruption offsets.
+//!
+//! # Failure policy
+//!
+//! Mutation-path I/O errors (a WAL append that cannot reach its file,
+//! a checkpoint that cannot rename) **panic**: the [`SortedIndex`]
+//! vocabulary has no error channel, and a durability layer that
+//! silently drops its log would lie about durability. Open/recovery
+//! paths return typed errors instead.
+
+use crate::wal::{replay, FsyncPolicy, ReplayOp, Wal, WalOp};
+use fiting_index_api::{BuildableIndex, Key, ShardedIndex, SortedIndex};
+use fiting_tree::snapshot::{decode_tree, encode_tree, SnapshotError};
+use fiting_tree::FitingTree;
+use std::fs;
+use std::fs::File;
+use std::io::Write;
+use std::ops::RangeBounds;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An index structure that can serialize itself into (and restore
+/// itself from) the core snapshot page format — the bound
+/// [`DurableIndex`] places on its inner structure.
+pub trait PageSnapshot: Sized {
+    /// Serializes the full structure into an owned snapshot image.
+    fn snapshot_bytes(&self) -> Vec<u8>;
+
+    /// Restores a structure from a snapshot image.
+    ///
+    /// # Errors
+    ///
+    /// Any truncation, checksum mismatch, or inconsistency in `bytes`.
+    fn restore_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError>;
+}
+
+impl<K: Key, V: Key> PageSnapshot for FitingTree<K, V> {
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        encode_tree(self)
+    }
+
+    fn restore_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        decode_tree(bytes)
+    }
+}
+
+/// Shared state of one on-disk store: the root directory, the fsync
+/// policy, and the shard-directory allocator.
+#[derive(Debug)]
+struct Store {
+    root: PathBuf,
+    fsync: FsyncPolicy,
+    next_shard: AtomicU64,
+}
+
+impl Store {
+    fn mint_shard_dir(&self) -> std::io::Result<PathBuf> {
+        let id = self.next_shard.fetch_add(1, Ordering::Relaxed);
+        let dir = self.root.join(format!("shard-{id:06}"));
+        fs::create_dir_all(&dir)?;
+        Ok(dir)
+    }
+}
+
+/// Build configuration for [`DurableIndex`] shards: where they live,
+/// how eagerly they fsync, and how to build the structure they wrap.
+///
+/// `Clone`s share the same store (same root, same shard-id allocator),
+/// which is what lets [`ShardedIndex`] rebalancing build fresh durable
+/// shards without colliding directories.
+#[derive(Debug, Clone)]
+pub struct DurableConfig<C> {
+    /// Configuration of the wrapped structure.
+    pub inner: C,
+    store: Arc<Store>,
+}
+
+impl<C> DurableConfig<C> {
+    /// Creates (or adopts) the store root at `root`.
+    ///
+    /// Existing `shard-*` directories are counted so freshly minted
+    /// shards never reuse a directory.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors creating or scanning `root`.
+    pub fn new(root: impl Into<PathBuf>, fsync: FsyncPolicy, inner: C) -> std::io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        let mut next = 0;
+        for entry in fs::read_dir(&root)? {
+            if let Some(id) = parse_shard_id(&entry?.file_name().to_string_lossy()) {
+                next = next.max(id + 1);
+            }
+        }
+        Ok(DurableConfig {
+            inner,
+            store: Arc::new(Store {
+                root,
+                fsync,
+                next_shard: AtomicU64::new(next),
+            }),
+        })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.store.root
+    }
+}
+
+fn parse_shard_id(name: &str) -> Option<u64> {
+    name.strip_prefix("shard-")?.parse().ok()
+}
+
+fn gen_file(dir: &Path, prefix: &str, generation: u64) -> PathBuf {
+    dir.join(format!("{prefix}.{generation:06}"))
+}
+
+/// Best-effort directory fsync (makes a rename durable on Linux;
+/// ignored where unsupported).
+fn fsync_dir(dir: &Path) {
+    let _ = File::open(dir).and_then(|f| f.sync_all());
+}
+
+/// Writes `data` as generation `generation`'s snapshot: temp file,
+/// data fsync, atomic rename, directory fsync.
+fn write_snapshot(dir: &Path, generation: u64, data: &[u8]) -> std::io::Result<()> {
+    let tmp = dir.join("snapshot.tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(data)?;
+    f.sync_data()?;
+    drop(f);
+    fs::rename(&tmp, gen_file(dir, "snapshot", generation))?;
+    fsync_dir(dir);
+    Ok(())
+}
+
+/// What recovery found in one shard directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRecovery {
+    /// The shard directory that was opened.
+    pub dir: PathBuf,
+    /// Generation of the snapshot that decoded.
+    pub generation: u64,
+    /// Size of that snapshot on disk.
+    pub snapshot_bytes: usize,
+    /// Intact WAL records replayed on top of the snapshot.
+    pub replayed: usize,
+    /// Whether a torn/corrupt WAL tail (or a damaged WAL header) was
+    /// discarded.
+    pub wal_truncated: bool,
+}
+
+/// Why a shard (or store) failed to open.
+#[derive(Debug)]
+pub enum OpenError {
+    /// Filesystem failure scanning or reading the store.
+    Io(std::io::Error),
+    /// The shard directory holds no snapshot that decodes.
+    NoValidSnapshot(PathBuf),
+    /// The store root holds no shard directories at all.
+    NoShards(PathBuf),
+}
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpenError::Io(e) => write!(f, "store I/O failure: {e}"),
+            OpenError::NoValidSnapshot(dir) => {
+                write!(f, "no intact snapshot in {}", dir.display())
+            }
+            OpenError::NoShards(root) => {
+                write!(f, "no shard directories under {}", root.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+impl From<std::io::Error> for OpenError {
+    fn from(e: std::io::Error) -> Self {
+        OpenError::Io(e)
+    }
+}
+
+/// Build failure of a durable shard: either the wrapped structure
+/// refused its input, or its storage could not be created.
+#[derive(Debug)]
+pub enum StorageBuildError<E> {
+    /// The wrapped structure's own build error.
+    Build(E),
+    /// Creating the shard directory, snapshot, or log failed.
+    Io(std::io::Error),
+}
+
+/// A [`SortedIndex`] wrapper adding a per-shard snapshot + write-ahead
+/// log. See the module docs for the layout, the recovery invariant,
+/// and the mutation-path panic policy.
+///
+/// Mutations are logged (buffered) *before* they are applied; the
+/// buffer reaches the OS — and, policy permitting, stable storage — at
+/// each [`sync`](SortedIndex::sync) group-commit point.
+/// [`split_off_tail`](SortedIndex::split_off_tail) and
+/// [`absorb_tail`](SortedIndex::absorb_tail) checkpoint the involved
+/// shards, so rebalancing rotates per-shard logs instead of leaving a
+/// log that disagrees with its shard's key span.
+#[derive(Debug)]
+pub struct DurableIndex<K: Key, V: Key, I = FitingTree<K, V>> {
+    inner: I,
+    store: Arc<Store>,
+    dir: PathBuf,
+    generation: u64,
+    wal: Wal<K, V>,
+    disk_bytes: usize,
+}
+
+impl<K: Key, V: Key, I: SortedIndex<K, V> + PageSnapshot> DurableIndex<K, V, I> {
+    /// Wraps `inner`, minting a fresh shard directory with an initial
+    /// snapshot (generation 0) and an empty log.
+    fn create(inner: I, store: Arc<Store>) -> std::io::Result<Self> {
+        let dir = store.mint_shard_dir()?;
+        let data = inner.snapshot_bytes();
+        write_snapshot(&dir, 0, &data)?;
+        let wal = Wal::create(&gen_file(&dir, "wal", 0), store.fsync)?;
+        Ok(DurableIndex {
+            inner,
+            store,
+            dir,
+            generation: 0,
+            wal,
+            disk_bytes: data.len(),
+        })
+    }
+
+    /// Opens one shard directory: newest intact snapshot + WAL replay
+    /// + tail truncation (the module-level recovery invariant).
+    ///
+    /// # Errors
+    ///
+    /// [`OpenError::NoValidSnapshot`] when nothing in `dir` decodes;
+    /// [`OpenError::Io`] for filesystem failures.
+    pub fn open_shard<C>(
+        config: &DurableConfig<C>,
+        dir: &Path,
+    ) -> Result<(Self, ShardRecovery), OpenError> {
+        // Newest first: a fresher intact snapshot always wins.
+        let mut generations: Vec<u64> = fs::read_dir(dir)?
+            .filter_map(|e| {
+                let name = e.ok()?.file_name();
+                let name = name.to_string_lossy();
+                name.strip_prefix("snapshot.")?.parse().ok()
+            })
+            .collect();
+        generations.sort_unstable_by(|a, b| b.cmp(a));
+
+        for generation in generations {
+            let snap_path = gen_file(dir, "snapshot", generation);
+            let data = match fs::read(&snap_path) {
+                Ok(d) => d,
+                Err(_) => continue,
+            };
+            let Ok(mut inner) = I::restore_snapshot(&data) else {
+                continue;
+            };
+
+            // Replay this generation's log on top. A missing log means
+            // the crash hit between snapshot rename and log creation —
+            // recreate it empty; a log with a damaged header is
+            // discarded the same way (snapshot-only recovery).
+            let wal_path = gen_file(dir, "wal", generation);
+            let (wal, replayed, truncated) = match replay::<K, V>(&wal_path) {
+                Ok(rep) => {
+                    let n = rep.ops.len();
+                    for op in rep.ops {
+                        match op {
+                            ReplayOp::Insert(k, v) => {
+                                inner.insert(k, v);
+                            }
+                            ReplayOp::Remove(k) => {
+                                inner.remove(&k);
+                            }
+                            ReplayOp::InsertMany(batch) => {
+                                inner.insert_many(batch);
+                            }
+                        }
+                    }
+                    (
+                        Wal::open_append(&wal_path, config.store.fsync, rep.valid_len)?,
+                        n,
+                        rep.truncated,
+                    )
+                }
+                Err(_) => {
+                    // Record whether a (damaged) log was thrown away
+                    // *before* creating its empty replacement.
+                    let discarded = wal_path.exists();
+                    (Wal::create(&wal_path, config.store.fsync)?, 0, discarded)
+                }
+            };
+
+            let recovery = ShardRecovery {
+                dir: dir.to_path_buf(),
+                generation,
+                snapshot_bytes: data.len(),
+                replayed,
+                wal_truncated: truncated,
+            };
+            return Ok((
+                DurableIndex {
+                    inner,
+                    store: Arc::clone(&config.store),
+                    dir: dir.to_path_buf(),
+                    generation,
+                    wal,
+                    disk_bytes: data.len(),
+                },
+                recovery,
+            ));
+        }
+        Err(OpenError::NoValidSnapshot(dir.to_path_buf()))
+    }
+
+    /// Writes a fresh snapshot (generation `g+1`), opens a fresh log,
+    /// and deletes generation `g`.
+    fn checkpoint_now(&mut self) -> std::io::Result<()> {
+        let next = self.generation + 1;
+        let data = self.inner.snapshot_bytes();
+        write_snapshot(&self.dir, next, &data)?;
+        let wal = Wal::create(&gen_file(&self.dir, "wal", next), self.store.fsync)?;
+        // The old generation is garbage the moment the new pair is
+        // durable; deletion failure only wastes space.
+        let _ = fs::remove_file(gen_file(&self.dir, "snapshot", self.generation));
+        let _ = fs::remove_file(gen_file(&self.dir, "wal", self.generation));
+        self.generation = next;
+        self.wal = wal;
+        self.disk_bytes = data.len();
+        Ok(())
+    }
+
+    /// The wrapped structure.
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+
+    /// Smallest key currently held (`None` when empty) — what
+    /// [`open_sharded`] derives the routing boundaries from.
+    #[must_use]
+    pub fn min_key(&self) -> Option<K> {
+        let all: (std::ops::Bound<K>, std::ops::Bound<K>) =
+            (std::ops::Bound::Unbounded, std::ops::Bound::Unbounded);
+        self.inner.range(all).next().map(|(k, _)| k)
+    }
+
+    /// This shard's on-disk directory.
+    #[must_use]
+    pub fn shard_dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current snapshot/log generation (increments per checkpoint).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn log(&mut self, op: &WalOp<'_, K, V>) {
+        self.wal
+            .append(op)
+            .expect("WAL append failed; cannot guarantee durability");
+    }
+}
+
+/// What [`open_sharded`] recovers: the rebuilt sharded index plus one
+/// [`ShardRecovery`] report per opened shard.
+pub type RecoveredStore<K, V, I> = (
+    ShardedIndex<K, V, DurableIndex<K, V, I>>,
+    Vec<ShardRecovery>,
+);
+
+/// Opens every shard of a store root as one [`ShardedIndex`] — the
+/// service-level recovery path.
+///
+/// Shards are ordered by their smallest key and the routing boundaries
+/// re-derived from those minimums (shard spans are disjoint by
+/// construction, so the shard's own smallest key is a valid lower
+/// bound). Shards that recover empty are skipped — a merge drained
+/// them before the crash — unless *every* shard is empty, in which
+/// case one empty shard is kept so the index stays usable.
+///
+/// # Errors
+///
+/// [`OpenError::NoShards`] when the root holds no shard directories;
+/// any per-shard open failure propagates (a shard that cannot recover
+/// is surfaced, not silently dropped).
+pub fn open_sharded<K, V, I>(
+    config: &DurableConfig<I::Config>,
+) -> Result<RecoveredStore<K, V, I>, OpenError>
+where
+    K: Key,
+    V: Key,
+    I: BuildableIndex<K, V> + PageSnapshot,
+{
+    let root = config.root();
+    let mut shard_dirs: Vec<(u64, PathBuf)> = fs::read_dir(root)?
+        .filter_map(|e| {
+            let e = e.ok()?;
+            let id = parse_shard_id(&e.file_name().to_string_lossy())?;
+            Some((id, e.path()))
+        })
+        .collect();
+    if shard_dirs.is_empty() {
+        return Err(OpenError::NoShards(root.to_path_buf()));
+    }
+    shard_dirs.sort_unstable_by_key(|&(id, _)| id);
+
+    let mut recoveries = Vec::with_capacity(shard_dirs.len());
+    let mut opened: Vec<(Option<K>, DurableIndex<K, V, I>)> = Vec::with_capacity(shard_dirs.len());
+    for (_, dir) in shard_dirs {
+        let (shard, recovery) = DurableIndex::open_shard(config, &dir)?;
+        recoveries.push(recovery);
+        let min = shard.min_key();
+        opened.push((min, shard));
+    }
+
+    // Drop drained shards (merge leftovers), keeping one if all are
+    // empty; order survivors by key span.
+    let any_nonempty = opened.iter().any(|(min, _)| min.is_some());
+    let mut survivors: Vec<(Option<K>, DurableIndex<K, V, I>)> = if any_nonempty {
+        opened
+            .into_iter()
+            .filter(|(min, _)| min.is_some())
+            .collect()
+    } else {
+        opened.truncate(1);
+        opened
+    };
+    survivors.sort_by_key(|(min, _)| *min);
+    let bounds: Vec<K> = survivors
+        .iter()
+        .skip(1)
+        .map(|(min, _)| min.expect("empty shards were filtered out"))
+        .collect();
+    let shards: Vec<DurableIndex<K, V, I>> =
+        survivors.into_iter().map(|(_, shard)| shard).collect();
+    Ok((ShardedIndex::from_shards(bounds, shards), recoveries))
+}
+
+impl<K: Key, V: Key, I: SortedIndex<K, V> + PageSnapshot> SortedIndex<K, V>
+    for DurableIndex<K, V, I>
+{
+    type RangeIter<'a>
+        = I::RangeIter<'a>
+    where
+        Self: 'a,
+        K: 'a,
+        V: 'a;
+
+    fn name(&self) -> &'static str {
+        "Durable"
+    }
+
+    fn get(&self, key: &K) -> Option<&V> {
+        self.inner.get(key)
+    }
+
+    fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.log(&WalOp::Insert(key, value));
+        self.inner.insert(key, value)
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        self.log(&WalOp::Remove(*key));
+        self.inner.remove(key)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.inner.size_bytes()
+    }
+
+    fn range<R: RangeBounds<K>>(&self, range: R) -> Self::RangeIter<'_> {
+        self.inner.range(range)
+    }
+
+    fn insert_many(&mut self, batch: Vec<(K, V)>) -> usize {
+        self.log(&WalOp::InsertMany(&batch));
+        self.inner.insert_many(batch)
+    }
+
+    fn split_off_tail(&mut self, at: &K) -> Option<Self> {
+        let right_inner = self.inner.split_off_tail(at)?;
+        // Both sides restart from clean snapshots: this shard's log no
+        // longer describes the keys that moved out.
+        self.checkpoint_now()
+            .expect("checkpoint after split failed");
+        let right = DurableIndex::create(right_inner, Arc::clone(&self.store))
+            .expect("creating storage for the split-off shard failed");
+        Some(right)
+    }
+
+    fn absorb_tail(&mut self, other: &mut Self) -> bool {
+        if !self.inner.absorb_tail(&mut other.inner) {
+            return false;
+        }
+        self.checkpoint_now()
+            .expect("checkpoint after absorb failed");
+        other
+            .checkpoint_now()
+            .expect("checkpoint of the drained shard failed");
+        true
+    }
+
+    fn disk_bytes(&self) -> usize {
+        self.disk_bytes
+    }
+
+    fn wal_bytes(&self) -> usize {
+        self.wal.bytes() as usize
+    }
+
+    fn sync(&mut self) -> bool {
+        self.wal
+            .commit()
+            .expect("WAL commit failed; cannot guarantee durability");
+        true
+    }
+
+    fn checkpoint(&mut self) -> bool {
+        self.checkpoint_now().expect("checkpoint failed");
+        true
+    }
+}
+
+impl<K: Key, V: Key, I: BuildableIndex<K, V> + PageSnapshot> BuildableIndex<K, V>
+    for DurableIndex<K, V, I>
+{
+    type Config = DurableConfig<I::Config>;
+    type BuildError = StorageBuildError<I::BuildError>;
+
+    fn build_sorted(config: &Self::Config, sorted: Vec<(K, V)>) -> Result<Self, Self::BuildError> {
+        let inner = I::build_sorted(&config.inner, sorted).map_err(StorageBuildError::Build)?;
+        DurableIndex::create(inner, Arc::clone(&config.store)).map_err(StorageBuildError::Io)
+    }
+}

@@ -1,0 +1,223 @@
+//! Durability layer for the FITing-Tree workspace: snapshot pages +
+//! write-ahead log + crash-consistent recovery.
+//!
+//! The rest of the workspace is volatile by design — the paper's
+//! evaluation is in-memory — but the FITing-Tree's size advantage
+//! (Section 6.2) matters most at scales where restart cost does too.
+//! This crate adds the missing layer without touching the in-memory
+//! hot paths:
+//!
+//! * [`wal`] — the per-shard write-ahead log: per-record CRC32,
+//!   group-commit batching, [`FsyncPolicy`] knobs, and a replay that
+//!   truncates at the first torn/corrupt record.
+//! * [`DurableIndex`] — wraps any [`SortedIndex`] structure that can
+//!   snapshot itself ([`PageSnapshot`], implemented for `FitingTree`
+//!   via the core snapshot codec), logging every mutation and
+//!   checkpointing on demand. Implements `SortedIndex` +
+//!   `BuildableIndex`, so it drops into [`ShardedIndex`] and the
+//!   service layer unchanged — rebalance splits/merges rotate the
+//!   per-shard logs automatically.
+//!
+//! [`SortedIndex`]: fiting_index_api::SortedIndex
+//! [`ShardedIndex`]: fiting_index_api::ShardedIndex
+//! * [`open_sharded`] — store-level recovery: reopen every shard
+//!   (newest intact snapshot + WAL tail), reassemble the
+//!   `ShardedIndex`.
+//!
+//! Restart cost is the point: replaying a bounded WAL tail over a
+//! decoded snapshot is far cheaper than re-running segmentation over
+//! the full dataset — the `durability` bench bin records the ratio at
+//! n=10M into `BENCH_durability.json`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fiting_index_api::SortedIndex;
+//! use fiting_storage::{DurableConfig, DurableIndex, FsyncPolicy};
+//! use fiting_tree::{FitingTree, FitingTreeBuilder};
+//! use fiting_index_api::BuildableIndex;
+//!
+//! let root = std::env::temp_dir().join(format!("fiting-doc-{}", std::process::id()));
+//! let config = DurableConfig::new(&root, FsyncPolicy::Always, FitingTreeBuilder::new(32)).unwrap();
+//!
+//! // Build a durable shard, mutate it, group-commit.
+//! let mut index: DurableIndex<u64, u64> =
+//!     DurableIndex::build_sorted(&config, (0..1000u64).map(|k| (k * 2, k)).collect()).unwrap();
+//! index.insert(1001, 7);
+//! index.remove(&0);
+//! index.sync(); // durable up to here
+//! let dir = index.shard_dir().to_path_buf();
+//! drop(index); // "crash"
+//!
+//! // Reopen: snapshot + WAL replay.
+//! let (recovered, info) = DurableIndex::<u64, u64, FitingTree<u64, u64>>::open_shard(&config, &dir).unwrap();
+//! assert_eq!(recovered.get(&1001), Some(&7));
+//! assert_eq!(recovered.get(&0), None);
+//! assert_eq!(info.replayed, 2);
+//! # std::fs::remove_dir_all(&root).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod durable;
+pub mod wal;
+
+pub use durable::{
+    open_sharded, DurableConfig, DurableIndex, OpenError, PageSnapshot, RecoveredStore,
+    ShardRecovery, StorageBuildError,
+};
+pub use wal::{FsyncPolicy, Replay, ReplayOp, Wal, WalOp};
+
+// Re-exported so durability consumers can checksum without depending
+// on the core crate directly.
+pub use fiting_tree::snapshot::{crc32, SnapshotError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiting_index_api::{BuildableIndex, SortedIndex};
+    use fiting_tree::{FitingTree, FitingTreeBuilder};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_root(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "fiting-storage-{}-{}-{tag}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn config(root: &PathBuf) -> DurableConfig<FitingTreeBuilder> {
+        DurableConfig::new(root, FsyncPolicy::EveryN(4), FitingTreeBuilder::new(64)).unwrap()
+    }
+
+    type Durable = DurableIndex<u64, u64, FitingTree<u64, u64>>;
+
+    #[test]
+    fn build_mutate_reopen_recovers_everything_synced() {
+        let root = temp_root("reopen");
+        let cfg = config(&root);
+        let mut idx: Durable =
+            DurableIndex::build_sorted(&cfg, (0..5000u64).map(|k| (k * 2, k)).collect()).unwrap();
+        assert_eq!(idx.name(), "Durable");
+        assert!(idx.disk_bytes() > 0);
+        assert_eq!(idx.wal_bytes(), 0);
+
+        idx.insert(9999, 1);
+        idx.remove(&0);
+        idx.insert_many(vec![(11111, 2), (11113, 3)]);
+        assert!(idx.wal_bytes() > 0);
+        assert!(idx.sync());
+        let dir = idx.shard_dir().to_path_buf();
+        let expect: Vec<(u64, u64)> = idx.range(..).collect();
+        drop(idx);
+
+        let (back, info) = Durable::open_shard(&cfg, &dir).unwrap();
+        assert_eq!(info.replayed, 3);
+        assert!(!info.wal_truncated);
+        assert_eq!(back.range(..).collect::<Vec<_>>(), expect);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_rotates_generation_and_empties_wal() {
+        let root = temp_root("ckpt");
+        let cfg = config(&root);
+        let mut idx: Durable =
+            DurableIndex::build_sorted(&cfg, (0..1000u64).map(|k| (k, k)).collect()).unwrap();
+        idx.insert(5000, 5);
+        assert!(idx.wal_bytes() > 0);
+        assert_eq!(idx.generation(), 0);
+        assert!(SortedIndex::checkpoint(&mut idx));
+        assert_eq!(idx.generation(), 1);
+        assert_eq!(idx.wal_bytes(), 0);
+        // Old generation files are gone; new pair exists.
+        let dir = idx.shard_dir().to_path_buf();
+        assert!(!dir.join("snapshot.000000").exists());
+        assert!(!dir.join("wal.000000").exists());
+        assert!(dir.join("snapshot.000001").exists());
+        assert!(dir.join("wal.000001").exists());
+        drop(idx);
+        let (back, info) = Durable::open_shard(&cfg, &dir).unwrap();
+        assert_eq!(info.generation, 1);
+        assert_eq!(info.replayed, 0);
+        assert_eq!(back.get(&5000), Some(&5));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_older_generation() {
+        let root = temp_root("fallback");
+        let cfg = config(&root);
+        let mut idx: Durable =
+            DurableIndex::build_sorted(&cfg, (0..500u64).map(|k| (k, k)).collect()).unwrap();
+        idx.insert(9000, 9);
+        idx.sync();
+        let dir = idx.shard_dir().to_path_buf();
+        drop(idx);
+        // Plant a corrupt "newer" snapshot; recovery must skip it and
+        // use generation 0 + its log.
+        std::fs::write(dir.join("snapshot.000007"), b"garbage").unwrap();
+        let (back, info) = Durable::open_shard(&cfg, &dir).unwrap();
+        assert_eq!(info.generation, 0);
+        assert_eq!(info.replayed, 1);
+        assert_eq!(back.get(&9000), Some(&9));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn sharded_store_splits_merges_and_reopens() {
+        use fiting_index_api::ShardedIndex;
+        let root = temp_root("sharded");
+        let cfg = config(&root);
+        let index: ShardedIndex<u64, u64, Durable> =
+            ShardedIndex::bulk_load(&cfg, 4, (0..8000u64).map(|k| (k, k)).collect()).unwrap();
+        assert_eq!(index.shard_count(), 4);
+
+        // Native split path rotates logs and mints a new shard dir.
+        let moved = index.split_shard(&cfg, 0, 1000).unwrap();
+        assert!(moved > 0);
+        assert_eq!(index.shard_count(), 5);
+        // Merge drains a shard; its directory stays behind (empty).
+        index.merge_with_next(0).unwrap();
+        assert_eq!(index.shard_count(), 4);
+
+        index.insert(90001, 42);
+        assert_eq!(index.sync_all(), 4);
+        let stats = index.shard_stats();
+        assert!(stats.iter().all(|s| s.disk_bytes > 0));
+        assert!(stats.iter().any(|s| s.wal_bytes > 0));
+        let expect = index.len();
+        drop(index);
+
+        let (back, recoveries) = open_sharded::<u64, u64, FitingTree<u64, u64>>(&cfg).unwrap();
+        // Six dirs on disk (4 bulk + 1 split + … minus none deleted),
+        // but the drained one recovers empty and is skipped.
+        assert!(recoveries.len() >= 5);
+        assert_eq!(back.len(), expect);
+        assert_eq!(back.get(&90001), Some(42));
+        assert_eq!(back.get(&500), Some(500));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_shards_honors_wal_threshold() {
+        use fiting_index_api::ShardedIndex;
+        let root = temp_root("threshold");
+        let cfg = config(&root);
+        let index: ShardedIndex<u64, u64, Durable> =
+            ShardedIndex::bulk_load(&cfg, 2, (0..2000u64).map(|k| (k, k)).collect()).unwrap();
+        // Write into only the low shard.
+        index.insert(1, 1);
+        index.sync_all();
+        assert_eq!(index.checkpoint_shards(1), 1);
+        assert_eq!(index.checkpoint_shards(1), 0);
+        // Threshold 0 checkpoints everything.
+        assert_eq!(index.checkpoint_shards(0), 2);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,426 @@
+//! The write-ahead log: per-record checksummed mutation journal.
+//!
+//! One log file per shard, one generation per checkpoint. Records are
+//! buffered in user space and flushed at **group-commit points** —
+//! [`Wal::commit`], which the service layer invokes once per drained
+//! write batch — so the fsync cost amortizes over every mutation in
+//! the batch instead of being paid per operation.
+//!
+//! # File layout
+//!
+//! ```text
+//! header (16 bytes)
+//!   0..8    magic "FITWAL01"
+//!   8..10   key width in bytes   (u16)
+//!   10..12  value width in bytes (u16)
+//!   12..16  zero
+//! record (repeated)
+//!   0..4    payload length (u32)
+//!   4..8    CRC32 of the payload
+//!   8..     payload
+//! payload
+//!   op 1: insert      [1][key][value]
+//!   op 2: remove      [2][key]
+//!   op 3: insert_many [3][count u32][key value]×count
+//! ```
+//!
+//! All integers little-endian; keys and values use the fixed-width
+//! [`Key::to_le_bytes`] codecs, so every record's length is determined
+//! by its first five bytes. Replay ([`replay`]) accepts the longest
+//! prefix of intact records and reports the byte offset where it
+//! stopped; the opener truncates the file there, which is what makes a
+//! torn tail write indistinguishable from a clean shutdown one record
+//! earlier — the recovery invariant the crash-injection suite checks.
+
+use fiting_index_api::Key;
+use fiting_tree::snapshot::crc32;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
+
+/// First eight bytes of every log file.
+pub const WAL_MAGIC: [u8; 8] = *b"FITWAL01";
+
+const WAL_HEADER_LEN: usize = 16;
+const RECORD_HEADER_LEN: usize = 8;
+
+/// When the log fsyncs at a group-commit point ([`Wal::commit`]).
+///
+/// Every policy *flushes* buffered records to the OS at commit; the
+/// policy only decides when the OS is forced to put them on stable
+/// storage. The durability windows are therefore: `Always` — nothing
+/// committed is lost on a crash; `EveryN(n)` — at most the last `n`
+/// records' worth of commits are lost on an OS crash (process crashes
+/// lose nothing flushed); `Off` — anything since the last checkpoint
+/// may be lost on an OS crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// fsync at every commit (the default; the safest and slowest).
+    #[default]
+    Always,
+    /// fsync once at least this many records have accumulated since
+    /// the previous fsync.
+    EveryN(u64),
+    /// Never fsync the log; rely on the OS to write back. Checkpoints
+    /// still fsync their snapshots.
+    Off,
+}
+
+/// One logged mutation, borrowed from the write path.
+#[derive(Debug)]
+pub enum WalOp<'a, K, V> {
+    /// Upsert of one pair.
+    Insert(K, V),
+    /// Removal of one key.
+    Remove(K),
+    /// One batched upsert, logged as a single record.
+    InsertMany(&'a [(K, V)]),
+}
+
+/// An owned mutation recovered from the log, replayed in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayOp<K, V> {
+    /// Upsert of one pair.
+    Insert(K, V),
+    /// Removal of one key.
+    Remove(K),
+    /// One batched upsert.
+    InsertMany(Vec<(K, V)>),
+}
+
+/// Outcome of scanning a log file ([`replay`]).
+#[derive(Debug)]
+pub struct Replay<K, V> {
+    /// The intact records, in append order.
+    pub ops: Vec<ReplayOp<K, V>>,
+    /// Byte offset of the first byte *not* covered by an intact
+    /// record — where the opener truncates.
+    pub valid_len: u64,
+    /// Whether anything (a torn or corrupt tail) was discarded.
+    pub truncated: bool,
+}
+
+/// Append handle over one log generation.
+#[derive(Debug)]
+pub struct Wal<K, V> {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    /// Record bytes appended this generation (excludes the header) —
+    /// the `wal_bytes` statistic and the checkpoint trigger.
+    bytes: u64,
+    /// Records flushed-but-not-fsynced, for `EveryN`.
+    unsynced: u64,
+    _kv: PhantomData<(K, V)>,
+}
+
+impl<K: Key, V: Key> Wal<K, V> {
+    /// Creates (truncating) a fresh log at `path` and durably writes
+    /// its header.
+    pub fn create(path: &Path, policy: FsyncPolicy) -> std::io::Result<Self> {
+        let mut file = File::create(path)?;
+        file.write_all(&header_bytes::<K, V>())?;
+        file.sync_data()?;
+        Ok(Wal {
+            writer: BufWriter::new(file),
+            path: path.to_path_buf(),
+            policy,
+            bytes: 0,
+            unsynced: 0,
+            _kv: PhantomData,
+        })
+    }
+
+    /// Reopens an existing log for appending after [`replay`],
+    /// truncating the torn/corrupt tail at `valid_len` first.
+    pub fn open_append(path: &Path, policy: FsyncPolicy, valid_len: u64) -> std::io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_len)?;
+        file.sync_data()?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Wal {
+            writer: BufWriter::new(file),
+            path: path.to_path_buf(),
+            policy,
+            bytes: valid_len - WAL_HEADER_LEN as u64,
+            unsynced: 0,
+            _kv: PhantomData,
+        })
+    }
+
+    /// Appends one record to the user-space buffer. Not durable — not
+    /// even handed to the OS — until the next [`commit`](Self::commit).
+    pub fn append(&mut self, op: &WalOp<'_, K, V>) -> std::io::Result<()> {
+        let payload = encode_payload(op);
+        self.writer
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&crc32(&payload).to_le_bytes())?;
+        self.writer.write_all(&payload)?;
+        self.bytes += (RECORD_HEADER_LEN + payload.len()) as u64;
+        self.unsynced += 1;
+        Ok(())
+    }
+
+    /// Group-commit point: flushes every buffered record to the OS
+    /// and, policy permitting, fsyncs. Returns whether an fsync
+    /// happened.
+    pub fn commit(&mut self) -> std::io::Result<bool> {
+        self.writer.flush()?;
+        let sync = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.unsynced >= n,
+            FsyncPolicy::Off => false,
+        };
+        if sync {
+            self.writer.get_ref().sync_data()?;
+            self.unsynced = 0;
+        }
+        Ok(sync)
+    }
+
+    /// Record bytes appended this generation (excludes the header).
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Path of the backing file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn header_bytes<K: Key, V: Key>() -> [u8; WAL_HEADER_LEN] {
+    let mut h = [0u8; WAL_HEADER_LEN];
+    h[0..8].copy_from_slice(&WAL_MAGIC);
+    h[8..10].copy_from_slice(&(K::ENCODED_LEN as u16).to_le_bytes());
+    h[10..12].copy_from_slice(&(V::ENCODED_LEN as u16).to_le_bytes());
+    h
+}
+
+fn encode_payload<K: Key, V: Key>(op: &WalOp<'_, K, V>) -> Vec<u8> {
+    match op {
+        WalOp::Insert(k, v) => {
+            let mut p = Vec::with_capacity(1 + K::ENCODED_LEN + V::ENCODED_LEN);
+            p.push(1);
+            p.extend_from_slice(&k.to_le_bytes());
+            p.extend_from_slice(&v.to_le_bytes());
+            p
+        }
+        WalOp::Remove(k) => {
+            let mut p = Vec::with_capacity(1 + K::ENCODED_LEN);
+            p.push(2);
+            p.extend_from_slice(&k.to_le_bytes());
+            p
+        }
+        WalOp::InsertMany(batch) => {
+            let mut p = Vec::with_capacity(5 + batch.len() * (K::ENCODED_LEN + V::ENCODED_LEN));
+            p.push(3);
+            p.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+            for (k, v) in batch.iter() {
+                p.extend_from_slice(&k.to_le_bytes());
+                p.extend_from_slice(&v.to_le_bytes());
+            }
+            p
+        }
+    }
+}
+
+fn decode_payload<K: Key, V: Key>(payload: &[u8]) -> Option<ReplayOp<K, V>> {
+    let pair = K::ENCODED_LEN + V::ENCODED_LEN;
+    match payload.first()? {
+        1 if payload.len() == 1 + pair => Some(ReplayOp::Insert(
+            K::from_le_bytes(&payload[1..1 + K::ENCODED_LEN]),
+            V::from_le_bytes(&payload[1 + K::ENCODED_LEN..]),
+        )),
+        2 if payload.len() == 1 + K::ENCODED_LEN => {
+            Some(ReplayOp::Remove(K::from_le_bytes(&payload[1..])))
+        }
+        3 if payload.len() >= 5 => {
+            let count = u32::from_le_bytes(payload[1..5].try_into().unwrap()) as usize;
+            let body = &payload[5..];
+            if body.len() != count * pair {
+                return None;
+            }
+            Some(ReplayOp::InsertMany(
+                body.chunks_exact(pair)
+                    .map(|c| {
+                        (
+                            K::from_le_bytes(&c[..K::ENCODED_LEN]),
+                            V::from_le_bytes(&c[K::ENCODED_LEN..]),
+                        )
+                    })
+                    .collect(),
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Scans the log at `path`, returning the longest prefix of intact
+/// records and the byte offset where scanning stopped.
+///
+/// A record is rejected — stopping the scan there, marking the replay
+/// `truncated` — when its header is short, its payload is short, its
+/// checksum mismatches, or its payload does not decode to a known op
+/// shape.
+///
+/// # Errors
+///
+/// I/O errors reading the file, or a missing/foreign/width-mismatched
+/// 16-byte file header (`InvalidData`). Header damage is an error
+/// rather than a truncation because every record after it would be
+/// suspect — recovery then falls back to the snapshot alone.
+pub fn replay<K: Key, V: Key>(path: &Path) -> std::io::Result<Replay<K, V>> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < WAL_HEADER_LEN || bytes[0..8] != WAL_MAGIC || bytes[12..16] != [0u8; 4] {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "missing or foreign WAL header",
+        ));
+    }
+    let kw = u16::from_le_bytes(bytes[8..10].try_into().unwrap()) as usize;
+    let vw = u16::from_le_bytes(bytes[10..12].try_into().unwrap()) as usize;
+    if kw != K::ENCODED_LEN || vw != V::ENCODED_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "WAL key/value widths {kw}/{vw} do not match {}/{}",
+                K::ENCODED_LEN,
+                V::ENCODED_LEN
+            ),
+        ));
+    }
+
+    let mut ops = Vec::new();
+    let mut pos = WAL_HEADER_LEN;
+    loop {
+        if pos == bytes.len() {
+            // Clean end: every byte accounted for.
+            return Ok(Replay {
+                ops,
+                valid_len: pos as u64,
+                truncated: false,
+            });
+        }
+        let intact = (|| {
+            let header = bytes.get(pos..pos + RECORD_HEADER_LEN)?;
+            let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+            let stored_crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+            let payload = bytes.get(pos + RECORD_HEADER_LEN..pos + RECORD_HEADER_LEN + len)?;
+            if crc32(payload) != stored_crc {
+                return None;
+            }
+            decode_payload::<K, V>(payload).map(|op| (op, RECORD_HEADER_LEN + len))
+        })();
+        match intact {
+            Some((op, advance)) => {
+                ops.push(op);
+                pos += advance;
+            }
+            None => {
+                // Torn or corrupt tail: accept the prefix, report the
+                // cut so the opener truncates it away.
+                return Ok(Replay {
+                    ops,
+                    valid_len: pos as u64,
+                    truncated: true,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fiting-wal-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.000000")
+    }
+
+    #[test]
+    fn append_commit_replay_round_trips() {
+        let path = tmp("roundtrip");
+        let mut wal: Wal<u64, u64> = Wal::create(&path, FsyncPolicy::Always).unwrap();
+        wal.append(&WalOp::Insert(1, 10)).unwrap();
+        wal.append(&WalOp::Remove(2)).unwrap();
+        wal.append(&WalOp::InsertMany(&[(3, 30), (4, 40)])).unwrap();
+        assert!(wal.commit().unwrap());
+        assert!(wal.bytes() > 0);
+        drop(wal);
+
+        let replayed = replay::<u64, u64>(&path).unwrap();
+        assert!(!replayed.truncated);
+        assert_eq!(
+            replayed.ops,
+            vec![
+                ReplayOp::Insert(1, 10),
+                ReplayOp::Remove(2),
+                ReplayOp::InsertMany(vec![(3, 30), (4, 40)]),
+            ]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_record_boundary() {
+        let path = tmp("torn");
+        let mut wal: Wal<u64, u64> = Wal::create(&path, FsyncPolicy::Off).unwrap();
+        for i in 0..10u64 {
+            wal.append(&WalOp::Insert(i, i)).unwrap();
+        }
+        wal.commit().unwrap();
+        drop(wal);
+
+        let full = std::fs::read(&path).unwrap();
+        // Tear mid-way through the last record.
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let replayed = replay::<u64, u64>(&path).unwrap();
+        assert!(replayed.truncated);
+        assert_eq!(replayed.ops.len(), 9);
+
+        // Reopen for append at the reported boundary, add a record,
+        // and the log is whole again.
+        let mut wal: Wal<u64, u64> =
+            Wal::open_append(&path, FsyncPolicy::Always, replayed.valid_len).unwrap();
+        wal.append(&WalOp::Insert(99, 99)).unwrap();
+        wal.commit().unwrap();
+        drop(wal);
+        let replayed = replay::<u64, u64>(&path).unwrap();
+        assert!(!replayed.truncated);
+        assert_eq!(replayed.ops.len(), 10);
+        assert_eq!(*replayed.ops.last().unwrap(), ReplayOp::Insert(99, 99));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn every_n_policy_syncs_on_schedule() {
+        let path = tmp("everyn");
+        let mut wal: Wal<u64, u64> = Wal::create(&path, FsyncPolicy::EveryN(3)).unwrap();
+        wal.append(&WalOp::Insert(1, 1)).unwrap();
+        assert!(!wal.commit().unwrap());
+        wal.append(&WalOp::Insert(2, 2)).unwrap();
+        assert!(!wal.commit().unwrap());
+        wal.append(&WalOp::Insert(3, 3)).unwrap();
+        assert!(wal.commit().unwrap());
+        // Counter reset after the fsync.
+        wal.append(&WalOp::Insert(4, 4)).unwrap();
+        assert!(!wal.commit().unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn foreign_header_is_an_error_not_a_truncation() {
+        let path = tmp("foreign");
+        std::fs::write(&path, b"not a wal at all").unwrap();
+        assert!(replay::<u64, u64>(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

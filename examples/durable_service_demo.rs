@@ -1,0 +1,124 @@
+//! The durability layer end to end: a durable sharded FITing-Tree
+//! behind the service, a simulated kill (torn WAL tail included), and
+//! crash-consistent recovery.
+//!
+//! ```text
+//! Client → queue → worker ──insert──▶ DurableIndex ──log──▶ wal.<gen>
+//!                    │                      │
+//!                    └── group commit ──────┘   checkpoint ▶ snapshot.<gen>
+//!
+//! kill -9  ⇒  reopen = newest snapshot + WAL replay (torn tail cut)
+//! ```
+//!
+//! Run: `cargo run --release --example durable_service_demo`
+
+use fiting::storage::{DurableConfig, DurableIndex, FsyncPolicy};
+use fiting::tree::{FitingTree, FitingTreeBuilder};
+use fiting::{open_sharded, DurabilityConfig, IndexService, ServiceConfig, ShardedIndex};
+use std::time::Duration;
+
+type Durable = DurableIndex<u64, u64, FitingTree<u64, u64>>;
+
+fn main() {
+    let root = std::env::temp_dir().join(format!("fiting-durable-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // ---- Life before the crash -------------------------------------
+    // A durable store: each shard gets its own directory with a
+    // generation-numbered snapshot + write-ahead log.
+    let config =
+        DurableConfig::new(&root, FsyncPolicy::EveryN(64), FitingTreeBuilder::new(128)).unwrap();
+    let index: ShardedIndex<u64, u64, Durable> =
+        ShardedIndex::bulk_load(&config, 4, (0..100_000u64).map(|k| (k * 2, k)).collect()).unwrap();
+
+    // The service group-commits the WALs after every drained write
+    // batch; a coordinator thread checkpoints shards whose log has
+    // grown past 256 KiB.
+    let service = IndexService::start_durable(
+        index,
+        ServiceConfig::default(),
+        DurabilityConfig {
+            sync_each_batch: true,
+            checkpoint_interval: Duration::from_millis(50),
+            checkpoint_wal_bytes: 256 << 10,
+        },
+    );
+    let client = service.client();
+    client.remove(0).wait().unwrap();
+    let mut tickets = Vec::new();
+    for k in 0..5_000u64 {
+        tickets.push(client.insert(k * 40 + 1, k)); // odd keys: all fresh
+    }
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    let live_len = service.index().len();
+    println!("before the crash: {live_len} live entries across 4 durable shards");
+
+    // ---- The crash ---------------------------------------------------
+    // Drop without shutdown() — queues close, but pretend the process
+    // died: additionally tear the tail off one shard's log, as if the
+    // machine went down mid-write.
+    drop(client);
+    let _ = service.shutdown();
+    let mut torn = None;
+    for entry in std::fs::read_dir(&root).unwrap() {
+        let dir = entry.unwrap().path();
+        if !dir.is_dir() {
+            continue;
+        }
+        for f in std::fs::read_dir(&dir).unwrap() {
+            let path = f.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            if name.starts_with("wal.") {
+                let bytes = std::fs::read(&path).unwrap();
+                if bytes.len() > 40 {
+                    std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+                    torn = Some((name, dir.clone()));
+                    break;
+                }
+            }
+        }
+        if torn.is_some() {
+            break;
+        }
+    }
+    match &torn {
+        Some((log, dir)) => println!(
+            "simulated kill: tore 7 bytes off {log} in {}",
+            dir.file_name().unwrap().to_string_lossy()
+        ),
+        None => println!("simulated kill: every log was already checkpointed away"),
+    }
+
+    // ---- Recovery ----------------------------------------------------
+    // open_sharded: per shard, newest intact snapshot + WAL replay,
+    // truncating the torn record; shard bounds re-derived from data.
+    let (recovered, reports) = open_sharded::<u64, u64, FitingTree<u64, u64>>(&config).unwrap();
+    for r in &reports {
+        println!(
+            "  {}: generation {}, snapshot {:.1} MiB, {} ops replayed{}",
+            r.dir.file_name().unwrap().to_string_lossy(),
+            r.generation,
+            r.snapshot_bytes as f64 / (1024.0 * 1024.0),
+            r.replayed,
+            if r.wal_truncated {
+                " (torn tail discarded)"
+            } else {
+                ""
+            }
+        );
+    }
+    println!("after recovery: {} live entries", recovered.len());
+
+    // Every group-committed write except any op in the torn record
+    // survived; spot-check the data.
+    assert_eq!(recovered.get(&0), None, "the remove survived");
+    assert_eq!(recovered.get(&41), Some(1), "odd-key inserts survived");
+    assert_eq!(recovered.get(&2), Some(1), "bulk-loaded data survived");
+    let lost = live_len - recovered.len();
+    assert!(lost <= 1, "at most the torn record's op may be lost");
+    println!("prefix-consistent: {lost} op(s) lost to the torn tail — demo OK");
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -9,6 +9,10 @@
 //! * [`service`] — the command-pipeline service layer over
 //!   `ShardedIndex`: typed commands, bounded per-shard queues,
 //!   batching/coalescing workers, ticket completions, backpressure.
+//! * [`storage`] — the durability layer: snapshot pages, per-shard
+//!   write-ahead logs with group commit, and crash-consistent
+//!   recovery (`DurableIndex` wraps any snapshot-capable structure
+//!   and drops into `ShardedIndex`/the service unchanged).
 //! * [`tree`] — the FITing-Tree itself (clustered + non-clustered index,
 //!   insert path, cost model). This is the paper's contribution.
 //! * [`plr`] — bounded-error piecewise-linear segmentation
@@ -32,11 +36,14 @@ pub use fiting_datasets as datasets;
 pub use fiting_index_api as index_api;
 pub use fiting_index_service as service;
 pub use fiting_plr as plr;
+pub use fiting_storage as storage;
 pub use fiting_tree as tree;
 
 pub use fiting_index_api::{
     BuildableIndex, DynSortedIndex, Key, OrderedF64, ShardStats, ShardedIndex, SortedIndex,
 };
 pub use fiting_index_service::{
-    Canceled, Client, Command, Completer, IndexService, ServiceConfig, ServiceStats, Ticket,
+    Canceled, Client, Command, Completer, DurabilityConfig, IndexService, ServiceConfig,
+    ServiceStats, Ticket,
 };
+pub use fiting_storage::{open_sharded, DurableConfig, DurableIndex, FsyncPolicy};
