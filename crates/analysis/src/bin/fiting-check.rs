@@ -1,0 +1,49 @@
+//! `fiting-check` — runs the workspace concurrency rule checker and
+//! fails (exit 1) on any finding. CI runs this as a blocking job:
+//! `cargo run -p fiting-analysis`.
+//!
+//! The workspace root is the first argument when given, otherwise the
+//! manifest's grandparent (so the binary works from any cwd under
+//! `cargo run`).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    if let Some(arg) = std::env::args().nth(1) {
+        return PathBuf::from(arg);
+    }
+    // crates/analysis/ -> crates/ -> workspace root
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map_or(manifest.clone(), std::path::Path::to_path_buf)
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    match fiting_analysis::check_workspace(&root) {
+        Ok((findings, scanned)) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            if findings.is_empty() {
+                println!("fiting-check: {scanned} files clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "fiting-check: {} finding(s) across {scanned} files",
+                    findings.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("fiting-check: cannot scan {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

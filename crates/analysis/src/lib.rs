@@ -1,0 +1,87 @@
+//! `fiting-analysis` — the workspace's source-level concurrency rule
+//! checker (`fiting-check` binary).
+//!
+//! The rules here enforce *protocol* invariants that rustc and clippy
+//! cannot see — conventions the sharded router and the service pipeline
+//! depend on for correctness:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `lock-order` | shard locks acquired in ascending table position, with a `// lock-order:` comment on every multi-lock hold |
+//! | `blocking-in-guard` | no blocking call (`wait`, `sync_all`, `submit`, `recv`, …) while holding a lock guard, except condvar waits that take the guard |
+//! | `ordering-justification` | every explicit `Ordering::…` site is covered by a `// ordering:` comment explaining why that strength suffices |
+//! | `hot-path-panic` | no `unwrap` / `expect` / `panic!` in worker-thread and shard-hot-path modules (vetted exceptions in `allowlist.txt`) |
+//! | `forbid-unsafe` | `#![forbid(unsafe_code)]` present on every crate root |
+//! | `std-sync-quarantine` | `std::sync` lock primitives only inside `crates/compat/` |
+//!
+//! The checker is a hand-rolled lexer (comments, strings, brace depth,
+//! `#[cfg(test)]` spans) over line-oriented scanning — no `syn`, no
+//! network, no build integration needed. False positives are handled
+//! with inline `// fiting-check: allow(<rule>) — reason` comments or
+//! (for `hot-path-panic`) `allowlist.txt` entries, both of which
+//! reviewers can grep.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check_file, parse_allowlist, AllowEntry, Finding};
+
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned (build output, VCS, vendored references).
+const SKIP_DIRS: [&str; 4] = ["target", ".git", ".github", "related"];
+
+/// Recursively collects every `.rs` file under `dir`, skipping
+/// [`SKIP_DIRS`], in sorted order for deterministic output.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans the whole workspace under `root`. Returns every finding plus
+/// the number of files scanned.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking the tree; an unreadable
+/// individual file is skipped.
+pub fn check_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let allow = match std::fs::read_to_string(root.join("crates/analysis/allowlist.txt")) {
+        Ok(text) => parse_allowlist(&text),
+        Err(_) => Vec::new(),
+    };
+    let mut files = Vec::new();
+    collect_rs(root, &mut files)?;
+    let mut findings = Vec::new();
+    let mut scanned = 0;
+    for path in files {
+        let Ok(source) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        scanned += 1;
+        findings.extend(check_file(&rel, &source, &allow));
+    }
+    Ok((findings, scanned))
+}

@@ -1,0 +1,696 @@
+//! The project-invariant rules `fiting-check` enforces — properties
+//! clippy cannot see because they are *protocol* conventions, not
+//! syntax. Each rule reports [`Finding`]s; the binary fails the build
+//! on any. Every rule has a mutation self-test below proving it fires
+//! on a seeded violation and stays quiet on the fixed version.
+
+use crate::lexer::{clean, find_word, CleanFile, FnSpan};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule identifier (used in allow comments).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A vetted exception to the hot-path panic rule: `file` is a path
+/// suffix, `snippet` must appear verbatim in the offending source line.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Path suffix the exception applies to.
+    pub file: String,
+    /// Verbatim source fragment identifying the vetted site.
+    pub snippet: String,
+}
+
+/// Parses `allowlist.txt`: `<path-suffix> | <snippet> | <reason>` per
+/// line; blank lines and `#` comments ignored. The reason column is
+/// mandatory documentation but not machine-checked.
+#[must_use]
+pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let mut parts = l.splitn(3, '|');
+            let file = parts.next()?.trim().to_string();
+            let snippet = parts.next()?.trim().to_string();
+            parts.next()?; // reason — required, unused
+            Some(AllowEntry { file, snippet })
+        })
+        .collect()
+}
+
+/// Whether the line's comment suppresses `rule` via
+/// `fiting-check: allow(<rule>)` (which must carry a reason after it).
+fn line_allows(cf: &CleanFile, line: usize, rule: &str) -> bool {
+    cf.comments
+        .get(line - 1)
+        .is_some_and(|c| c.contains(&format!("fiting-check: allow({rule})")))
+}
+
+/// Runs every rule against one file. `raw` is the original source (the
+/// allowlist matches verbatim snippets); `path` is workspace-relative
+/// with `/` separators.
+#[must_use]
+pub fn check_file(path: &str, raw: &str, allow: &[AllowEntry]) -> Vec<Finding> {
+    let cf = clean(raw);
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    let mut findings = Vec::new();
+    let in_src = path.contains("/src/") || path.starts_with("src/");
+    if in_src {
+        findings.extend(rule_lock_order(path, &cf));
+        findings.extend(rule_blocking_in_guard(path, &cf));
+        findings.extend(rule_ordering_justification(path, &cf));
+        findings.extend(rule_hot_path_panic(path, &cf, &raw_lines, allow));
+        findings.extend(rule_std_sync_quarantine(path, &cf));
+    }
+    findings.extend(rule_forbid_unsafe(path, &cf));
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Rule: lock-order — shard locks in ascending table position only
+// ---------------------------------------------------------------------
+
+/// Index expression of a shard-lock source, when comparable: `Base(n)`
+/// is `<ident> + n` (or a bare ident, n = 0); `Lit(n)` a literal index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ShardIdx {
+    Base(String, u64),
+    Lit(u64),
+    Opaque,
+}
+
+fn parse_shard_idx(text: &str) -> ShardIdx {
+    let t = text.trim();
+    if let Ok(n) = t.parse::<u64>() {
+        return ShardIdx::Lit(n);
+    }
+    let (base, off) = match t.split_once('+') {
+        Some((b, o)) => match o.trim().parse::<u64>() {
+            Ok(n) => (b.trim(), n),
+            Err(_) => return ShardIdx::Opaque,
+        },
+        None => (t, 0),
+    };
+    if !base.is_empty() && base.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        ShardIdx::Base(base.to_string(), off)
+    } else {
+        ShardIdx::Opaque
+    }
+}
+
+/// `a` strictly after `b` in table position, when comparable.
+fn idx_after(a: &ShardIdx, b: &ShardIdx) -> bool {
+    match (a, b) {
+        (ShardIdx::Base(x, n), ShardIdx::Base(y, m)) => x == y && n > m,
+        (ShardIdx::Lit(n), ShardIdx::Lit(m)) => n > m,
+        _ => false,
+    }
+}
+
+/// Extracts `shards[IDX]` from a line, if present.
+fn shards_index(line: &str) -> Option<ShardIdx> {
+    let pos = line.find("shards[")?;
+    let rest = &line[pos + "shards[".len()..];
+    let close = rest.find(']')?;
+    Some(parse_shard_idx(&rest[..close]))
+}
+
+/// Identifier bound by a `let` on this line, if any.
+fn let_binding(line: &str) -> Option<&str> {
+    let pos = find_word(line, "let")?;
+    let rest = line[pos + 3..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let end = rest
+        .find(|c: char| !c.is_alphanumeric() && c != '_')
+        .unwrap_or(rest.len());
+    (end > 0).then(|| &rest[..end])
+}
+
+/// Shard locks must be acquired in ascending table position, and any
+/// function holding two shard locks at once must carry a
+/// `// lock-order:` comment stating the discipline.
+fn rule_lock_order(path: &str, cf: &CleanFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in &cf.fns {
+        if !cf.is_production(f.decl_line) {
+            continue;
+        }
+        // Bindings whose RHS routes to a shard slot.
+        let mut bindings: Vec<(String, ShardIdx)> = Vec::new();
+        // Shard-lock acquisitions in textual order.
+        let mut acquired: Vec<(usize, ShardIdx)> = Vec::new();
+        for ln in f.body_start..=f.body_end {
+            let line = &cf.code[ln - 1];
+            if let (Some(name), Some(idx)) = (let_binding(line), shards_index(line)) {
+                if !line.contains(".read()") && !line.contains(".write()") {
+                    bindings.push((name.to_string(), idx));
+                    continue;
+                }
+            }
+            for call in [".read()", ".write()"] {
+                let mut from = 0;
+                while let Some(rel) = line[from..].find(call) {
+                    let pos = from + rel;
+                    from = pos + call.len();
+                    let recv_end = pos;
+                    let recv_start = line[..recv_end]
+                        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+                        .map_or(0, |p| p + 1);
+                    let recv = &line[recv_start..recv_end];
+                    let idx = if let Some(idx) = bindings
+                        .iter()
+                        .rev()
+                        .find(|(n, _)| n == recv)
+                        .map(|(_, i)| i.clone())
+                    {
+                        idx
+                    } else if line[..recv_end].contains("shards[") {
+                        shards_index(line).unwrap_or(ShardIdx::Opaque)
+                    } else {
+                        continue;
+                    };
+                    acquired.push((ln, idx));
+                }
+            }
+        }
+        for pair in acquired.windows(2) {
+            let ((_, first), (ln, second)) = (&pair[0], &pair[1]);
+            if idx_after(first, second) && !line_allows(cf, *ln, "lock-order") {
+                findings.push(Finding {
+                    file: path.to_string(),
+                    line: *ln,
+                    rule: "lock-order",
+                    message: format!(
+                        "shard lock acquired in descending table position \
+                         ({second:?} after {first:?}); acquire ascending"
+                    ),
+                });
+            }
+        }
+        if acquired.len() >= 2 {
+            let commented = (f.decl_line.saturating_sub(3).max(1)..=f.body_end)
+                .any(|ln| cf.comments[ln - 1].contains("lock-order:"));
+            if !commented {
+                findings.push(Finding {
+                    file: path.to_string(),
+                    line: acquired[1].0,
+                    rule: "lock-order",
+                    message: "function holds multiple shard locks without a \
+                              `// lock-order:` comment stating the discipline"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Rule: blocking-in-guard — no blocking call inside a lock-guard scope
+// ---------------------------------------------------------------------
+
+const BLOCKING_CALLS: [&str; 7] = [
+    "wait",
+    "wait_for",
+    "wait_timeout",
+    "sync_all",
+    "submit",
+    "recv",
+    "sleep",
+];
+
+const GUARD_SOURCES: [&str; 3] = [".lock()", ".read()", ".write()"];
+
+/// No blocking call while holding a lock guard — the deadlock /
+/// tail-latency rule. The one sanctioned shape is a condvar wait that
+/// *takes the guard* (`cv.wait(&mut guard)`), which releases the lock
+/// while parked. Compat crates are exempt: they *implement* the
+/// blocking primitives, so their internals necessarily park under the
+/// bookkeeping lock.
+fn rule_blocking_in_guard(path: &str, cf: &CleanFile) -> Vec<Finding> {
+    if path.starts_with("crates/compat/") {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for f in &cf.fns {
+        if !cf.is_production(f.decl_line) {
+            continue;
+        }
+        // Live guards: (name, brace depth at binding).
+        let mut guards: Vec<(String, isize)> = Vec::new();
+        let mut depth = 0isize;
+        for ln in f.body_start..=f.body_end {
+            let line = &cf.code[ln - 1];
+            // A `let g = expr.lock();`-style binding (chain ends at the
+            // acquisition; a deref'd temporary is not a held guard).
+            let is_guard_binding = GUARD_SOURCES
+                .iter()
+                .any(|s| line.trim_end().ends_with(&format!("{s};")) && !line.contains("= *"));
+            if let (true, Some(name)) = (is_guard_binding, let_binding(line)) {
+                guards.push((name.to_string(), depth));
+            }
+            // An explicit `drop(g)` ends the guard's scope.
+            if let Some(pos) = find_word(line, "drop") {
+                let args = line[pos + 4..]
+                    .trim_start()
+                    .trim_start_matches('(')
+                    .trim_end()
+                    .trim_end_matches(';')
+                    .trim_end_matches(')');
+                guards.retain(|(n, _)| !args.split(',').any(|a| a.trim() == n));
+            }
+            if !guards.is_empty() {
+                for call in BLOCKING_CALLS {
+                    let Some(pos) = find_word(line, call) else {
+                        continue;
+                    };
+                    // Calls only: `name(`.
+                    if !line[pos + call.len()..].starts_with('(') {
+                        continue;
+                    }
+                    let args = &line[pos + call.len()..];
+                    let condvar_shape = guards
+                        .iter()
+                        .any(|(g, _)| args.contains(&format!("&mut {g}")));
+                    if condvar_shape || line_allows(cf, ln, "blocking-in-guard") {
+                        continue;
+                    }
+                    findings.push(Finding {
+                        file: path.to_string(),
+                        line: ln,
+                        rule: "blocking-in-guard",
+                        message: format!(
+                            "blocking call `{call}(..)` while holding lock guard \
+                             `{}`; release the guard first",
+                            guards.last().map_or("?", |(n, _)| n)
+                        ),
+                    });
+                }
+            }
+            for c in line.chars() {
+                if c == '{' {
+                    depth += 1;
+                } else if c == '}' {
+                    depth -= 1;
+                    // A guard bound at depth d dies with its block.
+                    guards.retain(|&(_, d)| d <= depth);
+                }
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Rule: ordering-justification — every explicit Ordering carries why
+// ---------------------------------------------------------------------
+
+const ORDERINGS: [&str; 5] = [
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// Every explicit memory-ordering site must be covered by a
+/// `// ordering:` justification comment in the same function (or just
+/// above it) — the reviewer contract for why the chosen strength is
+/// sufficient.
+fn rule_ordering_justification(path: &str, cf: &CleanFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let justified = |f: &FnSpan| {
+        (f.decl_line.saturating_sub(3).max(1)..=f.body_end)
+            .any(|ln| cf.comments[ln - 1].contains("ordering:"))
+    };
+    for (ln0, line) in cf.code.iter().enumerate() {
+        let ln = ln0 + 1;
+        if !cf.is_production(ln) || !ORDERINGS.iter().any(|o| line.contains(o)) {
+            continue;
+        }
+        let covered = match cf.enclosing_fn(ln) {
+            Some(f) => justified(f),
+            // Outside any fn (consts, field defaults): same line or the
+            // three lines above must justify.
+            None => {
+                (ln.saturating_sub(3).max(1)..=ln).any(|l| cf.comments[l - 1].contains("ordering:"))
+            }
+        };
+        if !covered {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: ln,
+                rule: "ordering-justification",
+                message: "explicit memory Ordering without a `// ordering:` \
+                          justification comment in this function"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Rule: hot-path-panic — no unwrap/expect/panic in worker & hot paths
+// ---------------------------------------------------------------------
+
+/// Modules where a panic either strands queued tickets (worker thread)
+/// or poisons a shard lock under reader traffic (sharded hot path).
+const HOT_PATH_MODULES: [&str; 4] = [
+    "index-service/src/worker.rs",
+    "index-service/src/queue.rs",
+    "index-service/src/client.rs",
+    "index-api/src/sharded.rs",
+];
+
+const PANIC_TOKENS: [&str; 5] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+];
+
+/// No panicking construct in worker-thread or shard-hot-path modules;
+/// vetted exceptions live in `allowlist.txt` with a reason.
+fn rule_hot_path_panic(
+    path: &str,
+    cf: &CleanFile,
+    raw_lines: &[&str],
+    allow: &[AllowEntry],
+) -> Vec<Finding> {
+    if !HOT_PATH_MODULES.iter().any(|m| path.ends_with(m)) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (ln0, line) in cf.code.iter().enumerate() {
+        let ln = ln0 + 1;
+        if !cf.is_production(ln) {
+            continue;
+        }
+        for tok in PANIC_TOKENS {
+            if !line.contains(tok) {
+                continue;
+            }
+            let raw = raw_lines.get(ln0).copied().unwrap_or("");
+            let allowed = allow
+                .iter()
+                .any(|e| path.ends_with(&e.file) && raw.contains(&e.snippet));
+            if !allowed {
+                findings.push(Finding {
+                    file: path.to_string(),
+                    line: ln,
+                    rule: "hot-path-panic",
+                    message: format!(
+                        "`{tok}` in a worker/hot-path module; return an error \
+                         or add a vetted allowlist.txt entry"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Rule: forbid-unsafe — #![forbid(unsafe_code)] on every crate root
+// ---------------------------------------------------------------------
+
+/// Every crate root must carry `#![forbid(unsafe_code)]` — the
+/// workspace-level `unsafe_code = "deny"` lint can be `allow`ed
+/// locally; `forbid` cannot.
+fn rule_forbid_unsafe(path: &str, cf: &CleanFile) -> Vec<Finding> {
+    let is_root = path.ends_with("/lib.rs")
+        || path == "src/lib.rs"
+        || path.contains("/src/bin/")
+        || path.ends_with("/main.rs");
+    if !is_root {
+        return Vec::new();
+    }
+    let present = cf
+        .code
+        .iter()
+        .any(|l| l.contains("#![forbid(unsafe_code)]"));
+    if present {
+        Vec::new()
+    } else {
+        vec![Finding {
+            file: path.to_string(),
+            line: 1,
+            rule: "forbid-unsafe",
+            message: "crate root missing `#![forbid(unsafe_code)]`".to_string(),
+        }]
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: std-sync-quarantine — std blocking primitives only in compat
+// ---------------------------------------------------------------------
+
+const STD_SYNC_PRIMITIVES: [&str; 4] = ["Mutex", "RwLock", "Condvar", "Barrier"];
+
+/// Outside `crates/compat/`, lock primitives come from the compat
+/// facades (`parking_lot`, `shuttle`) so instrumentation and lock
+/// discipline apply uniformly; `std::sync::{Arc, atomic, OnceLock,
+/// mpsc}` stay allowed.
+fn rule_std_sync_quarantine(path: &str, cf: &CleanFile) -> Vec<Finding> {
+    if path.starts_with("crates/compat/") {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (ln0, line) in cf.code.iter().enumerate() {
+        let ln = ln0 + 1;
+        if !cf.is_production(ln) || !line.contains("std::sync::") {
+            continue;
+        }
+        let after: Vec<&str> = line.split("std::sync::").skip(1).collect();
+        for seg in after {
+            // `std::sync::Mutex` directly, or within a brace import
+            // `use std::sync::{Arc, Mutex}`.
+            let hit = STD_SYNC_PRIMITIVES.iter().find(|p| {
+                if let Some(rest) = seg.strip_prefix('{') {
+                    let inner = &rest[..rest.find('}').unwrap_or(rest.len())];
+                    inner
+                        .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                        .any(|w| w == **p)
+                } else {
+                    let end = seg
+                        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+                        .unwrap_or(seg.len());
+                    &seg[..end] == **p
+                }
+            });
+            if let Some(p) = hit {
+                if !line_allows(cf, ln, "std-sync-quarantine") {
+                    findings.push(Finding {
+                        file: path.to_string(),
+                        line: ln,
+                        rule: "std-sync-quarantine",
+                        message: format!(
+                            "direct `std::sync::{p}` outside crates/compat/; \
+                             use the compat facade"
+                        ),
+                    });
+                }
+                break;
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Mutation self-tests: every rule fires on a seeded violation and is
+// quiet on the corrected source.
+// ---------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn lock_order_fires_on_descending_and_missing_comment() {
+        // Mutation: retire (shard + 1) locked before keep (shard).
+        let bad = r"
+fn merge(&self, shard: usize) {
+    let keep = Arc::clone(&table.shards[shard]);
+    let retire = Arc::clone(&table.shards[shard + 1]);
+    let mut retire_guard = retire.write();
+    let mut keep_guard = keep.write();
+}
+";
+        let f = check_file("crates/x/src/sharded.rs", bad, &[]);
+        assert!(
+            f.iter()
+                .any(|f| f.rule == "lock-order" && f.message.contains("descending")),
+            "descending order must fire: {f:?}"
+        );
+
+        // Ascending but missing the lock-order comment: also a finding.
+        let uncommented = r"
+fn merge(&self, shard: usize) {
+    let keep = Arc::clone(&table.shards[shard]);
+    let retire = Arc::clone(&table.shards[shard + 1]);
+    let mut keep_guard = keep.write();
+    let mut retire_guard = retire.write();
+}
+";
+        let f = check_file("crates/x/src/sharded.rs", uncommented, &[]);
+        assert!(
+            f.iter()
+                .any(|f| f.rule == "lock-order" && f.message.contains("lock-order:")),
+            "missing comment must fire: {f:?}"
+        );
+
+        let good = r"
+fn merge(&self, shard: usize) {
+    let keep = Arc::clone(&table.shards[shard]);
+    let retire = Arc::clone(&table.shards[shard + 1]);
+    // lock-order: keep (shard) before retire (shard + 1), ascending.
+    let mut keep_guard = keep.write();
+    let mut retire_guard = retire.write();
+}
+";
+        let f = check_file("crates/x/src/sharded.rs", good, &[]);
+        assert!(!rules_of(&f).contains(&"lock-order"), "{f:?}");
+    }
+
+    #[test]
+    fn blocking_in_guard_fires_and_spares_condvar_shape() {
+        let bad = r"
+fn drain(&self) {
+    let state = self.state.lock();
+    self.file.sync_all();
+}
+";
+        let f = check_file("crates/x/src/worker.rs", bad, &[]);
+        assert!(rules_of(&f).contains(&"blocking-in-guard"), "{f:?}");
+
+        // Condvar waits that take the guard are the sanctioned shape.
+        let condvar = r"
+fn pop(&self) {
+    let mut state = self.state.lock();
+    self.not_empty.wait(&mut state);
+}
+";
+        let f = check_file("crates/x/src/worker.rs", condvar, &[]);
+        assert!(!rules_of(&f).contains(&"blocking-in-guard"), "{f:?}");
+
+        // Dropping the guard before blocking is clean.
+        let dropped = r"
+fn drain(&self) {
+    let state = self.state.lock();
+    drop(state);
+    self.file.sync_all();
+}
+";
+        let f = check_file("crates/x/src/worker.rs", dropped, &[]);
+        assert!(!rules_of(&f).contains(&"blocking-in-guard"), "{f:?}");
+    }
+
+    #[test]
+    fn ordering_justification_fires_when_comment_dropped() {
+        // Mutation: the justification comment removed.
+        let bad = r"
+fn bump(&self) {
+    self.epoch.fetch_add(1, Ordering::Release);
+}
+";
+        let f = check_file("crates/x/src/sharded.rs", bad, &[]);
+        assert!(rules_of(&f).contains(&"ordering-justification"), "{f:?}");
+
+        let good = r"
+fn bump(&self) {
+    // ordering: Release publishes the new table to epoch readers.
+    self.epoch.fetch_add(1, Ordering::Release);
+}
+";
+        let f = check_file("crates/x/src/sharded.rs", good, &[]);
+        assert!(!rules_of(&f).contains(&"ordering-justification"), "{f:?}");
+    }
+
+    #[test]
+    fn hot_path_panic_fires_respects_allowlist_and_module_scope() {
+        let bad = "fn run() {\n    let v = queue.pop().expect(\"peeked\");\n}\n";
+        let f = check_file("crates/index-service/src/worker.rs", bad, &[]);
+        assert!(rules_of(&f).contains(&"hot-path-panic"), "{f:?}");
+
+        // The same site, vetted in the allowlist, is clean.
+        let allow = parse_allowlist(
+            "index-service/src/worker.rs | .expect(\"peeked\") | vetted for this test\n",
+        );
+        let f = check_file("crates/index-service/src/worker.rs", bad, &allow);
+        assert!(!rules_of(&f).contains(&"hot-path-panic"), "{f:?}");
+
+        // Outside the hot-path module list the rule does not apply.
+        let f = check_file("crates/index-service/src/stats.rs", bad, &[]);
+        assert!(!rules_of(&f).contains(&"hot-path-panic"), "{f:?}");
+
+        // Panics inside #[cfg(test)] are fine even in hot modules.
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let f = check_file("crates/index-service/src/worker.rs", test_only, &[]);
+        assert!(!rules_of(&f).contains(&"hot-path-panic"), "{f:?}");
+    }
+
+    #[test]
+    fn forbid_unsafe_fires_on_missing_attribute() {
+        let f = check_file("crates/x/src/lib.rs", "//! docs\npub fn a() {}\n", &[]);
+        assert!(rules_of(&f).contains(&"forbid-unsafe"), "{f:?}");
+
+        let f = check_file(
+            "crates/x/src/lib.rs",
+            "//! docs\n#![forbid(unsafe_code)]\npub fn a() {}\n",
+            &[],
+        );
+        assert!(!rules_of(&f).contains(&"forbid-unsafe"), "{f:?}");
+
+        // Non-root files are not required to repeat the attribute.
+        let f = check_file("crates/x/src/worker.rs", "pub fn a() {}\n", &[]);
+        assert!(!rules_of(&f).contains(&"forbid-unsafe"), "{f:?}");
+    }
+
+    #[test]
+    fn std_sync_quarantine_fires_outside_compat_only() {
+        let bad = "#![forbid(unsafe_code)]\nuse std::sync::Mutex;\n";
+        let f = check_file("crates/x/src/lib.rs", bad, &[]);
+        assert!(rules_of(&f).contains(&"std-sync-quarantine"), "{f:?}");
+
+        // Brace imports are seen through.
+        let braced = "#![forbid(unsafe_code)]\nuse std::sync::{Arc, Condvar};\n";
+        let f = check_file("crates/x/src/lib.rs", braced, &[]);
+        assert!(rules_of(&f).contains(&"std-sync-quarantine"), "{f:?}");
+
+        // Arc / atomics / OnceLock stay allowed.
+        let ok = "#![forbid(unsafe_code)]\nuse std::sync::{Arc, OnceLock};\nuse std::sync::atomic::AtomicU64;\n";
+        let f = check_file("crates/x/src/lib.rs", ok, &[]);
+        assert!(!rules_of(&f).contains(&"std-sync-quarantine"), "{f:?}");
+
+        // Inside compat the primitives are the implementation.
+        let f = check_file("crates/compat/parking_lot/src/lib.rs", bad, &[]);
+        assert!(!rules_of(&f).contains(&"std-sync-quarantine"), "{f:?}");
+    }
+}

@@ -25,14 +25,14 @@ fn bench_bulk_load(c: &mut Criterion) {
                         .bulk_load(pairs.iter().copied())
                         .unwrap(),
                 )
-            })
+            });
         });
     }
     group.bench_function("fixed_page_64", |b| {
-        b.iter(|| black_box(FixedPageIndex::bulk_load(64, pairs.iter().copied())))
+        b.iter(|| black_box(FixedPageIndex::bulk_load(64, pairs.iter().copied())));
     });
     group.bench_function("full", |b| {
-        b.iter(|| black_box(FullIndex::bulk_load(pairs.iter().copied())))
+        b.iter(|| black_box(FullIndex::bulk_load(pairs.iter().copied())));
     });
     group.finish();
 }

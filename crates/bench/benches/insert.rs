@@ -33,7 +33,7 @@ fn bench_insert(c: &mut Criterion) {
                     tree
                 },
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
         group.bench_with_input(BenchmarkId::new("fixed", error), &error, |b, &e| {
             b.iter_batched(
@@ -45,7 +45,7 @@ fn bench_insert(c: &mut Criterion) {
                     idx
                 },
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.bench_function("full", |b| {
@@ -58,7 +58,7 @@ fn bench_insert(c: &mut Criterion) {
                 idx
             },
             criterion::BatchSize::LargeInput,
-        )
+        );
     });
     group.finish();
 
@@ -80,7 +80,7 @@ fn bench_insert(c: &mut Criterion) {
                     tree
                 },
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();

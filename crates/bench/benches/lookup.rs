@@ -28,7 +28,7 @@ fn bench_lookup(c: &mut Criterion) {
                 for &p in &probes {
                     black_box(t.get(black_box(&p)));
                 }
-            })
+            });
         });
         let fixed = FixedPageIndex::bulk_load(error as usize, pairs.iter().copied());
         group.bench_with_input(BenchmarkId::new("fixed", error), &fixed, |b, f| {
@@ -36,7 +36,7 @@ fn bench_lookup(c: &mut Criterion) {
                 for &p in &probes {
                     black_box(f.get(black_box(&p)));
                 }
-            })
+            });
         });
     }
     let full = FullIndex::bulk_load(pairs.iter().copied());
@@ -45,7 +45,7 @@ fn bench_lookup(c: &mut Criterion) {
             for &p in &probes {
                 black_box(full.get(black_box(&p)));
             }
-        })
+        });
     });
     let bin = BinarySearchIndex::bulk_load(pairs.iter().copied());
     group.bench_function("binary", |b| {
@@ -53,7 +53,7 @@ fn bench_lookup(c: &mut Criterion) {
             for &p in &probes {
                 black_box(bin.get(black_box(&p)));
             }
-        })
+        });
     });
     group.finish();
 
@@ -74,7 +74,7 @@ fn bench_lookup(c: &mut Criterion) {
                 for &p in &probes {
                     black_box(tree.get(black_box(&p)));
                 }
-            })
+            });
         });
     }
     group.finish();

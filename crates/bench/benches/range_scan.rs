@@ -37,7 +37,7 @@ fn bench_range(c: &mut Criterion) {
                     acc = acc.wrapping_add(*v);
                 }
                 black_box(acc)
-            })
+            });
         });
         group.bench_function(BenchmarkId::new("full", rows), |b| {
             b.iter(|| {
@@ -46,7 +46,7 @@ fn bench_range(c: &mut Criterion) {
                     acc = acc.wrapping_add(v);
                 }
                 black_box(acc)
-            })
+            });
         });
         group.bench_function(BenchmarkId::new("binary", rows), |b| {
             b.iter(|| {
@@ -55,7 +55,7 @@ fn bench_range(c: &mut Criterion) {
                     acc = acc.wrapping_add(v);
                 }
                 black_box(acc)
-            })
+            });
         });
         group.finish();
     }

@@ -34,7 +34,7 @@ fn bench_segmentation(c: &mut Criterion) {
     group.throughput(Throughput::Elements(small.len() as u64));
     for error in [10u64, 100] {
         group.bench_with_input(BenchmarkId::new("optimal_dp", error), &error, |b, &e| {
-            b.iter(|| black_box(optimal_segment_count(&small, e)))
+            b.iter(|| black_box(optimal_segment_count(&small, e)));
         });
     }
     group.finish();

@@ -11,6 +11,8 @@
 //!
 //! Run: `cargo run --release -p fiting-bench --bin ablation`
 
+#![forbid(unsafe_code)]
+
 use fiting_bench::{
     dedup_pairs, default_n, default_probes, default_seed, print_table, sample_probes, time_per_op,
 };

@@ -20,6 +20,8 @@
 //!
 //! Run: `cargo run --release -p fiting-bench --bin concurrent_throughput`
 
+#![forbid(unsafe_code)]
+
 use fiting_bench::{default_n, default_seed, env_usize, print_table, sample_probes};
 use fiting_index_api::ShardedIndex;
 use fiting_tree::{ConcurrentFitingTree, FitingTreeBuilder};

@@ -21,6 +21,8 @@
 //! Knobs: `FITING_N` (rows; default 1M full, 200k smoke),
 //! `FITING_SEED`.
 
+#![forbid(unsafe_code)]
+
 use fiting_bench::json::Json;
 use fiting_bench::{default_seed, env_usize};
 use fiting_index_api::{BuildableIndex, SortedIndex};

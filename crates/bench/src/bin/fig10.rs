@@ -10,6 +10,8 @@
 //!
 //! Run: `cargo run --release -p fiting-bench --bin fig10`
 
+#![forbid(unsafe_code)]
+
 use fiting_bench::{
     default_n, default_probes, default_seed, fmt_bytes, measure_cache_miss_ns, print_table,
     sample_probes, time_per_op,

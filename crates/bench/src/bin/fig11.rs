@@ -13,6 +13,8 @@
 //!
 //! Run: `cargo run --release -p fiting-bench --bin fig11`
 
+#![forbid(unsafe_code)]
+
 use fiting_bench::driver::{binary_spec, fiting_spec, fixed_spec, full_spec, lookup_ns};
 use fiting_bench::{
     default_probes, default_seed, env_usize, fmt_bytes, print_table, sample_probes,

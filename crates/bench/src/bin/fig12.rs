@@ -16,6 +16,8 @@
 //!
 //! Run: `cargo run --release -p fiting-bench --bin fig12`
 
+#![forbid(unsafe_code)]
+
 use fiting_bench::{default_n, default_seed, env_u64, print_table, throughput_mops};
 use fiting_datasets::Dataset;
 use fiting_tree::FitingTreeBuilder;

@@ -10,6 +10,8 @@
 //!
 //! Run: `cargo run --release -p fiting-bench --bin fig13`
 
+#![forbid(unsafe_code)]
+
 use fiting_baselines::FixedPageIndex;
 use fiting_bench::{
     default_n, default_probes, default_seed, error_sweep, print_table, sample_probes,

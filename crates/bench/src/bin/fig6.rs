@@ -19,6 +19,8 @@
 //!
 //! Run: `cargo run --release -p fiting-bench --bin fig6`
 
+#![forbid(unsafe_code)]
+
 use fiting_bench::driver::{
     binary_spec, fiting_gallop_spec, fiting_spec, fixed_spec, full_spec, lookup_row, IndexSpec,
 };

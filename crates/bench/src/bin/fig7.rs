@@ -13,6 +13,8 @@
 //!
 //! Run: `cargo run --release -p fiting-bench --bin fig7`
 
+#![forbid(unsafe_code)]
+
 use fiting_bench::driver::{delta_spec, fiting_spec, fixed_spec, full_spec, insert_mops};
 use fiting_bench::{dedup_pairs, default_n, default_seed, print_table};
 use fiting_datasets::Dataset;

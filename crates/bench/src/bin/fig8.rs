@@ -8,6 +8,8 @@
 //!
 //! Run: `cargo run --release -p fiting-bench --bin fig8`
 
+#![forbid(unsafe_code)]
+
 use fiting_bench::{default_n, default_seed, print_table};
 use fiting_datasets::{nonlinearity, Dataset};
 

@@ -11,6 +11,8 @@
 //!
 //! Run: `cargo run --release -p fiting-bench --bin fig9`
 
+#![forbid(unsafe_code)]
+
 use fiting_bench::driver::{fixed_spec, full_spec};
 use fiting_bench::{default_n, fmt_bytes, print_table};
 use fiting_datasets::step;

@@ -24,6 +24,8 @@
 //! Scales come from the usual env knobs (`FITING_N`, `FITING_PROBES`,
 //! `FITING_SEED`).
 
+#![forbid(unsafe_code)]
+
 use fiting_baselines::{BinarySearchIndex, FullIndex};
 use fiting_bench::json::Json;
 use fiting_bench::{default_n, default_probes, default_seed, print_table, sample_probes};

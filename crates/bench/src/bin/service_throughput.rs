@@ -29,6 +29,8 @@
 //!
 //! Run: `cargo run --release -p fiting-bench --bin service_throughput`
 
+#![forbid(unsafe_code)]
+
 use fiting_bench::{default_n, env_usize, print_table};
 use fiting_index_api::ShardedIndex;
 use fiting_index_service::ServiceConfig;

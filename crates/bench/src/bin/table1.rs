@@ -9,6 +9,8 @@
 //!
 //! Run: `cargo run --release -p fiting-bench --bin table1`
 
+#![forbid(unsafe_code)]
+
 use fiting_bench::{default_seed, env_usize, print_table};
 use fiting_datasets::Dataset;
 use fiting_plr::{optimal_segment_count, optimal_segment_count_endpoint, Point, ShrinkingCone};

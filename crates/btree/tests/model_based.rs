@@ -86,7 +86,7 @@ proptest! {
     fn bulk_load_equals_incremental(keys in proptest::collection::btree_set(any::<u32>(), 0..500)) {
         let pairs: Vec<(u32, u32)> = keys.iter().map(|&k| (k, k ^ 0xdead)).collect();
         let bulk = BPlusTree::bulk_load(pairs.clone());
-        let incr: BPlusTree<u32, u32> = pairs.iter().cloned().collect();
+        let incr: BPlusTree<u32, u32> = pairs.iter().copied().collect();
         bulk.check_invariants().unwrap();
         prop_assert_eq!(bulk.len(), incr.len());
         let a: Vec<(u32, u32)> = bulk.iter().map(|(k, v)| (*k, *v)).collect();

@@ -215,8 +215,8 @@ where
     }
     let ns: Vec<f64> = b.samples.iter().map(|d| d.as_nanos() as f64).collect();
     let mean = ns.iter().sum::<f64>() / ns.len() as f64;
-    let min = ns.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = ns.iter().cloned().fold(0.0f64, f64::max);
+    let min = ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = ns.iter().copied().fold(0.0f64, f64::max);
     println!(
         "  {label}: mean {mean:.0} ns  (min {min:.0}, max {max:.0}, n={})",
         ns.len()
@@ -264,10 +264,10 @@ mod tests {
                 || vec![1u64; 4],
                 |v| v.iter().sum::<u64>(),
                 BatchSize::LargeInput,
-            )
+            );
         });
         group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &x| {
-            b.iter(|| black_box(x * 2))
+            b.iter(|| black_box(x * 2));
         });
         group.finish();
     }

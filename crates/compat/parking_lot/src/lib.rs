@@ -1,11 +1,11 @@
 //! Offline stand-in for the `parking_lot` crate.
 //!
 //! This build environment has no network access to crates.io, so the
-//! workspace vendors the **API subset it actually uses** — `RwLock` and
-//! `Mutex` with infallible, non-poisoning guards — implemented over
-//! `std::sync`. Swap this path dependency for the real `parking_lot =
-//! "0.12"` in `[workspace.dependencies]` when a registry is reachable;
-//! no call site needs to change.
+//! workspace vendors the **API subset it actually uses** — `RwLock`,
+//! `Mutex`, and `Condvar` with infallible, non-poisoning guards —
+//! implemented over `std::sync`. Swap this path dependency for the real
+//! `parking_lot = "0.12"` in `[workspace.dependencies]` when a registry
+//! is reachable; no call site needs to change.
 //!
 //! Semantic differences from the real crate that matter here:
 //!
@@ -13,6 +13,10 @@
 //!   either): a panic while holding a guard does not wedge the lock.
 //! * Fairness/eventual-fairness guarantees are whatever `std::sync`
 //!   provides on the platform.
+//! * [`Condvar::notify_one`] / [`notify_all`](Condvar::notify_all)
+//!   return `()` rather than the real crate's woken-thread counts
+//!   (`std::sync::Condvar` does not report them); no call site in this
+//!   workspace consumes the count.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -20,6 +24,7 @@
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
+use std::time::Duration;
 
 /// A reader-writer lock with non-poisoning guards.
 pub struct RwLock<T: ?Sized> {
@@ -130,7 +135,7 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         MutexGuard {
-            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
         }
     }
 }
@@ -142,20 +147,125 @@ impl<T: Default> Default for Mutex<T> {
 }
 
 /// Guard returned by [`Mutex::lock`].
+///
+/// Internally the `std` guard sits in an `Option` so [`Condvar::wait`]
+/// can move it out (the `std` wait API takes the guard by value) and
+/// put the reacquired guard back — invisible to callers, who always
+/// observe a held lock.
 pub struct MutexGuard<'a, T: ?Sized> {
-    inner: std::sync::MutexGuard<'a, T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    fn guard(&self) -> &std::sync::MutexGuard<'a, T> {
+        self.inner
+            .as_ref()
+            .expect("guard invariant: lock held outside Condvar::wait")
+    }
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        self.guard()
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        self.inner
+            .as_mut()
+            .expect("guard invariant: lock held outside Condvar::wait")
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because the timeout
+/// elapsed, mirroring `parking_lot::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended by timeout rather than notification.
+    #[must_use]
+    pub fn timed_out(self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable for use with [`Mutex`], mirroring
+/// `parking_lot::Condvar`: waits take the guard by `&mut` and the
+/// guard observably never leaves the caller's hands.
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    #[must_use]
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, atomically releasing the guarded lock for
+    /// the duration of the wait and reacquiring it before returning.
+    /// Spurious wakeups are possible, exactly as with `std`.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let held = guard
+            .inner
+            .take()
+            .expect("guard invariant: lock held outside Condvar::wait");
+        guard.inner = Some(
+            self.inner
+                .wait(held)
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+    }
+
+    /// Like [`wait`](Self::wait), but gives up after `timeout`. The
+    /// lock is reacquired before returning either way.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let held = guard
+            .inner
+            .take()
+            .expect("guard invariant: lock held outside Condvar::wait");
+        let (reacquired, result) = self
+            .inner
+            .wait_timeout(held, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(reacquired);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
+    /// Wakes one waiter (if any).
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
     }
 }
 
@@ -197,5 +307,62 @@ mod tests {
         let m = Mutex::new(vec![1, 2]);
         m.lock().push(3);
         assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wait_and_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waker = Arc::clone(&pair);
+        let h = thread::spawn(move || {
+            let (lock, cv) = &*waker;
+            *lock.lock() = true;
+            cv.notify_one();
+        });
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        while !*ready {
+            cv.wait(&mut ready);
+        }
+        assert!(*ready);
+        drop(ready);
+        h.join().unwrap();
+        // The guard is fully functional after a wait round trip.
+        assert!(*lock.lock());
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let lock = Mutex::new(0u32);
+        let cv = Condvar::new();
+        let mut guard = lock.lock();
+        let result = cv.wait_for(&mut guard, std::time::Duration::from_millis(5));
+        assert!(result.timed_out());
+        // Lock reacquired: mutation through the same guard still works.
+        *guard += 1;
+        drop(guard);
+        assert_eq!(*lock.lock(), 1);
+    }
+
+    #[test]
+    fn condvar_notify_all_wakes_every_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let pair = Arc::clone(&pair);
+            handles.push(thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let mut go = lock.lock();
+                while !*go {
+                    cv.wait(&mut go);
+                }
+            }));
+        }
+        thread::sleep(std::time::Duration::from_millis(10));
+        let (lock, cv) = &*pair;
+        *lock.lock() = true;
+        cv.notify_all();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

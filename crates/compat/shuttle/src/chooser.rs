@@ -1,0 +1,126 @@
+//! Schedule-decision strategies: the pluggable "which option next?"
+//! policy behind every nondeterministic point the runtime hits.
+//!
+//! A run of a model is fully determined by the sequence of choices made
+//! at its decision points (which runnable task gets the token, which
+//! buffered store a load observes). The three strategies:
+//!
+//! * [`Chooser::dfs`] — systematic depth-first enumeration of the
+//!   decision tree: replay a prefix, extend it with first options, then
+//!   backtrack the deepest unexhausted branch. Exhaustive for bounded
+//!   models.
+//! * [`Chooser::random`] — a seeded linear congruential walk; cheap
+//!   coverage of schedules too deep to enumerate. Deterministic per
+//!   seed.
+//! * [`Chooser::replay`] — replays an exact recorded choice sequence
+//!   (the `schedule` string a failure report carries), reproducing a
+//!   failing interleaving on demand.
+
+/// One backtrackable decision in the DFS enumeration.
+pub(crate) struct Branch {
+    chosen: usize,
+    options: usize,
+}
+
+/// Deterministic pseudo-random stream (64-bit LCG, high bits taken).
+pub(crate) struct Lcg(u64);
+
+impl Lcg {
+    pub(crate) fn new(seed: u64) -> Self {
+        // Scramble so that small consecutive seeds give unrelated
+        // streams.
+        Lcg(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 33
+    }
+}
+
+/// A schedule-decision strategy consulted by the runtime at every
+/// nondeterministic point.
+pub(crate) enum Chooser {
+    /// Systematic DFS over the decision tree.
+    Dfs { stack: Vec<Branch>, pos: usize },
+    /// Seeded random walk.
+    Random(Lcg),
+    /// Exact replay of a recorded choice sequence.
+    Replay { choices: Vec<usize>, pos: usize },
+}
+
+impl Chooser {
+    pub(crate) fn dfs() -> Self {
+        Chooser::Dfs {
+            stack: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    pub(crate) fn random(seed: u64) -> Self {
+        Chooser::Random(Lcg::new(seed))
+    }
+
+    pub(crate) fn replay(choices: Vec<usize>) -> Self {
+        Chooser::Replay { choices, pos: 0 }
+    }
+
+    /// Picks one of `options` (≥ 2) alternatives. `None` means a replay
+    /// schedule diverged from the program (ran out of recorded choices,
+    /// or the recorded choice is out of range) — the runtime reports
+    /// that as a failure rather than guessing.
+    pub(crate) fn choose(&mut self, options: usize) -> Option<usize> {
+        match self {
+            Chooser::Dfs { stack, pos } => {
+                let chosen = if *pos < stack.len() {
+                    // Replaying the prefix reached by backtracking. The
+                    // program is deterministic given its prefix, so the
+                    // option count matches what was recorded.
+                    stack[*pos].chosen
+                } else {
+                    stack.push(Branch { chosen: 0, options });
+                    0
+                };
+                *pos += 1;
+                Some(chosen)
+            }
+            Chooser::Random(lcg) => Some((lcg.next() as usize) % options),
+            Chooser::Replay { choices, pos } => {
+                let c = choices.get(*pos).copied()?;
+                *pos += 1;
+                if c >= options {
+                    return None;
+                }
+                Some(c)
+            }
+        }
+    }
+
+    /// After a DFS iteration: backtrack to the deepest branch with an
+    /// untried option and arm it. `false` when the whole decision tree
+    /// has been enumerated (or for non-DFS strategies, which have no
+    /// notion of exhaustion).
+    pub(crate) fn advance(&mut self) -> bool {
+        let Chooser::Dfs { stack, pos } = self else {
+            return false;
+        };
+        while let Some(last) = stack.last() {
+            if last.chosen + 1 >= last.options {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        match stack.last_mut() {
+            None => false,
+            Some(last) => {
+                last.chosen += 1;
+                *pos = 0;
+                true
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Entry points: run a closure under the deterministic scheduler and
+//! explore its interleavings.
+
+#[cfg(feature = "model")]
+use crate::chooser::Chooser;
+#[cfg(feature = "model")]
+use crate::runtime;
+#[cfg(feature = "model")]
+use std::sync::Arc;
+
+/// A property violation found while exploring: the failure message plus
+/// the decision sequence that reproduces it (feed to [`replay`]).
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong: the panic message of a failed assertion, a
+    /// deadlock report, or a replay divergence.
+    pub message: String,
+    /// Dot-separated decision indices; replaying them reproduces this
+    /// exact interleaving.
+    pub schedule: String,
+}
+
+/// The outcome of an exploration run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Interleavings actually executed.
+    pub iterations: usize,
+    /// Whether DFS enumerated the *entire* schedule space (always
+    /// `false` for random walks, which have no notion of exhaustion).
+    pub complete: bool,
+    /// The first failure found, if any; exploration stops at the first.
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Panics with the failure message and its replayable schedule if
+    /// the exploration found one.
+    pub fn assert_ok(&self) {
+        if let Some(f) = &self.failure {
+            panic!(
+                "model check failed after {} interleaving(s): {}\nreplay schedule: \"{}\"",
+                self.iterations, f.message, f.schedule
+            );
+        }
+    }
+}
+
+/// Default DFS budget for [`check`]: enough to exhaust every model in
+/// this workspace's quick battery, small enough to stay interactive.
+pub const DEFAULT_ITERATIONS: usize = 10_000;
+
+#[cfg(feature = "model")]
+fn from_raw(f: runtime::RawFailure) -> Failure {
+    Failure {
+        message: f.message,
+        schedule: f.schedule,
+    }
+}
+
+/// Explores `body` with bounded exhaustive DFS, up to `max_iterations`
+/// schedules, stopping at the first failure.
+///
+/// The closure runs once per schedule and must set up its own state
+/// each time (construct the shared structures inside the closure).
+#[cfg(feature = "model")]
+pub fn explore<F: Fn() + Send + Sync + 'static>(body: F, max_iterations: usize) -> Report {
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let mut chooser = Chooser::dfs();
+    let mut iterations = 0;
+    loop {
+        let (next, failure) = runtime::run_iteration(Arc::clone(&body), chooser);
+        chooser = next;
+        iterations += 1;
+        if let Some(f) = failure {
+            return Report {
+                iterations,
+                complete: false,
+                failure: Some(from_raw(f)),
+            };
+        }
+        if !chooser.advance() {
+            return Report {
+                iterations,
+                complete: true,
+                failure: None,
+            };
+        }
+        if iterations >= max_iterations {
+            return Report {
+                iterations,
+                complete: false,
+                failure: None,
+            };
+        }
+    }
+}
+
+/// Explores `body` with `iterations` seeded random walks — deep-schedule
+/// coverage where DFS cannot finish. Deterministic per `seed`; a failure
+/// still reports an exact replayable schedule.
+#[cfg(feature = "model")]
+pub fn explore_random<F: Fn() + Send + Sync + 'static>(
+    body: F,
+    seed: u64,
+    iterations: usize,
+) -> Report {
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let mut chooser = Chooser::random(seed);
+    for i in 0..iterations {
+        let (next, failure) = runtime::run_iteration(Arc::clone(&body), chooser);
+        chooser = next;
+        if let Some(f) = failure {
+            return Report {
+                iterations: i + 1,
+                complete: false,
+                failure: Some(from_raw(f)),
+            };
+        }
+    }
+    Report {
+        iterations,
+        complete: false,
+        failure: None,
+    }
+}
+
+/// Re-runs `body` under the exact decision sequence of a recorded
+/// `schedule` string — the reproduction path for any reported failure.
+#[cfg(feature = "model")]
+pub fn replay<F: Fn() + Send + Sync + 'static>(body: F, schedule: &str) -> Report {
+    let choices: Vec<usize> = if schedule.is_empty() {
+        Vec::new()
+    } else {
+        schedule
+            .split('.')
+            .map(|c| {
+                c.parse()
+                    .expect("schedule strings are dot-separated indices")
+            })
+            .collect()
+    };
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let (_, failure) = runtime::run_iteration(body, Chooser::replay(choices));
+    Report {
+        iterations: 1,
+        complete: false,
+        failure: failure.map(from_raw),
+    }
+}
+
+/// Checks `body` across up to [`DEFAULT_ITERATIONS`] DFS schedules,
+/// panicking (with the replayable schedule) on the first property
+/// violation. The `assert!`-style entry point; use [`explore`] /
+/// [`explore_random`] when the report itself is wanted.
+#[cfg(feature = "model")]
+pub fn check<F: Fn() + Send + Sync + 'static>(body: F) {
+    explore(body, DEFAULT_ITERATIONS).assert_ok();
+}
+
+// ------------------------------------------------------------------
+// Passthrough (feature "model" disabled): run the closure once.
+// ------------------------------------------------------------------
+
+/// Passthrough: runs `body` once on the live OS scheduler.
+#[cfg(not(feature = "model"))]
+pub fn explore<F: Fn() + Send + Sync + 'static>(body: F, _max_iterations: usize) -> Report {
+    body();
+    Report {
+        iterations: 1,
+        complete: false,
+        failure: None,
+    }
+}
+
+/// Passthrough: runs `body` once on the live OS scheduler.
+#[cfg(not(feature = "model"))]
+pub fn explore_random<F: Fn() + Send + Sync + 'static>(
+    body: F,
+    _seed: u64,
+    _iterations: usize,
+) -> Report {
+    explore(body, 1)
+}
+
+/// Passthrough: runs `body` once; the schedule is ignored.
+#[cfg(not(feature = "model"))]
+pub fn replay<F: Fn() + Send + Sync + 'static>(body: F, _schedule: &str) -> Report {
+    explore(body, 1)
+}
+
+/// Passthrough: runs `body` once on the live OS scheduler.
+#[cfg(not(feature = "model"))]
+pub fn check<F: Fn() + Send + Sync + 'static>(body: F) {
+    body();
+}

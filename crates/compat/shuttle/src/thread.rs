@@ -1,0 +1,67 @@
+//! Instrumented `thread::spawn` / `JoinHandle` stand-ins.
+//!
+//! Under the model, spawned closures become scheduler-controlled tasks
+//! on their own (serialized) OS threads; `join` parks the joiner until
+//! the task finishes. Without the `model` feature these re-export
+//! `std::thread`.
+
+#[cfg(not(feature = "model"))]
+pub use std::thread::{spawn, yield_now, JoinHandle};
+
+#[cfg(feature = "model")]
+use crate::runtime;
+#[cfg(feature = "model")]
+use std::any::Any;
+#[cfg(feature = "model")]
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Handle to a spawned model task; [`join`](JoinHandle::join) parks the
+/// joiner until the task finishes and yields its result.
+#[cfg(feature = "model")]
+pub struct JoinHandle<T> {
+    id: runtime::TaskId,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+#[cfg(feature = "model")]
+impl<T> JoinHandle<T> {
+    /// Parks until the task finishes, then returns its result.
+    ///
+    /// Divergence from `std`: a panicking task aborts the whole model
+    /// execution (the panic is the reported failure), so `join` never
+    /// actually observes `Err` — the variant exists for signature
+    /// parity.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        runtime::join_task(self.id);
+        Ok(self
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("joined task stored its result"))
+    }
+}
+
+/// Spawns a scheduler-controlled model task. The spawn itself is a
+/// yield point: the child may run before the parent's next operation.
+#[cfg(feature = "model")]
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let slot = Arc::new(Mutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let id = runtime::spawn_task(move || {
+        let value = f();
+        *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+    });
+    JoinHandle { id, slot }
+}
+
+/// An explicit yield point: offers the scheduler a chance to move the
+/// token, exactly like any instrumented operation.
+#[cfg(feature = "model")]
+pub fn yield_now() {
+    runtime::schedule_point();
+}

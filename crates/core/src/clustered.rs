@@ -708,7 +708,11 @@ impl<K: Key, V> FitingTree<K, V> {
             ));
         }
         for &slot in &self.free {
-            if self.segments.get(slot).is_none_or(|s| s.is_some()) {
+            if self
+                .segments
+                .get(slot)
+                .is_none_or(std::option::Option::is_some)
+            {
                 return Err(format!(
                     "free-list names slot {slot}, which is live or out of range"
                 ));

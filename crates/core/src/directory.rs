@@ -490,7 +490,7 @@ mod tests {
         let all = d.split_off(0);
         assert!(d.is_empty());
         assert_eq!(all.len(), 300);
-        let mut d2 = all.clone();
+        let mut d2 = all;
         let none = d2.split_off(300);
         assert!(none.is_empty());
         assert_eq!(d2.len(), 300);

@@ -286,6 +286,8 @@ impl RebalanceCounters {
     /// A point-in-time copy of the counters.
     #[must_use]
     pub fn snapshot(&self) -> RebalanceStats {
+        // ordering: Relaxed — monotonic stats counters; a snapshot
+        // tolerates slight skew between fields.
         RebalanceStats {
             steps: self.steps.load(Ordering::Relaxed),
             splits: self.splits.load(Ordering::Relaxed),
@@ -412,6 +414,10 @@ impl<K: Key, V: Clone, I: BuildableIndex<K, V>> Rebalancer<K, V, I> {
     /// underlying primitives revalidate and never block readers of
     /// untouched shards.
     pub fn step(&mut self, index: &ShardedIndex<K, V, I>) -> RebalanceOutcome {
+        // ordering: Relaxed on every counter in this function — the
+        // rebalancer is single-threaded per instance and the counters
+        // are advisory stats; split/merge publication is ordered by
+        // the sharded index's own epoch protocol.
         self.counters.steps.fetch_add(1, Ordering::Relaxed);
         if self.cooldown > 0 {
             self.cooldown -= 1;

@@ -410,6 +410,9 @@ impl<K: Key, V: Clone, I: BuildableIndex<K, V>> ShardedIndex<K, V, I> {
         let mut shards = table.shards.clone();
         shards.insert(shard + 1, Arc::new(RwLock::new(upper)));
         *self.inner.table.write() = Arc::new(Table { bounds, shards });
+        // ordering: Release pairs with the Acquire epoch loads in
+        // read_owner/write_owner — observing the bumped epoch implies
+        // observing the new table published just above.
         self.inner
             .epoch
             .fetch_add(1, std::sync::atomic::Ordering::Release);
@@ -451,9 +454,10 @@ impl<K: Key, V: Clone, I: BuildableIndex<K, V>> ShardedIndex<K, V, I> {
         }
         let keep = Arc::clone(&table.shards[shard]);
         let retire = Arc::clone(&table.shards[shard + 1]);
-        // Ascending acquisition; other operations hold at most one
-        // shard lock at a time, so holding two adjacent locks here
-        // cannot deadlock.
+        // lock-order: ascending table position — keep (shard) before
+        // retire (shard + 1). Other operations hold at most one shard
+        // lock at a time and rebalances are serialized, so holding two
+        // adjacent locks here cannot deadlock.
         let mut keep_guard = keep.write();
         let mut retire_guard = retire.write();
         let to_move = retire_guard.len();
@@ -476,6 +480,8 @@ impl<K: Key, V: Clone, I: BuildableIndex<K, V>> ShardedIndex<K, V, I> {
         let mut shards = table.shards.clone();
         shards.remove(shard + 1);
         *self.inner.table.write() = Arc::new(Table { bounds, shards });
+        // ordering: Release pairs with the Acquire epoch loads in
+        // read_owner/write_owner, as in split_shard.
         self.inner
             .epoch
             .fetch_add(1, std::sync::atomic::Ordering::Release);
@@ -510,6 +516,9 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
     fn read_owner<R>(&self, key: &K, f: impl FnOnce(&I) -> R) -> R {
         use std::sync::atomic::Ordering;
         let mut f = Some(f);
+        // ordering: Acquire epoch loads pair with the rebalancers'
+        // Release bump — an unchanged epoch across the lock acquisition
+        // proves the routing snapshot is still current.
         loop {
             let epoch = self.inner.epoch.load(Ordering::Acquire);
             let table = self.table();
@@ -537,6 +546,7 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
     fn write_owner<R>(&self, key: &K, f: impl FnOnce(&mut I) -> R) -> R {
         use std::sync::atomic::Ordering;
         let mut f = Some(f);
+        // ordering: same Acquire/Release epoch contract as read_owner.
         loop {
             let epoch = self.inner.epoch.load(Ordering::Acquire);
             let table = self.table();

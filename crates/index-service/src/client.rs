@@ -48,9 +48,10 @@ use crate::queue::{Closed, TryPushError};
 use crate::ticket::{ticket, Completer, Outcome, Ticket};
 use crate::ServiceShared;
 use fiting_index_api::{Key, SortedIndex};
+use parking_lot::Mutex;
 use std::ops::{Bound, RangeBounds};
 use std::sync::atomic::Ordering as AtomicOrdering;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
 
 /// A shared submission handle to a running
 /// [`IndexService`](crate::IndexService).
@@ -102,6 +103,8 @@ where
         let shard = self.route(&cmd);
         // Count before pushing (undoing on rejection) so a stats
         // snapshot can never observe `processed > enqueued`.
+        // ordering: Relaxed — monotonic stats counter, read only by
+        // racy snapshots; the queue mutex orders the push itself.
         let enqueued = &self.shared.counters[shard].enqueued;
         enqueued.fetch_add(1, AtomicOrdering::Relaxed);
         self.shared.queues[shard].push(cmd).inspect_err(|_| {
@@ -114,6 +117,7 @@ where
     /// backpressure signal.
     pub fn try_submit(&self, cmd: Command<K, V>) -> Result<(), TryPushError<Command<K, V>>> {
         let shard = self.route(&cmd);
+        // ordering: Relaxed — same advisory-counter contract as submit.
         let enqueued = &self.shared.counters[shard].enqueued;
         enqueued.fetch_add(1, AtomicOrdering::Relaxed);
         self.shared.queues[shard].try_push(cmd).inspect_err(|_| {
@@ -208,14 +212,21 @@ where
     /// backpressure signal, cheap enough to poll per request.
     #[must_use]
     pub fn queue_depths(&self) -> Vec<usize> {
-        self.shared.queues.iter().map(|q| q.len()).collect()
+        self.shared
+            .queues
+            .iter()
+            .map(super::queue::BoundedQueue::len)
+            .collect()
     }
 
     /// Whether the service has shut down (all further submissions
     /// fail).
     #[must_use]
     pub fn is_closed(&self) -> bool {
-        self.shared.queues.first().is_none_or(|q| q.is_closed())
+        self.shared
+            .queues
+            .first()
+            .is_none_or(super::queue::BoundedQueue::is_closed)
     }
 }
 
@@ -246,7 +257,7 @@ impl Aggregate {
     }
 
     fn resolve_one(&self, outcome: Outcome<usize>) {
-        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut state = self.state.lock();
         state.pending -= 1;
         match outcome {
             Outcome::Done(n) => state.fresh += n,

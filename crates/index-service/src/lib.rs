@@ -18,7 +18,7 @@
 //! * runs of point reads answer under **one** read-lock acquisition
 //!   per involved shard,
 //! * `InsertMany` flows through a single `insert_many` call,
-//! * each command resolves a std-only Condvar [`Ticket`] the submitter
+//! * each command resolves an executor-free Condvar [`Ticket`] the submitter
 //!   holds (executor-agnostic: a future `tokio` front-end wraps
 //!   [`Completer::from_fn`] around a oneshot sender instead of
 //!   replacing this crate).
@@ -91,8 +91,9 @@ pub use ticket::{ticket, Canceled, Completer, Outcome, Ticket};
 pub use fiting_index_api::{RebalancePolicy, RebalanceStats, Rebalancer, WriteSampler};
 
 use fiting_index_api::{BuildableIndex, Key, RebalanceCounters, ShardedIndex, SortedIndex};
+use parking_lot::{Condvar, Mutex};
 use stats::WorkerCounters;
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -244,12 +245,9 @@ where
             .spawn(move || {
                 let (lock, cvar) = &*stop;
                 loop {
-                    let mut stopped = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                    let mut stopped = lock.lock();
                     if !*stopped {
-                        let (guard, _) = cvar
-                            .wait_timeout(stopped, interval)
-                            .unwrap_or_else(PoisonError::into_inner);
-                        stopped = guard;
+                        let _ = cvar.wait_for(&mut stopped, interval);
                     }
                     if *stopped {
                         return;
@@ -294,12 +292,9 @@ where
             .spawn(move || {
                 let (lock, cvar) = &*stop;
                 loop {
-                    let mut stopped = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                    let mut stopped = lock.lock();
                     if !*stopped {
-                        let (guard, _) = cvar
-                            .wait_timeout(stopped, interval)
-                            .unwrap_or_else(PoisonError::into_inner);
-                        stopped = guard;
+                        let _ = cvar.wait_for(&mut stopped, interval);
                     }
                     if *stopped {
                         return;
@@ -412,7 +407,7 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> IndexService<K, V, I> {
         // drain (purely a nicety: draining is correct either way).
         {
             let (lock, cvar) = &*self.coordinator_stop;
-            *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
+            *lock.lock() = true;
             cvar.notify_all();
         }
         if let Some(coordinator) = self.coordinator.take() {
@@ -721,5 +716,122 @@ mod tests {
         // Rebalancer by hand; make sure the re-export path stays.
         let o = RebalanceOutcome::Idle;
         assert_eq!(o, RebalanceOutcome::Idle);
+    }
+
+    /// Fault injection for the worker's panic-containment path: a
+    /// [`VecIndex`] that panics when asked to insert [`BOOM_KEY`].
+    struct PanicOnKey {
+        inner: VecIndex<u64, u64>,
+    }
+
+    const BOOM_KEY: u64 = u64::MAX;
+
+    impl SortedIndex<u64, u64> for PanicOnKey {
+        type RangeIter<'a> = <VecIndex<u64, u64> as SortedIndex<u64, u64>>::RangeIter<'a>;
+
+        fn name(&self) -> &'static str {
+            "panic-on-key"
+        }
+        fn get(&self, key: &u64) -> Option<&u64> {
+            self.inner.get(key)
+        }
+        fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+            assert_ne!(key, BOOM_KEY, "injected fault");
+            self.inner.insert(key, value)
+        }
+        fn remove(&mut self, key: &u64) -> Option<u64> {
+            self.inner.remove(key)
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn size_bytes(&self) -> usize {
+            self.inner.size_bytes()
+        }
+        fn range<R: std::ops::RangeBounds<u64>>(&self, range: R) -> Self::RangeIter<'_> {
+            self.inner.range(range)
+        }
+    }
+
+    impl BuildableIndex<u64, u64> for PanicOnKey {
+        type Config = ();
+        type BuildError = std::convert::Infallible;
+
+        fn build_sorted(config: &(), sorted: Vec<(u64, u64)>) -> Result<Self, Self::BuildError> {
+            Ok(PanicOnKey {
+                inner: VecIndex::build_sorted(config, sorted)?,
+            })
+        }
+    }
+
+    /// Waits until the lane's caught-panic counter reaches `want`.
+    /// The counter increments on the worker thread after the panicking
+    /// ticket has already canceled, so observers must poll briefly.
+    fn await_panics(svc: &IndexService<u64, u64, PanicOnKey>, lane: usize, want: u64) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while svc.stats().lanes[lane].panics < want {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "lane {lane} never recorded {want} caught panic(s): {:?}",
+                svc.stats().lanes
+            );
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn worker_panic_cancels_inflight_and_queued_tickets() {
+        let index: ShardedIndex<u64, u64, PanicOnKey> =
+            ShardedIndex::bulk_load(&(), 1, (0..100u64).map(|k| (k, k)).collect()).unwrap();
+        let svc = IndexService::start(index, ServiceConfig::default());
+        let client = svc.client();
+        assert_eq!(client.insert(200, 1).wait(), Ok(None));
+
+        // The boom command panics mid-batch; everything queued behind
+        // it on the lane must cancel — the pre-guard failure mode was
+        // these waits hanging forever on a dead worker.
+        let boom = client.insert(BOOM_KEY, 0);
+        let behind: Vec<_> = (0..50u64).map(|k| client.insert(300 + k, k)).collect();
+        assert_eq!(boom.wait(), Err(Canceled));
+        for t in behind {
+            assert_eq!(t.wait(), Err(Canceled), "queued ticket must not hang");
+        }
+        await_panics(&svc, 0, 1);
+
+        // The lane is poisoned: submissions fail fast, tickets come
+        // back pre-canceled rather than hanging.
+        assert!(client.is_closed());
+        let (cmd, t) = Command::insert(1u64, 1u64);
+        assert!(client.submit(cmd).is_err());
+        assert_eq!(t.wait(), Err(Canceled));
+        assert_eq!(client.get(0).wait(), Err(Canceled));
+
+        // Shutdown still joins cleanly and hands the index back; the
+        // pre-panic write survived.
+        let index = svc.shutdown();
+        assert_eq!(index.get(&200), Some(1));
+    }
+
+    #[test]
+    fn worker_panic_is_contained_to_its_lane() {
+        let index: ShardedIndex<u64, u64, PanicOnKey> =
+            ShardedIndex::bulk_load(&(), 2, (0..100u64).map(|k| (k, k)).collect()).unwrap();
+        let svc = IndexService::start(index, ServiceConfig::default());
+        let client = svc.client();
+        assert_eq!(client.lane_count(), 2);
+
+        // BOOM_KEY is u64::MAX, so it routes to the last lane.
+        assert_eq!(client.insert(BOOM_KEY, 0).wait(), Err(Canceled));
+        await_panics(&svc, 1, 1);
+        assert_eq!(svc.stats().lanes[0].panics, 0);
+
+        // The healthy lane keeps serving reads and writes...
+        assert_eq!(client.insert(10, 99).wait(), Ok(Some(10)));
+        assert_eq!(client.get(10).wait(), Ok(Some(99)));
+        // ...while the poisoned lane cancels instead of hanging.
+        assert_eq!(client.get(90).wait(), Err(Canceled));
+
+        let index = svc.shutdown();
+        assert_eq!(index.get(&10), Some(99));
     }
 }

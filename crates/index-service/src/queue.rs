@@ -15,8 +15,8 @@
 //! already accepted — an accepted command is never dropped, which is
 //! what lets shutdown resolve every in-flight ticket.
 
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// The queue was closed; the rejected item is handed back.
@@ -76,8 +76,8 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock()
     }
 
     /// Enqueues `item`, blocking while the queue is full.
@@ -93,10 +93,7 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            state = self
-                .not_full
-                .wait(state)
-                .unwrap_or_else(PoisonError::into_inner);
+            self.not_full.wait(&mut state);
         }
     }
 
@@ -132,10 +129,7 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return Vec::new();
             }
-            state = self
-                .not_empty
-                .wait(state)
-                .unwrap_or_else(PoisonError::into_inner);
+            self.not_empty.wait(&mut state);
         }
         if window > Duration::ZERO && state.items.len() < max && !state.closed {
             let deadline = Instant::now() + window;
@@ -144,12 +138,11 @@ impl<T> BoundedQueue<T> {
                 if now >= deadline || state.items.len() >= max || state.closed {
                     break;
                 }
-                let (s, timed_out) = self
+                if self
                     .not_empty
-                    .wait_timeout(state, deadline - now)
-                    .unwrap_or_else(PoisonError::into_inner);
-                state = s;
-                if timed_out.timed_out() {
+                    .wait_for(&mut state, deadline - now)
+                    .timed_out()
+                {
                     break;
                 }
             }

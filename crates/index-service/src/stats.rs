@@ -38,9 +38,15 @@ pub(crate) struct WorkerCounters {
     /// Individual `Insert`/`InsertMany` pairs applied through a
     /// coalesced batch path instead of one-lock-per-op.
     pub coalesced_writes: AtomicU64,
+    /// Panics caught by the lane's worker. A nonzero value means the
+    /// lane has been poisoned: its queue is closed and its remaining
+    /// commands were canceled.
+    pub panics: AtomicU64,
 }
 
 impl WorkerCounters {
+    // ordering: all counters here are monotonic statistics read only by
+    // stats snapshots; they synchronize nothing, so Relaxed suffices.
     pub(crate) fn note_batch(&self, len: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.processed.fetch_add(len as u64, Ordering::Relaxed);
@@ -73,6 +79,9 @@ pub struct LaneServiceStats {
     pub read_runs: u64,
     /// Writes applied through a coalesced batch path.
     pub coalesced_writes: u64,
+    /// Worker panics caught on this lane; nonzero means the lane is
+    /// poisoned (queue closed, queued commands canceled).
+    pub panics: u64,
 }
 
 impl LaneServiceStats {
@@ -82,6 +91,8 @@ impl LaneServiceStats {
         queue_capacity: usize,
         c: &WorkerCounters,
     ) -> Self {
+        // ordering: statistics snapshot — approximate cross-counter
+        // consistency is acceptable, so Relaxed loads suffice.
         LaneServiceStats {
             lane,
             queue_depth,
@@ -93,6 +104,7 @@ impl LaneServiceStats {
             write_runs: c.write_runs.load(Ordering::Relaxed),
             read_runs: c.read_runs.load(Ordering::Relaxed),
             coalesced_writes: c.coalesced_writes.load(Ordering::Relaxed),
+            panics: c.panics.load(Ordering::Relaxed),
         }
     }
 }

@@ -2,10 +2,9 @@
 //! [`Completer`] that travels with the command through the pipeline.
 //!
 //! The pair is the pipeline's only synchronization primitive beyond the
-//! queues themselves, and it is deliberately **std-only** (one `Mutex` +
-//! `Condvar` per ticket, no executor): a future `tokio` front-end wraps
-//! a oneshot sender in [`Completer::from_fn`] instead of replacing the
-//! pipeline.
+//! queues themselves, and it is deliberately executor-free (one `Mutex`
+//! and `Condvar` per ticket): a future `tokio` front-end wraps a oneshot
+//! sender in [`Completer::from_fn`] instead of replacing the pipeline.
 //!
 //! Lifecycle guarantees:
 //!
@@ -18,7 +17,8 @@
 //!   never blocks. Shutdown drains every queued command, so waiting on
 //!   a submitted ticket never deadlocks against service teardown.
 
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The command's completer was dropped before completing: the service
@@ -66,7 +66,7 @@ struct Shared<T> {
 
 impl<T> Shared<T> {
     fn fulfill(&self, outcome: Outcome<T>) {
-        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut state = self.state.lock();
         debug_assert!(
             matches!(*state, State::Pending),
             "a Completer resolves exactly once"
@@ -110,14 +110,7 @@ impl<T> Ticket<T> {
     /// Whether the command has resolved (completed or canceled).
     #[must_use]
     pub fn is_resolved(&self) -> bool {
-        !matches!(
-            *self
-                .shared
-                .state
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner),
-            State::Pending
-        )
+        !matches!(*self.shared.state.lock(), State::Pending)
     }
 
     /// Takes the result if the command has resolved; `None` while it is
@@ -128,11 +121,7 @@ impl<T> Ticket<T> {
     /// Panics if the value was already taken by an earlier
     /// `try_take`/`wait_timeout` call (a submitter-side logic error).
     pub fn try_take(&mut self) -> Option<Result<T, Canceled>> {
-        let mut state = self
-            .shared
-            .state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut state = self.shared.state.lock();
         match *state {
             State::Pending => None,
             State::Taken => panic!("ticket value already taken"),
@@ -151,20 +140,10 @@ impl<T> Ticket<T> {
     /// Panics if the value was already taken via
     /// [`try_take`](Self::try_take)/[`wait_timeout`](Self::wait_timeout).
     pub fn wait(self) -> Result<T, Canceled> {
-        let mut state = self
-            .shared
-            .state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut state = self.shared.state.lock();
         loop {
             match *state {
-                State::Pending => {
-                    state = self
-                        .shared
-                        .resolved
-                        .wait(state)
-                        .unwrap_or_else(PoisonError::into_inner);
-                }
+                State::Pending => self.shared.resolved.wait(&mut state),
                 State::Taken => panic!("ticket value already taken"),
                 State::Resolved(_) => match std::mem::replace(&mut *state, State::Taken) {
                     State::Resolved(outcome) => return outcome.into_result(),
@@ -181,11 +160,7 @@ impl<T> Ticket<T> {
     /// Panics if the value was already taken.
     pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<T, Canceled>> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut state = self
-            .shared
-            .state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut state = self.shared.state.lock();
         loop {
             match *state {
                 State::Pending => {
@@ -193,12 +168,7 @@ impl<T> Ticket<T> {
                     if now >= deadline {
                         return None;
                     }
-                    let (s, _) = self
-                        .shared
-                        .resolved
-                        .wait_timeout(state, deadline - now)
-                        .unwrap_or_else(PoisonError::into_inner);
-                    state = s;
+                    let _ = self.shared.resolved.wait_for(&mut state, deadline - now);
                 }
                 State::Taken => panic!("ticket value already taken"),
                 State::Resolved(_) => match std::mem::replace(&mut *state, State::Taken) {

@@ -34,6 +34,24 @@
 //! has its ticket resolved, which is the shutdown guarantee
 //! [`IndexService::shutdown`](crate::IndexService::shutdown) documents.
 //!
+//! # Panic containment
+//!
+//! A panic escaping the index structure (or a completer sink) while a
+//! batch executes used to kill the worker thread outright, stranding
+//! every command still queued on the lane: nothing would ever drain
+//! the queue again, so their submitters' [`Ticket::wait`] calls hung
+//! forever. The loop now catches the unwind and **poisons the lane**:
+//! the in-flight batch's unresolved completers cancel as the unwind
+//! drops them, the queue is closed so further submissions fail fast
+//! with [`Closed`](crate::Closed), everything already queued is
+//! drained and canceled, and the lane's
+//! [`panics`](crate::LaneServiceStats::panics) counter records the
+//! event. Other lanes — and [`shutdown`](crate::IndexService::shutdown)
+//! — proceed normally. The shard the panic escaped from may hold a
+//! partially applied batch (the locks themselves do not poison), which
+//! is exactly the weaker guarantee the canceled tickets report.
+//!
+//! [`Ticket::wait`]: crate::Ticket::wait
 //! [`ShardedIndex::insert_many`]: fiting_index_api::ShardedIndex::insert_many
 //! [`ShardedIndex::range_collect`]: fiting_index_api::ShardedIndex::range_collect
 //! [`ShardedIndex::with_read_groups`]: fiting_index_api::ShardedIndex::with_read_groups
@@ -43,13 +61,27 @@ use crate::command::Command;
 use crate::ticket::Completer;
 use crate::ServiceShared;
 use fiting_index_api::{Key, SortedIndex};
+use std::panic::AssertUnwindSafe;
+// ordering: worker counters are monotonic statistics — nothing reads
+// them to synchronize, so Relaxed is sufficient everywhere here.
 use std::sync::atomic::Ordering;
+use std::time::Duration;
 
 /// One point write travelling through a grouped run: what to do to the
 /// key, and the completer to resolve with the previous value.
 enum PointWrite<V> {
     Put(V, Completer<Option<V>>),
     Del(Completer<Option<V>>),
+}
+
+/// Reshapes a point-write command for a grouped run; `None` for any
+/// other command shape (the callers only feed it point writes).
+fn as_point_write<K: Key, V: Clone>(cmd: Command<K, V>) -> Option<(K, PointWrite<V>)> {
+    match cmd {
+        Command::Insert { key, value, done } => Some((key, PointWrite::Put(value, done))),
+        Command::Remove { key, done } => Some((key, PointWrite::Del(done))),
+        _ => None,
+    }
 }
 
 /// The body of lane `lane`'s worker thread.
@@ -71,12 +103,46 @@ pub(crate) fn run<K: Key, V: Clone, I: SortedIndex<K, V>>(
         }
         shared.counters[lane].note_batch(batch.len());
         let had_writes = sync_batches && batch.iter().any(Command::is_write);
-        execute_batch(lane, shared, batch);
+        // Contain panics from the index structure (or a completer
+        // sink): the unwind cancels the batch's unresolved tickets as
+        // it drops them, and the lane is then poisoned below instead
+        // of silently stranding its queue.
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            execute_batch(lane, shared, batch);
+        }));
+        if outcome.is_err() {
+            poison_lane(lane, shared);
+            return;
+        }
         if had_writes {
             // Group commit: one flush(+fsync per the store's policy)
             // per drained write batch rather than per operation. Shards
             // with an empty WAL buffer make this a cheap no-op.
             shared.index.sync_all();
+        }
+    }
+}
+
+/// Lane teardown after a caught panic: refuse new submissions, then
+/// cancel every command already accepted, so no submitter ever hangs
+/// on a lane whose worker is gone.
+fn poison_lane<K: Key, V: Clone, I: SortedIndex<K, V>>(
+    lane: usize,
+    shared: &ServiceShared<K, V, I>,
+) {
+    let queue = &shared.queues[lane];
+    // ordering: Relaxed — the panic count is advisory stats; the
+    // queue.close() below (a mutex) is what submitters synchronize on.
+    shared.counters[lane].panics.fetch_add(1, Ordering::Relaxed);
+    queue.close();
+    // Drain whatever was queued and drop it: dropping a command drops
+    // its completer, which resolves the ticket as Canceled. After
+    // close(), an empty drain means the queue is spent — blocked
+    // submitters were woken with `Closed` by close() itself.
+    loop {
+        let rest = queue.pop_batch(usize::MAX, Duration::ZERO);
+        if rest.is_empty() {
+            return;
         }
     }
 }
@@ -87,6 +153,9 @@ fn execute_batch<K: Key, V: Clone, I: SortedIndex<K, V>>(
     batch: Vec<Command<K, V>>,
 ) {
     let counters = &shared.counters[lane];
+    // ordering: Relaxed on every counter update in this function —
+    // monotonic stats, read only by racy snapshots; ticket completion
+    // (a mutex) orders the results themselves.
     let mut cmds = batch.into_iter().peekable();
     while let Some(cmd) = cmds.next() {
         match cmd {
@@ -108,10 +177,10 @@ fn execute_batch<K: Key, V: Clone, I: SortedIndex<K, V>>(
                 // read-lock acquisition per involved shard.
                 let mut run = vec![(key, done)];
                 while matches!(cmds.peek(), Some(Command::Get { .. })) {
-                    match cmds.next() {
-                        Some(Command::Get { key, done }) => run.push((key, done)),
-                        _ => unreachable!(),
-                    }
+                    let Some(Command::Get { key, done }) = cmds.next() else {
+                        break;
+                    };
+                    run.push((key, done));
                 }
                 let locks = shared.index.with_read_groups(run, |idx, key, done| {
                     done.complete(idx.get(&key).cloned());
@@ -125,19 +194,15 @@ fn execute_batch<K: Key, V: Clone, I: SortedIndex<K, V>>(
                 // submission order per key, which grouping preserves —
                 // with one write-lock acquisition per involved shard.
                 let mut run: Vec<(K, PointWrite<V>)> = Vec::new();
-                let push = |cmd: Command<K, V>, run: &mut Vec<(K, PointWrite<V>)>| match cmd {
-                    Command::Insert { key, value, done } => {
-                        run.push((key, PointWrite::Put(value, done)));
-                    }
-                    Command::Remove { key, done } => run.push((key, PointWrite::Del(done))),
-                    _ => unreachable!("run holds only point writes"),
-                };
-                push(first, &mut run);
+                run.extend(as_point_write(first));
                 while matches!(
                     cmds.peek(),
                     Some(Command::Insert { .. } | Command::Remove { .. })
                 ) {
-                    push(cmds.next().expect("peeked"), &mut run);
+                    let Some(write) = cmds.next().and_then(as_point_write) else {
+                        break;
+                    };
+                    run.push(write);
                 }
                 let coalesced = run.len();
                 if let Some(sampler) = &shared.sampler {

@@ -83,6 +83,8 @@ struct Store {
 
 impl Store {
     fn mint_shard_dir(&self) -> std::io::Result<PathBuf> {
+        // ordering: Relaxed — the counter only mints unique ids; the
+        // filesystem create_dir_all publishes the directory.
         let id = self.next_shard.fetch_add(1, Ordering::Relaxed);
         let dir = self.root.join(format!("shard-{id:06}"));
         fs::create_dir_all(&dir)?;
@@ -286,9 +288,8 @@ impl<K: Key, V: Key, I: SortedIndex<K, V> + PageSnapshot> DurableIndex<K, V, I> 
 
         for generation in generations {
             let snap_path = gen_file(dir, "snapshot", generation);
-            let data = match fs::read(&snap_path) {
-                Ok(d) => d,
-                Err(_) => continue,
+            let Ok(data) = fs::read(&snap_path) else {
+                continue;
             };
             let Ok(mut inner) = I::restore_snapshot(&data) else {
                 continue;

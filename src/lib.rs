@@ -30,6 +30,9 @@
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md`
 //! for paper-vs-measured results.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub use fiting_baselines as baselines;
 pub use fiting_btree as btree;
 pub use fiting_datasets as datasets;

@@ -73,7 +73,7 @@ fn imbalance(lens: &[usize]) -> f64 {
 fn skew_stress_direct_rebalance_drops_imbalance_no_lost_keys() {
     let config = FitingTreeBuilder::new(64);
     let index: Idx = ShardedIndex::bulk_load(&config, SHARDS, bulk_pairs()).unwrap();
-    let mut rebalancer: Reb = Rebalancer::new(config.clone(), prompt_policy());
+    let mut rebalancer: Reb = Rebalancer::new(config, prompt_policy());
     let sampler = rebalancer.sampler();
 
     // Concurrent readers: every bulk key, plus every appended key the
