@@ -13,6 +13,7 @@
 //! | `hot-path-panic` | no `unwrap` / `expect` / `panic!` in worker-thread and shard-hot-path modules (vetted exceptions in `allowlist.txt`) |
 //! | `forbid-unsafe` | `#![forbid(unsafe_code)]` present on every crate root |
 //! | `std-sync-quarantine` | `std::sync` lock primitives only inside `crates/compat/` |
+//! | `storage-io-unwrap` | no `.unwrap()` / `.expect(..)` on storage-crate Results outside `#[cfg(test)]` — I/O faults are expected inputs there, not bugs |
 //!
 //! The checker is a hand-rolled lexer (comments, strings, brace depth,
 //! `#[cfg(test)]` spans) over line-oriented scanning — no `syn`, no

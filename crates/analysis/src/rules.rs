@@ -80,6 +80,7 @@ pub fn check_file(path: &str, raw: &str, allow: &[AllowEntry]) -> Vec<Finding> {
         findings.extend(rule_ordering_justification(path, &cf));
         findings.extend(rule_hot_path_panic(path, &cf, &raw_lines, allow));
         findings.extend(rule_std_sync_quarantine(path, &cf));
+        findings.extend(rule_storage_io_unwrap(path, &cf));
     }
     findings.extend(rule_forbid_unsafe(path, &cf));
     findings.sort_by_key(|f| f.line);
@@ -520,6 +521,47 @@ fn rule_std_sync_quarantine(path: &str, cf: &CleanFile) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------
+// Rule: storage-io-unwrap — no unwrap/expect on I/O results in storage
+// ---------------------------------------------------------------------
+
+const UNWRAP_TOKENS: [&str; 2] = [".unwrap()", ".expect("];
+
+/// Inside `crates/storage/` every fallible path carries an
+/// `io::Error` / `StorageError` lineage, and the whole crate runs
+/// behind `FaultIo` in the chaos battery — faults there are *expected
+/// inputs*, not bugs. An `.unwrap()` / `.expect(..)` in production
+/// code turns an injectable, recoverable fault into a panic that
+/// poisons the calling thread, so production code must propagate the
+/// error or degrade instead. Vetted exceptions use
+/// `// fiting-check: allow(storage-io-unwrap) <reason>`.
+fn rule_storage_io_unwrap(path: &str, cf: &CleanFile) -> Vec<Finding> {
+    if !path.starts_with("crates/storage/") {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (ln0, line) in cf.code.iter().enumerate() {
+        let ln = ln0 + 1;
+        if !cf.is_production(ln) {
+            continue;
+        }
+        for tok in UNWRAP_TOKENS {
+            if line.contains(tok) && !line_allows(cf, ln, "storage-io-unwrap") {
+                findings.push(Finding {
+                    file: path.to_string(),
+                    line: ln,
+                    rule: "storage-io-unwrap",
+                    message: format!(
+                        "`{tok}` on a storage-crate Result; I/O faults are \
+                         expected inputs here — propagate the error or degrade"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
 // Mutation self-tests: every rule fires on a seeded violation and is
 // quiet on the corrected source.
 // ---------------------------------------------------------------------
@@ -671,6 +713,39 @@ fn bump(&self) {
         // Non-root files are not required to repeat the attribute.
         let f = check_file("crates/x/src/worker.rs", "pub fn a() {}\n", &[]);
         assert!(!rules_of(&f).contains(&"forbid-unsafe"), "{f:?}");
+    }
+
+    #[test]
+    fn storage_io_unwrap_fires_in_storage_production_only() {
+        // Mutation: a `?` propagation replaced by `.unwrap()`.
+        let bad = "fn flush(&mut self) {\n    self.file.sync_data().unwrap();\n}\n";
+        let f = check_file("crates/storage/src/wal.rs", bad, &[]);
+        assert!(rules_of(&f).contains(&"storage-io-unwrap"), "{f:?}");
+
+        // `.expect(..)` is the same panic with a nicer epitaph.
+        let expect = "fn open(&self) {\n    let data = io.read(&p).expect(\"snapshot\");\n}\n";
+        let f = check_file("crates/storage/src/durable.rs", expect, &[]);
+        assert!(rules_of(&f).contains(&"storage-io-unwrap"), "{f:?}");
+
+        // Propagation is the fixed shape.
+        let good = "fn flush(&mut self) -> io::Result<()> {\n    self.file.sync_data()\n}\n";
+        let f = check_file("crates/storage/src/wal.rs", good, &[]);
+        assert!(!rules_of(&f).contains(&"storage-io-unwrap"), "{f:?}");
+
+        // #[cfg(test)] code in storage may unwrap freely.
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn t() { f.sync_data().unwrap(); }\n}\n";
+        let f = check_file("crates/storage/src/wal.rs", test_only, &[]);
+        assert!(!rules_of(&f).contains(&"storage-io-unwrap"), "{f:?}");
+
+        // Outside crates/storage the rule does not apply.
+        let f = check_file("crates/tree/src/lib.rs", bad, &[]);
+        assert!(!rules_of(&f).contains(&"storage-io-unwrap"), "{f:?}");
+
+        // A vetted allow comment with a reason suppresses the finding.
+        let allowed = "fn flush(&mut self) {\n    self.file.sync_data().unwrap(); \
+                       // fiting-check: allow(storage-io-unwrap) infallible in-memory io\n}\n";
+        let f = check_file("crates/storage/src/wal.rs", allowed, &[]);
+        assert!(!rules_of(&f).contains(&"storage-io-unwrap"), "{f:?}");
     }
 
     #[test]

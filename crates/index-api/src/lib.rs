@@ -52,7 +52,8 @@ pub use rebalance::{
 };
 pub use sharded::{RebalanceError, ShardStats, ShardedIndex, SHARD_METADATA_BYTES};
 pub use sorted::{
-    clone_entry, clone_pair, sorted_slice_range, BuildableIndex, DynSortedIndex, SortedIndex,
+    clone_entry, clone_pair, sorted_slice_range, BuildableIndex, Degraded, DynSortedIndex,
+    ShardHealth, SortedIndex,
 };
 
 /// A deliberately naive [`SortedIndex`] over one sorted `Vec`, used by

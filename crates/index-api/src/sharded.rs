@@ -48,7 +48,7 @@
 //! [`merge_with_next`]: ShardedIndex::merge_with_next
 
 use crate::key::Key;
-use crate::sorted::{BuildableIndex, SortedIndex};
+use crate::sorted::{BuildableIndex, ShardHealth, SortedIndex};
 use parking_lot::{Mutex, RwLock};
 use std::ops::{Bound, RangeBounds};
 use std::sync::Arc;
@@ -80,6 +80,13 @@ pub struct ShardStats {
     /// checkpoint ([`SortedIndex::wal_bytes`]); `0` for volatile
     /// structures.
     pub wal_bytes: usize,
+    /// Storage health ([`SortedIndex::health`]); always
+    /// [`ShardHealth::Healthy`] for volatile structures.
+    pub health: ShardHealth,
+    /// Transient storage faults absorbed by retry on this shard's
+    /// behalf ([`SortedIndex::io_retries`]); `0` for volatile
+    /// structures.
+    pub io_retries: u64,
 }
 
 /// Why a [`split_shard`](ShardedIndex::split_shard) or
@@ -906,6 +913,8 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
                     size_bytes: shard.size_bytes(),
                     disk_bytes: shard.disk_bytes(),
                     wal_bytes: shard.wal_bytes(),
+                    health: shard.health(),
+                    io_retries: shard.io_retries(),
                 }
             })
             .collect()
@@ -945,6 +954,141 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
                 shard.wal_bytes() >= min_wal_bytes && shard.checkpoint()
             })
             .count()
+    }
+
+    /// Failure-reporting counterpart of [`sync_all`](Self::sync_all):
+    /// flushes every shard through [`SortedIndex::try_sync`] and
+    /// returns `(flushed, failed)` — `failed` counts shards whose
+    /// flush refused or errored (i.e. shards now degraded). The
+    /// service worker uses this so a dying disk shows up in
+    /// `ServiceStats` instead of being silently swallowed.
+    pub fn try_sync_all(&self) -> (usize, usize) {
+        let mut flushed = 0;
+        let mut failed = 0;
+        for s in &self.table().shards {
+            match s.write().try_sync() {
+                Ok(true) => flushed += 1,
+                Ok(false) => {}
+                Err(_) => failed += 1,
+            }
+        }
+        (flushed, failed)
+    }
+
+    /// Failure-reporting counterpart of
+    /// [`checkpoint_shards`](Self::checkpoint_shards): checkpoints
+    /// every shard at or above the WAL threshold through
+    /// [`SortedIndex::try_checkpoint`], returning `(checkpointed,
+    /// failed)`. A failed checkpoint leaves that shard's previous
+    /// generation intact and the shard degraded — the checkpoint
+    /// coordinator re-arms and surfaces the count.
+    pub fn try_checkpoint_shards(&self, min_wal_bytes: usize) -> (usize, usize) {
+        let mut done = 0;
+        let mut failed = 0;
+        for s in &self.table().shards {
+            let mut shard = s.write();
+            if shard.wal_bytes() < min_wal_bytes {
+                continue;
+            }
+            match shard.try_checkpoint() {
+                Ok(true) => done += 1,
+                Ok(false) => {}
+                Err(_) => failed += 1,
+            }
+        }
+        (done, failed)
+    }
+
+    /// Attempts to heal every [`ShardHealth::Degraded`] shard with an
+    /// immediate [`SortedIndex::try_checkpoint`] (ignoring any WAL
+    /// threshold — a degraded shard is worth a rotation attempt at any
+    /// size). Returns the number of shards healed. Healthy shards are
+    /// not touched beyond the health probe.
+    pub fn heal_shards(&self) -> usize {
+        let mut healed = 0;
+        for s in &self.table().shards {
+            let mut shard = s.write();
+            if shard.health() == ShardHealth::Degraded && shard.try_checkpoint().is_ok() {
+                healed += 1;
+            }
+        }
+        healed
+    }
+
+    /// Refusal-aware counterpart of
+    /// [`insert_many`](Self::insert_many): applies each shard's group
+    /// through [`SortedIndex::try_insert_many`] and returns `(fresh,
+    /// refused)` — `refused` counts keys whose owning shard is
+    /// degraded and did **not** apply them. Groups for healthy shards
+    /// still apply even when another shard refuses, so one dying shard
+    /// does not block writes routed elsewhere.
+    pub fn insert_many_reporting<It: IntoIterator<Item = (K, V)>>(
+        &self,
+        batch: It,
+    ) -> (usize, usize) {
+        let mut pending: Vec<(K, V)> = batch.into_iter().collect();
+        let mut fresh = 0;
+        let mut refused = 0;
+        while !pending.is_empty() {
+            let table = self.table();
+            let mut groups: Vec<Vec<(K, V)>> =
+                (0..table.shards.len()).map(|_| Vec::new()).collect();
+            for (k, v) in std::mem::take(&mut pending) {
+                groups[table.shard_for(&k)].push((k, v));
+            }
+            for (sid, group) in groups.into_iter().enumerate() {
+                if group.is_empty() {
+                    continue;
+                }
+                let shard = Arc::clone(&table.shards[sid]);
+                let mut guard = shard.write();
+                let cur = self.table();
+                let mut owned = Vec::with_capacity(group.len());
+                for (k, v) in group {
+                    if Arc::ptr_eq(&cur.shards[cur.shard_for(&k)], &shard) {
+                        owned.push((k, v));
+                    } else {
+                        pending.push((k, v));
+                    }
+                }
+                if !owned.is_empty() {
+                    let n = owned.len();
+                    match guard.try_insert_many(owned) {
+                        Ok(f) => fresh += f,
+                        Err(_) => refused += n,
+                    }
+                }
+            }
+        }
+        (fresh, refused)
+    }
+
+    /// Rebuilds shard `idx` in place from its persistent storage
+    /// ([`SortedIndex::reload`]) under its write lock, returning what
+    /// `reload` reported or `None` when `idx` is out of range.
+    ///
+    /// Positional on purpose — this is the lane-resurrection path of
+    /// the supervised service, which runs lanes 1:1 with shards and
+    /// **no** rebalancer, so indices are stable. Under a concurrent
+    /// rebalance the index may name a different shard by the time the
+    /// lock lands; a reload is then wasted work but never unsound (a
+    /// structure only ever reloads from its *own* storage).
+    pub fn reload_shard(&self, idx: usize) -> Option<bool> {
+        let table = self.table();
+        let shard = Arc::clone(table.shards.get(idx)?);
+        let reloaded = shard.write().reload();
+        Some(reloaded)
+    }
+
+    /// The [`ShardHealth`] of every shard, in shard order — the
+    /// supervisor's cheap probe (one read lock per shard).
+    #[must_use]
+    pub fn shard_health(&self) -> Vec<ShardHealth> {
+        self.table()
+            .shards
+            .iter()
+            .map(|s| s.read().health())
+            .collect()
     }
 }
 

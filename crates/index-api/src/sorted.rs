@@ -11,6 +11,37 @@
 use crate::key::Key;
 use std::ops::{Bound, RangeBounds};
 
+/// Health of one index structure as its storage layer sees it.
+///
+/// Volatile structures are always [`Healthy`](ShardHealth::Healthy);
+/// durable ones report [`Degraded`](ShardHealth::Degraded) once a
+/// permanent storage fault has flipped them read-only (reads keep
+/// serving; writes fail fast with [`Degraded`]) until a successful
+/// checkpoint heals them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardHealth {
+    /// Fully operational.
+    #[default]
+    Healthy,
+    /// Read-only: a permanent storage fault is pending; a successful
+    /// checkpoint heals it.
+    Degraded,
+}
+
+/// Typed refusal returned by the `try_*` mutation vocabulary when a
+/// structure is in degraded read-only mode: the write was **not**
+/// applied and must not be acknowledged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Degraded;
+
+impl std::fmt::Display for Degraded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("index shard is degraded (read-only)")
+    }
+}
+
+impl std::error::Error for Degraded {}
+
 /// A mutable sorted map from [`Key`]s to values: the common interface
 /// over every index structure in the workspace.
 ///
@@ -170,6 +201,85 @@ pub trait SortedIndex<K: Key, V: Clone> {
     /// Returns `true` when a checkpoint was taken; volatile structures
     /// keep the default no-op `false`.
     fn checkpoint(&mut self) -> bool {
+        false
+    }
+
+    /// Panic-free upsert: refuses with [`Degraded`] instead of
+    /// applying when the structure is in degraded read-only mode. The
+    /// service write path uses this vocabulary exclusively, so a
+    /// dying disk fails writes fast and typed instead of poisoning
+    /// lanes. Volatile structures never refuse (default delegates to
+    /// [`insert`](Self::insert)).
+    ///
+    /// # Errors
+    ///
+    /// [`Degraded`] when the write was refused (and not applied).
+    fn try_insert(&mut self, key: K, value: V) -> Result<Option<V>, Degraded> {
+        Ok(self.insert(key, value))
+    }
+
+    /// Panic-free removal; see [`try_insert`](Self::try_insert).
+    ///
+    /// # Errors
+    ///
+    /// [`Degraded`] when the removal was refused (and not applied).
+    fn try_remove(&mut self, key: &K) -> Result<Option<V>, Degraded> {
+        Ok(self.remove(key))
+    }
+
+    /// Panic-free batched upsert; see [`try_insert`](Self::try_insert).
+    /// Refusal is all-or-nothing: on `Err` no entry of the batch was
+    /// applied.
+    ///
+    /// # Errors
+    ///
+    /// [`Degraded`] when the batch was refused (and not applied).
+    fn try_insert_many(&mut self, batch: Vec<(K, V)>) -> Result<usize, Degraded> {
+        Ok(self.insert_many(batch))
+    }
+
+    /// Panic-free group commit: like [`sync`](Self::sync) but a
+    /// storage fault surfaces as [`Degraded`] instead of being
+    /// swallowed — the caller learns that buffered records may not
+    /// have reached the disk.
+    ///
+    /// # Errors
+    ///
+    /// [`Degraded`] when the flush failed (the structure has flipped,
+    /// or already was, degraded).
+    fn try_sync(&mut self) -> Result<bool, Degraded> {
+        Ok(self.sync())
+    }
+
+    /// Panic-free checkpoint: like [`checkpoint`](Self::checkpoint)
+    /// but a storage fault surfaces as [`Degraded`]. A successful
+    /// checkpoint heals a degraded structure.
+    ///
+    /// # Errors
+    ///
+    /// [`Degraded`] when the rotation failed (previous state intact).
+    fn try_checkpoint(&mut self) -> Result<bool, Degraded> {
+        Ok(self.checkpoint())
+    }
+
+    /// Current storage health. Volatile structures are always
+    /// [`ShardHealth::Healthy`].
+    fn health(&self) -> ShardHealth {
+        ShardHealth::Healthy
+    }
+
+    /// Transient storage faults absorbed by retry on this structure's
+    /// behalf (an observability counter; `0` for volatile structures).
+    fn io_retries(&self) -> u64 {
+        0
+    }
+
+    /// Rebuilds the in-memory state from persistent storage, replacing
+    /// `self` — the lane-resurrection path after a worker panic left
+    /// the in-memory structure suspect. Returns `true` when a rebuild
+    /// happened; volatile structures keep the default `false` (there
+    /// is nothing to rebuild from).
+    fn reload(&mut self) -> bool {
         false
     }
 }

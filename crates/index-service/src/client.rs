@@ -231,8 +231,11 @@ where
 }
 
 /// Fans `n` per-shard sub-completions back into one `usize` ticket,
-/// summing fresh counts; any canceled sub-completion cancels the whole
-/// ticket once all `n` have resolved.
+/// summing fresh counts. Once all `n` have resolved: any canceled
+/// sub-completion cancels the whole ticket (unknown application);
+/// otherwise any degraded refusal resolves it `Err(Degraded)` (the
+/// refused sub-batch was declined, the others applied); otherwise it
+/// completes with the summed fresh count.
 struct Aggregate {
     state: Mutex<AggregateState>,
 }
@@ -241,6 +244,7 @@ struct AggregateState {
     pending: usize,
     fresh: usize,
     canceled: bool,
+    degraded: bool,
     done: Option<Completer<usize>>,
 }
 
@@ -251,6 +255,7 @@ impl Aggregate {
                 pending,
                 fresh: 0,
                 canceled: false,
+                degraded: false,
                 done: Some(done),
             }),
         }
@@ -262,14 +267,18 @@ impl Aggregate {
         match outcome {
             Outcome::Done(n) => state.fresh += n,
             Outcome::Canceled => state.canceled = true,
+            Outcome::Degraded => state.degraded = true,
         }
         if state.pending == 0 {
             let done = state.done.take().expect("aggregate resolves once");
             let fresh = state.fresh;
             let canceled = state.canceled;
+            let degraded = state.degraded;
             drop(state);
             if canceled {
                 done.cancel();
+            } else if degraded {
+                done.degrade();
             } else {
                 done.complete(fresh);
             }

@@ -83,8 +83,12 @@ mod worker;
 pub use client::Client;
 pub use command::Command;
 pub use queue::{BoundedQueue, Closed, TryPushError};
-pub use stats::{LaneServiceStats, ServiceStats};
-pub use ticket::{ticket, Canceled, Completer, Outcome, Ticket};
+pub use stats::{LaneHealth, LaneServiceStats, ServiceStats};
+// `Canceled` is re-exported as a bare name (it is a `CommandError`
+// variant) so pre-taxonomy call sites — `Err(Canceled)` — still read
+// and pattern-match unchanged.
+pub use ticket::CommandError::Canceled;
+pub use ticket::{ticket, CommandError, Completer, Outcome, Ticket};
 
 // Re-exported so service users can configure rebalancing without a
 // separate fiting-index-api import.
@@ -92,7 +96,8 @@ pub use fiting_index_api::{RebalancePolicy, RebalanceStats, Rebalancer, WriteSam
 
 use fiting_index_api::{BuildableIndex, Key, RebalanceCounters, ShardedIndex, SortedIndex};
 use parking_lot::{Condvar, Mutex};
-use stats::WorkerCounters;
+use stats::{LaneState, WorkerCounters};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -159,6 +164,30 @@ impl Default for DurabilityConfig {
     }
 }
 
+/// Tuning for the lane supervisor
+/// ([`IndexService::start_supervised`]): how often it probes for
+/// poisoned lanes and how many times it will resurrect any one lane
+/// before giving up on it.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// How often the supervisor scans lane health.
+    pub interval: Duration,
+    /// Resurrections allowed per lane. Once a lane has been restarted
+    /// this many times it stays [`LaneHealth::Poisoned`] (submissions
+    /// fail fast) — the crash loop evidently is not transient. `0`
+    /// disables resurrection entirely.
+    pub max_lane_restarts: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            interval: Duration::from_millis(20),
+            max_lane_restarts: 8,
+        }
+    }
+}
+
 /// Everything clients and workers share: the index, the frozen lane
 /// router, the per-lane queues and counters, and the (optional)
 /// rebalancing hooks.
@@ -170,6 +199,14 @@ pub(crate) struct ServiceShared<K: Key, V: Clone, I: SortedIndex<K, V>> {
     pub(crate) router: Vec<K>,
     pub(crate) queues: Vec<BoundedQueue<Command<K, V>>>,
     pub(crate) counters: Vec<WorkerCounters>,
+    /// Per-lane health words (see [`LaneHealth`]); written by the
+    /// workers (Healthy/Degraded/Poisoned) and the supervisor
+    /// (Recovering/Healthy), read by stats snapshots.
+    pub(crate) lane_state: Vec<LaneState>,
+    /// Failed checkpoint rotations observed by the checkpoint
+    /// coordinator — surfaced through [`ServiceStats`], where before
+    /// this counter the coordinator silently dropped the error.
+    pub(crate) checkpoint_failures: AtomicU64,
     pub(crate) config: ServiceConfig,
     /// Write-stream sampler feeding the rebalancer's split boundaries;
     /// `None` when the service runs without rebalancing.
@@ -197,9 +234,13 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ServiceShared<K, V, I> {
 /// index.
 pub struct IndexService<K: Key, V: Clone, I: SortedIndex<K, V>> {
     shared: Arc<ServiceShared<K, V, I>>,
-    workers: Vec<JoinHandle<()>>,
+    /// One slot per lane; the supervisor takes a dead worker's handle
+    /// to join it and stores the respawned one, so shutdown always
+    /// joins the *current* generation of every lane's worker.
+    workers: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
     coordinator: Option<JoinHandle<()>>,
     checkpointer: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     coordinator_stop: Arc<(Mutex<bool>, Condvar)>,
 }
 
@@ -235,11 +276,81 @@ where
         config: ServiceConfig,
         durability: DurabilityConfig,
     ) -> Self {
+        let mut service = Self::launch(index, config, None, None, Some(durability));
+        service.spawn_checkpointer();
+        service
+    }
+
+    /// Starts a durable service *with a lane supervisor*: a thread
+    /// that probes lane health every
+    /// [`interval`](SupervisorConfig::interval) and resurrects
+    /// poisoned lanes — the shard is rebuilt from its newest snapshot
+    /// plus WAL replay ([`SortedIndex::reload`]), the lane's queue is
+    /// reopened, and a fresh worker thread takes over. Acknowledged
+    /// writes survive (they were WAL-committed before their tickets
+    /// resolved); commands canceled by the poisoning were reported as
+    /// [`Canceled`] and stay that way.
+    ///
+    /// A supervised service runs without a rebalancer on purpose: the
+    /// lane ↔ shard mapping stays 1:1 for the service's lifetime,
+    /// which is what lets the supervisor reload exactly the poisoned
+    /// lane's shard by position.
+    #[must_use]
+    pub fn start_supervised(
+        index: ShardedIndex<K, V, I>,
+        config: ServiceConfig,
+        durability: DurabilityConfig,
+        supervisor: SupervisorConfig,
+    ) -> Self {
+        let mut service = Self::launch(index, config, None, None, Some(durability));
+        service.spawn_checkpointer();
+        let SupervisorConfig {
+            interval,
+            max_lane_restarts: max_restarts,
+        } = supervisor;
+        let stop = Arc::clone(&service.coordinator_stop);
+        let shared = Arc::clone(&service.shared);
+        let workers = Arc::clone(&service.workers);
+        let handle = std::thread::Builder::new()
+            .name("index-service-supervisor".into())
+            .spawn(move || {
+                let (lock, cvar) = &*stop;
+                loop {
+                    let mut stopped = lock.lock();
+                    if !*stopped {
+                        let _ = cvar.wait_for(&mut stopped, interval);
+                    }
+                    if *stopped {
+                        return;
+                    }
+                    drop(stopped);
+                    supervise_pass(&shared, &workers, max_restarts);
+                }
+            })
+            .expect("spawn index-service supervisor");
+        service.supervisor = Some(handle);
+        service
+    }
+
+    /// Spawns the checkpoint coordinator thread: every
+    /// [`checkpoint_interval`](DurabilityConfig::checkpoint_interval)
+    /// it rotates shards whose WAL has outgrown the threshold, counts
+    /// failed rotations into
+    /// [`ServiceStats::checkpoint_failures`] (a failed rotation also
+    /// flips its shard degraded read-only), and then runs a heal pass:
+    /// degraded shards retry their checkpoint regardless of WAL size,
+    /// since a successful rotation is the only thing that clears
+    /// degraded mode.
+    fn spawn_checkpointer(&mut self) {
+        let durability = self
+            .shared
+            .durability
+            .as_ref()
+            .expect("checkpointer requires durability config");
         let interval = durability.checkpoint_interval;
         let threshold = durability.checkpoint_wal_bytes;
-        let mut service = Self::launch(index, config, None, None, Some(durability));
-        let stop = Arc::clone(&service.coordinator_stop);
-        let index = service.shared.index.clone();
+        let stop = Arc::clone(&self.coordinator_stop);
+        let shared = Arc::clone(&self.shared);
         let checkpointer = std::thread::Builder::new()
             .name("index-service-checkpoint".into())
             .spawn(move || {
@@ -253,12 +364,21 @@ where
                         return;
                     }
                     drop(stopped);
-                    index.checkpoint_shards(threshold);
+                    let (_rotated, failed) = shared.index.try_checkpoint_shards(threshold);
+                    if failed > 0 {
+                        // ordering: Relaxed — advisory failure total,
+                        // read only by stats snapshots; the shard's own
+                        // degraded flag (under its RwLock) carries the
+                        // behavioral change.
+                        shared
+                            .checkpoint_failures
+                            .fetch_add(failed as u64, AtomicOrdering::Relaxed);
+                    }
+                    let _ = shared.index.heal_shards();
                 }
             })
             .expect("spawn checkpoint coordinator");
-        service.checkpointer = Some(checkpointer);
-        service
+        self.checkpointer = Some(checkpointer);
     }
 
     /// Starts the service *and* a rebalance coordinator thread that
@@ -322,6 +442,8 @@ where
                 .map(|_| BoundedQueue::new(config.queue_capacity))
                 .collect(),
             counters: (0..lanes).map(|_| WorkerCounters::default()).collect(),
+            lane_state: (0..lanes).map(|_| LaneState::default()).collect(),
+            checkpoint_failures: AtomicU64::new(0),
             index,
             router,
             config,
@@ -330,19 +452,14 @@ where
             durability,
         });
         let workers = (0..lanes)
-            .map(|lane| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("index-service-{lane}"))
-                    .spawn(move || worker::run(lane, &shared))
-                    .expect("spawn index-service worker")
-            })
+            .map(|lane| Some(spawn_worker(lane, Arc::clone(&shared))))
             .collect();
         IndexService {
             shared,
-            workers,
+            workers: Arc::new(Mutex::new(workers)),
             coordinator: None,
             checkpointer: None,
+            supervisor: None,
             coordinator_stop: Arc::new((Mutex::new(false), Condvar::new())),
         }
     }
@@ -373,11 +490,17 @@ where
                         self.shared.queues[lane].len(),
                         self.shared.queues[lane].capacity(),
                         counters,
+                        self.shared.lane_state[lane].get(),
                     )
                 })
                 .collect(),
             shards: self.shared.index.shard_stats(),
             rebalance: self.shared.rebalance.as_ref().map(|c| c.snapshot()),
+            // ordering: Relaxed — advisory stats counter.
+            checkpoint_failures: self
+                .shared
+                .checkpoint_failures
+                .load(AtomicOrdering::Relaxed),
         }
     }
 
@@ -403,8 +526,9 @@ where
 
 impl<K: Key, V: Clone, I: SortedIndex<K, V>> IndexService<K, V, I> {
     fn stop(&mut self) {
-        // Coordinator first, so the layout stops moving while queues
-        // drain (purely a nicety: draining is correct either way).
+        // Coordinators first, so the layout stops moving while queues
+        // drain — and, critically, so the supervisor cannot reopen a
+        // queue or respawn a worker after we close and join below.
         {
             let (lock, cvar) = &*self.coordinator_stop;
             *lock.lock() = true;
@@ -416,13 +540,21 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> IndexService<K, V, I> {
         if let Some(checkpointer) = self.checkpointer.take() {
             let _ = checkpointer.join();
         }
+        if let Some(supervisor) = self.supervisor.take() {
+            // Joining here means any in-flight resurrection finishes
+            // (its respawned worker handle lands in `workers`) before
+            // the close-and-join sweep starts.
+            let _ = supervisor.join();
+        }
         for queue in &self.shared.queues {
             queue.close();
         }
-        for worker in self.workers.drain(..) {
+        for worker in self.workers.lock().iter_mut() {
             // A panicked worker already canceled its in-flight tickets
             // (completers resolve on drop); nothing more to salvage.
-            let _ = worker.join();
+            if let Some(worker) = worker.take() {
+                let _ = worker.join();
+            }
         }
         // Final group commit: a durable service leaves no accepted
         // write sitting in an unsynced WAL buffer after clean shutdown.
@@ -435,6 +567,82 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> IndexService<K, V, I> {
 impl<K: Key, V: Clone, I: SortedIndex<K, V>> Drop for IndexService<K, V, I> {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+fn spawn_worker<K, V, I>(lane: usize, shared: Arc<ServiceShared<K, V, I>>) -> JoinHandle<()>
+where
+    K: Key + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    I: SortedIndex<K, V> + Send + Sync + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("index-service-{lane}"))
+        .spawn(move || worker::run(lane, &shared))
+        .expect("spawn index-service worker")
+}
+
+/// One supervisor sweep: resurrect every poisoned lane that still has
+/// restart budget.
+///
+/// Ordering is what makes this safe: the old worker is **joined**
+/// before anything else, so its poison-path teardown (close queue,
+/// drain-and-cancel everything queued) has fully finished before the
+/// queue is reopened — no canceled command can race a resurrected
+/// consumer. The shard reload happens while the queue is still closed,
+/// so the fresh worker's first batch runs against the rebuilt shard.
+fn supervise_pass<K, V, I>(
+    shared: &Arc<ServiceShared<K, V, I>>,
+    workers: &Mutex<Vec<Option<JoinHandle<()>>>>,
+    max_restarts: u64,
+) where
+    K: Key + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    I: SortedIndex<K, V> + Send + Sync + 'static,
+{
+    for lane in 0..shared.queues.len() {
+        let state = &shared.lane_state[lane];
+        if state.get() != LaneHealth::Poisoned {
+            continue;
+        }
+        // ordering: Relaxed — the supervisor is the only writer of
+        // restarts, so its own read-modify-write sequence is ordered
+        // by program order; snapshots only observe.
+        let restarts = shared.counters[lane].restarts.load(AtomicOrdering::Relaxed);
+        if restarts >= max_restarts {
+            // Crash-looping lane: leave it Poisoned so submissions
+            // keep failing fast instead of bouncing forever.
+            continue;
+        }
+        if !state.transition(LaneHealth::Poisoned, LaneHealth::Recovering) {
+            continue;
+        }
+        // Join the dead worker first: its poison path may still be
+        // draining the closed queue, and reopening mid-drain would
+        // feed it (and cancel) freshly accepted commands.
+        if let Some(dead) = workers.lock()[lane].take() {
+            let _ = dead.join();
+        }
+        // Rebuild the lane's shard from its newest snapshot + WAL
+        // replay, discarding whatever partially-applied batch the
+        // panic left in memory. Supervised services run without a
+        // rebalancer, so lane index == shard index. Volatile shards
+        // report `false` (nothing to reload) and simply keep serving
+        // their in-memory state.
+        let _ = shared.index.reload_shard(lane);
+        shared.queues[lane].reopen();
+        let fresh = spawn_worker(lane, Arc::clone(shared));
+        workers.lock()[lane] = Some(fresh);
+        // ordering: Relaxed — advisory stats counter.
+        shared.counters[lane]
+            .restarts
+            .fetch_add(1, AtomicOrdering::Relaxed);
+        // CAS, not a blind set: the freshly spawned worker may already
+        // have hit another poison pill and re-flipped the lane to
+        // Poisoned — stomping that with Healthy would strand a closed
+        // queue behind a healthy-looking lane forever. On CAS failure
+        // the lane stays Poisoned and the next pass resurrects again.
+        state.transition(LaneHealth::Recovering, LaneHealth::Healthy);
     }
 }
 
@@ -810,6 +1018,102 @@ mod tests {
         // pre-panic write survived.
         let index = svc.shutdown();
         assert_eq!(index.get(&200), Some(1));
+    }
+
+    #[test]
+    fn supervisor_resurrects_poisoned_lane() {
+        // BOOM_KEY routes to lane 1 of 2. After the panic poisons the
+        // lane, the supervisor must rebuild it and serve fresh writes
+        // through it again — the acceptance-criteria round trip.
+        let index: ShardedIndex<u64, u64, PanicOnKey> =
+            ShardedIndex::bulk_load(&(), 2, (0..100u64).map(|k| (k, k)).collect()).unwrap();
+        let svc = IndexService::start_supervised(
+            index,
+            ServiceConfig::default(),
+            DurabilityConfig {
+                checkpoint_interval: Duration::from_millis(5),
+                ..DurabilityConfig::default()
+            },
+            SupervisorConfig {
+                interval: Duration::from_millis(2),
+                max_lane_restarts: 4,
+            },
+        );
+        let client = svc.client();
+
+        assert_eq!(client.insert(BOOM_KEY, 0).wait(), Err(Canceled));
+        await_panics(&svc, 1, 1);
+
+        // Wait for the resurrection: restart counted, health Healthy.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let lane = svc.stats().lanes[1];
+            if lane.restarts >= 1 && lane.health == LaneHealth::Healthy {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "lane 1 never resurrected: {lane:?}"
+            );
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert!(!client.is_closed());
+
+        // Fresh writes and reads round-trip through the revived lane
+        // (keys ≥ 50 route to lane 1); pre-panic data survived (the
+        // volatile shard has nothing to reload, so it keeps serving
+        // its in-memory state).
+        assert_eq!(client.insert(90, 909).wait(), Ok(Some(90)));
+        assert_eq!(client.get(90).wait(), Ok(Some(909)));
+        assert_eq!(client.get(99).wait(), Ok(Some(99)));
+        // The healthy lane was never disturbed.
+        assert_eq!(svc.stats().lanes[0].panics, 0);
+
+        // A second panic on the same lane resurrects again.
+        assert_eq!(client.insert(BOOM_KEY, 0).wait(), Err(Canceled));
+        await_panics(&svc, 1, 2);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while svc.stats().lanes[1].restarts < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no second resurrection: {:?}",
+                svc.stats().lanes
+            );
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(client.insert(91, 1).wait(), Ok(Some(91)));
+
+        let index = svc.shutdown();
+        assert_eq!(index.get(&90), Some(909));
+    }
+
+    #[test]
+    fn supervisor_respects_restart_budget() {
+        // max_lane_restarts == 0: the supervisor must leave the
+        // poisoned lane alone, so it behaves like the unsupervised
+        // service — submissions fail fast forever.
+        let index: ShardedIndex<u64, u64, PanicOnKey> =
+            ShardedIndex::bulk_load(&(), 1, (0..10u64).map(|k| (k, k)).collect()).unwrap();
+        let svc = IndexService::start_supervised(
+            index,
+            ServiceConfig::default(),
+            DurabilityConfig::default(),
+            SupervisorConfig {
+                interval: Duration::from_millis(1),
+                max_lane_restarts: 0,
+            },
+        );
+        let client = svc.client();
+        assert_eq!(client.insert(BOOM_KEY, 0).wait(), Err(Canceled));
+        await_panics(&svc, 0, 1);
+        // Give the supervisor several beats to (wrongly) act.
+        thread::sleep(Duration::from_millis(20));
+        let lane = svc.stats().lanes[0];
+        assert_eq!(lane.health, LaneHealth::Poisoned);
+        assert_eq!(lane.restarts, 0);
+        assert!(client.is_closed());
+        assert_eq!(client.get(0).wait(), Err(Canceled));
+        let _ = svc.shutdown();
     }
 
     #[test]

@@ -164,6 +164,18 @@ impl<T> BoundedQueue<T> {
         self.not_full.notify_all();
     }
 
+    /// Reopens a closed queue so producers are accepted again — the
+    /// supervisor's lane-resurrection hook. A no-op on an open queue.
+    ///
+    /// Only meaningful once the closed queue has been fully drained
+    /// (a poisoned lane's teardown canceled everything it held) and a
+    /// fresh consumer is about to start; reopening with commands still
+    /// queued would hand them to the new consumer out of order with
+    /// the cancellations already reported.
+    pub fn reopen(&self) {
+        self.lock().closed = false;
+    }
+
     /// Items currently queued (a racy snapshot — for stats).
     #[must_use]
     pub fn len(&self) -> usize {
@@ -279,6 +291,19 @@ mod tests {
         });
         assert_eq!(q.pop_batch(4, Duration::ZERO), vec![7]);
         h.join().unwrap();
+    }
+
+    #[test]
+    fn reopen_revives_a_drained_closed_queue() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.close();
+        assert_eq!(q.pop_batch(16, Duration::ZERO), vec![1]);
+        assert_eq!(q.push(2), Err(Closed(2)));
+        q.reopen();
+        assert!(!q.is_closed());
+        q.push(3).unwrap();
+        assert_eq!(q.pop_batch(16, Duration::ZERO), vec![3]);
     }
 
     #[test]

@@ -14,8 +14,98 @@
 //! underneath as the rebalancer splits and merges them. The two
 //! vectors in [`ServiceStats`] therefore have independent lengths.
 
-use fiting_index_api::{RebalanceStats, ShardStats};
-use std::sync::atomic::{AtomicU64, Ordering};
+use fiting_index_api::{RebalanceStats, ShardHealth, ShardStats};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// The lifecycle state of one lane (queue + worker pair), as reported
+/// by [`LaneServiceStats::health`].
+///
+/// State machine (see ARCHITECTURE.md "Failure model"):
+///
+/// ```text
+/// Healthy <-> Degraded          (writes refused / shard healed)
+/// Healthy | Degraded -> Poisoned  (worker panic; queue closed)
+/// Poisoned -> Recovering        (supervisor resurrecting the lane)
+/// Recovering -> Healthy         (shard reloaded, queue reopened)
+/// ```
+///
+/// Without a supervisor (plain [`IndexService::start`]) `Poisoned` is
+/// terminal for the process lifetime, exactly as in the pre-supervisor
+/// design.
+///
+/// [`IndexService::start`]: crate::IndexService::start
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaneHealth {
+    /// Serving normally.
+    #[default]
+    Healthy,
+    /// The lane's worker is alive but recent writes were refused by a
+    /// degraded read-only shard (reads still serve).
+    Degraded,
+    /// The worker caught a panic: the queue is closed and everything
+    /// queued was canceled.
+    Poisoned,
+    /// A supervisor is rebuilding the lane's shard and restarting its
+    /// worker.
+    Recovering,
+}
+
+impl LaneHealth {
+    pub(crate) fn as_u8(self) -> u8 {
+        match self {
+            LaneHealth::Healthy => 0,
+            LaneHealth::Degraded => 1,
+            LaneHealth::Poisoned => 2,
+            LaneHealth::Recovering => 3,
+        }
+    }
+
+    pub(crate) fn from_u8(raw: u8) -> Self {
+        match raw {
+            1 => LaneHealth::Degraded,
+            2 => LaneHealth::Poisoned,
+            3 => LaneHealth::Recovering,
+            _ => LaneHealth::Healthy,
+        }
+    }
+}
+
+/// One lane's live health word (an atomic [`LaneHealth`] the worker,
+/// supervisor, and stats snapshots all share).
+#[derive(Debug, Default)]
+pub(crate) struct LaneState(AtomicU8);
+
+impl LaneState {
+    // Lane health is an advisory signal — the queue mutex
+    // (close/reopen) is what submitters actually synchronize on, and
+    // the supervisor re-checks under its own joins — so Relaxed
+    // suffices for every access on this impl block.
+    pub(crate) fn get(&self) -> LaneHealth {
+        // ordering: Relaxed load — see the note on this impl block.
+        LaneHealth::from_u8(self.0.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn set(&self, health: LaneHealth) {
+        // ordering: Relaxed store — see the note on this impl block.
+        self.0.store(health.as_u8(), Ordering::Relaxed);
+    }
+
+    /// Transitions `from -> to` only if the state is still `from`, so
+    /// the worker's Healthy/Degraded flapping can never stomp a
+    /// `Poisoned`/`Recovering` mark owned by the panic path or the
+    /// supervisor.
+    pub(crate) fn transition(&self, from: LaneHealth, to: LaneHealth) -> bool {
+        // ordering: Relaxed CAS — see the note on this impl block.
+        self.0
+            .compare_exchange(
+                from.as_u8(),
+                to.as_u8(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+}
 
 /// Live counters for one lane worker (internal; snapshot via
 /// [`LaneServiceStats`]).
@@ -40,8 +130,17 @@ pub(crate) struct WorkerCounters {
     pub coalesced_writes: AtomicU64,
     /// Panics caught by the lane's worker. A nonzero value means the
     /// lane has been poisoned: its queue is closed and its remaining
-    /// commands were canceled.
+    /// commands were canceled (a supervisor, when attached, resurrects
+    /// it — see `restarts`).
     pub panics: AtomicU64,
+    /// Times a supervisor resurrected this lane after a poisoning.
+    pub restarts: AtomicU64,
+    /// Write commands refused with `CommandError::Degraded` because
+    /// their shard was in degraded read-only mode.
+    pub degraded_writes: AtomicU64,
+    /// Post-batch group commits (`try_sync_all`) that reported at
+    /// least one shard failing to flush its WAL.
+    pub sync_failures: AtomicU64,
 }
 
 impl WorkerCounters {
@@ -79,9 +178,20 @@ pub struct LaneServiceStats {
     pub read_runs: u64,
     /// Writes applied through a coalesced batch path.
     pub coalesced_writes: u64,
-    /// Worker panics caught on this lane; nonzero means the lane is
-    /// poisoned (queue closed, queued commands canceled).
+    /// Worker panics caught on this lane; without a supervisor,
+    /// nonzero means the lane is poisoned (queue closed, queued
+    /// commands canceled).
     pub panics: u64,
+    /// Supervisor resurrections of this lane (each one rebuilt the
+    /// shard from snapshot + WAL, reopened the queue, and restarted
+    /// the worker).
+    pub restarts: u64,
+    /// Writes refused by a degraded read-only shard on this lane.
+    pub degraded_writes: u64,
+    /// Post-batch group commits that failed on at least one shard.
+    pub sync_failures: u64,
+    /// Current lifecycle state of the lane.
+    pub health: LaneHealth,
 }
 
 impl LaneServiceStats {
@@ -90,6 +200,7 @@ impl LaneServiceStats {
         queue_depth: usize,
         queue_capacity: usize,
         c: &WorkerCounters,
+        health: LaneHealth,
     ) -> Self {
         // ordering: statistics snapshot — approximate cross-counter
         // consistency is acceptable, so Relaxed loads suffice.
@@ -105,6 +216,10 @@ impl LaneServiceStats {
             read_runs: c.read_runs.load(Ordering::Relaxed),
             coalesced_writes: c.coalesced_writes.load(Ordering::Relaxed),
             panics: c.panics.load(Ordering::Relaxed),
+            restarts: c.restarts.load(Ordering::Relaxed),
+            degraded_writes: c.degraded_writes.load(Ordering::Relaxed),
+            sync_failures: c.sync_failures.load(Ordering::Relaxed),
+            health,
         }
     }
 }
@@ -122,9 +237,25 @@ pub struct ServiceStats {
     /// Totals from the attached rebalancer; `None` when the service
     /// was started without one.
     pub rebalance: Option<RebalanceStats>,
+    /// Checkpoint rotations the coordinator attempted that failed
+    /// (each one also flipped its shard to
+    /// [`ShardHealth::Degraded`] — see [`is_degraded`](Self::is_degraded)).
+    /// The coordinator keeps re-arming, so a later pass can heal the
+    /// shard and the degraded flag clears while this total stands.
+    pub checkpoint_failures: u64,
 }
 
 impl ServiceStats {
+    /// Whether any shard is currently in degraded read-only mode —
+    /// the service-level "writes may be refused" flag operators alert
+    /// on.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.shards
+            .iter()
+            .any(|s| s.health == ShardHealth::Degraded)
+            || self.lanes.iter().any(|l| l.health == LaneHealth::Degraded)
+    }
     /// Commands executed across all lanes.
     #[must_use]
     pub fn total_processed(&self) -> u64 {
@@ -172,10 +303,12 @@ mod tests {
         let c = WorkerCounters::default();
         c.note_batch(4);
         c.note_batch(2);
-        let snap = LaneServiceStats::from_counters(0, 1, 64, &c);
+        let snap = LaneServiceStats::from_counters(0, 1, 64, &c, LaneHealth::Healthy);
         assert_eq!(snap.processed, 6);
         assert_eq!(snap.batches, 2);
         assert_eq!(snap.largest_batch, 4);
+        assert_eq!(snap.health, LaneHealth::Healthy);
+        assert_eq!(snap.restarts, 0);
 
         let mut other = snap;
         other.lane = 1;
@@ -206,6 +339,7 @@ mod tests {
                 merges: 0,
                 moved_keys: 20,
             }),
+            checkpoint_failures: 0,
         };
         assert_eq!(stats.total_processed(), 12);
         assert_eq!(stats.total_queued(), 4);
@@ -213,6 +347,50 @@ mod tests {
         // 30/10/20 entries: max/mean = 30/20.
         assert!((stats.imbalance() - 1.5).abs() < 1e-9);
         assert_eq!(stats.rebalance.unwrap().splits, 1);
+        assert!(!stats.is_degraded());
+    }
+
+    #[test]
+    fn degraded_flag_reflects_shard_and_lane_health() {
+        let c = WorkerCounters::default();
+        let mut stats = ServiceStats {
+            lanes: vec![LaneServiceStats::from_counters(
+                0,
+                0,
+                64,
+                &c,
+                LaneHealth::Healthy,
+            )],
+            shards: vec![ShardStats::default()],
+            rebalance: None,
+            checkpoint_failures: 0,
+        };
+        assert!(!stats.is_degraded());
+        stats.shards[0].health = ShardHealth::Degraded;
+        assert!(stats.is_degraded());
+        stats.shards[0].health = ShardHealth::Healthy;
+        stats.lanes[0].health = LaneHealth::Degraded;
+        assert!(stats.is_degraded());
+    }
+
+    #[test]
+    fn lane_state_transitions_guard_ownership() {
+        let state = LaneState::default();
+        assert_eq!(state.get(), LaneHealth::Healthy);
+        assert!(state.transition(LaneHealth::Healthy, LaneHealth::Degraded));
+        assert!(!state.transition(LaneHealth::Healthy, LaneHealth::Poisoned));
+        state.set(LaneHealth::Poisoned);
+        // The worker's Degraded->Healthy heal must not clear Poisoned.
+        assert!(!state.transition(LaneHealth::Degraded, LaneHealth::Healthy));
+        assert_eq!(state.get(), LaneHealth::Poisoned);
+        for h in [
+            LaneHealth::Healthy,
+            LaneHealth::Degraded,
+            LaneHealth::Poisoned,
+            LaneHealth::Recovering,
+        ] {
+            assert_eq!(LaneHealth::from_u8(h.as_u8()), h);
+        }
     }
 
     #[test]
@@ -221,9 +399,11 @@ mod tests {
             lanes: Vec::new(),
             shards: Vec::new(),
             rebalance: None,
+            checkpoint_failures: 0,
         };
         assert_eq!(stats.mean_batch_len(), 0.0);
         assert_eq!(stats.imbalance(), 1.0);
         assert_eq!(stats.total_processed(), 0);
+        assert!(!stats.is_degraded());
     }
 }

@@ -9,10 +9,13 @@
 //! Lifecycle guarantees:
 //!
 //! * Every [`Completer`] resolves its ticket **exactly once** — with a
-//!   value via [`complete`](Completer::complete), or as [`Canceled`]
-//!   via [`cancel`](Completer::cancel) or by being dropped. A command
-//!   dropped on the floor (worker panic, queue teardown) therefore
-//!   cancels rather than hangs its submitter.
+//!   value via [`complete`](Completer::complete), as
+//!   [`Canceled`](CommandError::Canceled) via
+//!   [`cancel`](Completer::cancel) or by being dropped, or as
+//!   [`Degraded`](CommandError::Degraded) via
+//!   [`degrade`](Completer::degrade) when a write is refused by a
+//!   read-only shard. A command dropped on the floor (worker panic,
+//!   queue teardown) therefore cancels rather than hangs its submitter.
 //! * [`Ticket::wait`] blocks until resolution; [`Ticket::try_take`]
 //!   never blocks. Shutdown drains every queued command, so waiting on
 //!   a submitted ticket never deadlocks against service teardown.
@@ -21,34 +24,57 @@ use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// The command's completer was dropped before completing: the service
-/// was torn down (or a worker died) with the command still in flight.
+/// Why a command resolved without a value.
+///
+/// The `Canceled` variant is re-exported at the crate root, so
+/// `Err(Canceled)` continues to read (and pattern-match) exactly as it
+/// did when cancellation was the only failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Canceled;
+pub enum CommandError {
+    /// The command's completer was dropped before completing: the
+    /// service was torn down (or a worker died) with the command still
+    /// in flight. The command may or may not have been applied.
+    Canceled,
+    /// The command was a write refused fast by a shard in degraded
+    /// read-only mode (permanent storage failure; see
+    /// `fiting_index_api::ShardHealth`). The command was **not**
+    /// applied — except `insert_many`, whose cross-shard batch may
+    /// have landed on healthy shards before a degraded one refused.
+    Degraded,
+}
 
-impl std::fmt::Display for Canceled {
+impl std::fmt::Display for CommandError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("command canceled before completion")
+        match self {
+            CommandError::Canceled => f.write_str("command canceled before completion"),
+            CommandError::Degraded => {
+                f.write_str("write refused: target shard is degraded (read-only)")
+            }
+        }
     }
 }
 
-impl std::error::Error for Canceled {}
+impl std::error::Error for CommandError {}
 
-/// How a command resolved: with a value, or canceled.
+/// How a command resolved: with a value, canceled, or refused by a
+/// degraded shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome<T> {
     /// The command executed and produced `T`.
     Done(T),
     /// The command was dropped before executing.
     Canceled,
+    /// The command was a write refused by a degraded read-only shard.
+    Degraded,
 }
 
 impl<T> Outcome<T> {
     /// Converts into the `Result` form [`Ticket::wait`] returns.
-    pub fn into_result(self) -> Result<T, Canceled> {
+    pub fn into_result(self) -> Result<T, CommandError> {
         match self {
             Outcome::Done(v) => Ok(v),
-            Outcome::Canceled => Err(Canceled),
+            Outcome::Canceled => Err(CommandError::Canceled),
+            Outcome::Degraded => Err(CommandError::Degraded),
         }
     }
 }
@@ -120,7 +146,7 @@ impl<T> Ticket<T> {
     ///
     /// Panics if the value was already taken by an earlier
     /// `try_take`/`wait_timeout` call (a submitter-side logic error).
-    pub fn try_take(&mut self) -> Option<Result<T, Canceled>> {
+    pub fn try_take(&mut self) -> Option<Result<T, CommandError>> {
         let mut state = self.shared.state.lock();
         match *state {
             State::Pending => None,
@@ -133,13 +159,14 @@ impl<T> Ticket<T> {
     }
 
     /// Blocks until the command resolves; `Err(Canceled)` if its
-    /// completer was dropped without completing.
+    /// completer was dropped without completing, `Err(Degraded)` if a
+    /// degraded read-only shard refused the write.
     ///
     /// # Panics
     ///
     /// Panics if the value was already taken via
     /// [`try_take`](Self::try_take)/[`wait_timeout`](Self::wait_timeout).
-    pub fn wait(self) -> Result<T, Canceled> {
+    pub fn wait(self) -> Result<T, CommandError> {
         let mut state = self.shared.state.lock();
         loop {
             match *state {
@@ -158,7 +185,7 @@ impl<T> Ticket<T> {
     /// # Panics
     ///
     /// Panics if the value was already taken.
-    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<T, Canceled>> {
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<T, CommandError>> {
         let deadline = std::time::Instant::now() + timeout;
         let mut state = self.shared.state.lock();
         loop {
@@ -217,11 +244,21 @@ impl<T> Completer<T> {
         }
     }
 
-    /// Resolves the ticket as [`Canceled`] (same as dropping, but
-    /// explicit at call sites that decline a command on purpose).
+    /// Resolves the ticket as [`Canceled`](CommandError::Canceled)
+    /// (same as dropping, but explicit at call sites that decline a
+    /// command on purpose).
     pub fn cancel(mut self) {
         if let Some(sink) = self.sink.take() {
             sink(Outcome::Canceled);
+        }
+    }
+
+    /// Resolves the ticket as [`Degraded`](CommandError::Degraded):
+    /// the write was refused fast by a read-only shard, not lost in
+    /// flight.
+    pub fn degrade(mut self) {
+        if let Some(sink) = self.sink.take() {
+            sink(Outcome::Degraded);
         }
     }
 }
@@ -270,11 +307,20 @@ mod tests {
     fn dropping_completer_cancels() {
         let (t, c) = ticket::<u32>();
         drop(c);
-        assert_eq!(t.wait(), Err(Canceled));
+        assert_eq!(t.wait(), Err(CommandError::Canceled));
 
         let (t, c) = ticket::<u32>();
         c.cancel();
-        assert_eq!(t.wait(), Err(Canceled));
+        assert_eq!(t.wait(), Err(CommandError::Canceled));
+    }
+
+    #[test]
+    fn degrade_surfaces_typed_refusal() {
+        let (t, c) = ticket::<u32>();
+        c.degrade();
+        assert_eq!(t.wait(), Err(CommandError::Degraded));
+        assert_ne!(CommandError::Degraded, CommandError::Canceled);
+        assert!(CommandError::Degraded.to_string().contains("read-only"));
     }
 
     #[test]

@@ -49,7 +49,25 @@
 //! event. Other lanes — and [`shutdown`](crate::IndexService::shutdown)
 //! — proceed normally. The shard the panic escaped from may hold a
 //! partially applied batch (the locks themselves do not poison), which
-//! is exactly the weaker guarantee the canceled tickets report.
+//! is exactly the weaker guarantee the canceled tickets report. Under
+//! [`start_supervised`](crate::IndexService::start_supervised) a
+//! poisoned lane is later resurrected: shard reloaded from snapshot +
+//! WAL, queue reopened, worker respawned.
+//!
+//! # Degraded shards
+//!
+//! Writes execute through the fallible [`SortedIndex::try_insert`] /
+//! [`try_remove`](SortedIndex::try_remove) /
+//! `ShardedIndex::insert_many_reporting` paths: a shard in degraded
+//! read-only mode (permanent storage failure) refuses fast and the
+//! ticket resolves `Err(`[`CommandError::Degraded`]`)` — the write was
+//! declined, not lost — while reads keep serving. Refusals and failed
+//! post-batch group commits mark the lane
+//! [`Degraded`](crate::LaneHealth::Degraded); a later fully clean
+//! write batch (the shard healed via checkpoint) marks it back
+//! [`Healthy`](crate::LaneHealth::Healthy).
+//!
+//! [`CommandError::Degraded`]: crate::CommandError::Degraded
 //!
 //! [`Ticket::wait`]: crate::Ticket::wait
 //! [`ShardedIndex::insert_many`]: fiting_index_api::ShardedIndex::insert_many
@@ -58,6 +76,7 @@
 //! [`ShardedIndex::with_write_groups`]: fiting_index_api::ShardedIndex::with_write_groups
 
 use crate::command::Command;
+use crate::stats::LaneHealth;
 use crate::ticket::Completer;
 use crate::ServiceShared;
 use fiting_index_api::{Key, SortedIndex};
@@ -102,23 +121,42 @@ pub(crate) fn run<K: Key, V: Clone, I: SortedIndex<K, V>>(
             return;
         }
         shared.counters[lane].note_batch(batch.len());
-        let had_writes = sync_batches && batch.iter().any(Command::is_write);
+        let had_writes = batch.iter().any(Command::is_write);
         // Contain panics from the index structure (or a completer
         // sink): the unwind cancels the batch's unresolved tickets as
         // it drops them, and the lane is then poisoned below instead
         // of silently stranding its queue.
-        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            execute_batch(lane, shared, batch);
-        }));
-        if outcome.is_err() {
+        let outcome =
+            std::panic::catch_unwind(AssertUnwindSafe(|| execute_batch(lane, shared, batch)));
+        let Ok(refused) = outcome else {
             poison_lane(lane, shared);
             return;
-        }
-        if had_writes {
+        };
+        let mut faulted = refused > 0;
+        if had_writes && sync_batches {
             // Group commit: one flush(+fsync per the store's policy)
             // per drained write batch rather than per operation. Shards
-            // with an empty WAL buffer make this a cheap no-op.
-            shared.index.sync_all();
+            // with an empty WAL buffer make this a cheap no-op. A shard
+            // refusing the flush has just degraded itself; count it and
+            // mark the lane.
+            let (_flushed, failed) = shared.index.try_sync_all();
+            if failed > 0 {
+                // ordering: Relaxed — advisory stats counter.
+                shared.counters[lane]
+                    .sync_failures
+                    .fetch_add(failed as u64, Ordering::Relaxed);
+                faulted = true;
+            }
+        }
+        // Advisory lane health: refusals flip Healthy -> Degraded; a
+        // fully clean write batch heals Degraded -> Healthy (the shard
+        // evidently accepts writes again). CAS transitions so neither
+        // direction can stomp a Poisoned/Recovering mark.
+        let state = &shared.lane_state[lane];
+        if faulted {
+            state.transition(LaneHealth::Healthy, LaneHealth::Degraded);
+        } else if had_writes {
+            state.transition(LaneHealth::Degraded, LaneHealth::Healthy);
         }
     }
 }
@@ -134,6 +172,9 @@ fn poison_lane<K: Key, V: Clone, I: SortedIndex<K, V>>(
     // ordering: Relaxed — the panic count is advisory stats; the
     // queue.close() below (a mutex) is what submitters synchronize on.
     shared.counters[lane].panics.fetch_add(1, Ordering::Relaxed);
+    // Unconditional store: poisoning overrides Healthy *and* Degraded
+    // (the supervisor is the only thing that moves a lane out of it).
+    shared.lane_state[lane].set(LaneHealth::Poisoned);
     queue.close();
     // Drain whatever was queued and drop it: dropping a command drops
     // its completer, which resolves the ticket as Canceled. After
@@ -147,12 +188,17 @@ fn poison_lane<K: Key, V: Clone, I: SortedIndex<K, V>>(
     }
 }
 
+/// Executes one drained batch; returns the number of write commands
+/// refused by degraded read-only shards (their tickets resolve
+/// `Err(Degraded)` rather than canceling — the write was declined, not
+/// lost).
 fn execute_batch<K: Key, V: Clone, I: SortedIndex<K, V>>(
     lane: usize,
     shared: &ServiceShared<K, V, I>,
     batch: Vec<Command<K, V>>,
-) {
+) -> u64 {
     let counters = &shared.counters[lane];
+    let mut refused = 0u64;
     // ordering: Relaxed on every counter update in this function —
     // monotonic stats, read only by racy snapshots; ticket completion
     // (a mutex) orders the results themselves.
@@ -170,7 +216,20 @@ fn execute_batch<K: Key, V: Clone, I: SortedIndex<K, V>>(
                 if let Some(sampler) = &shared.sampler {
                     sampler.observe_all(batch.iter().map(|&(k, _)| k));
                 }
-                done.complete(shared.index.insert_many(batch));
+                let (fresh, declined) = shared.index.insert_many_reporting(batch);
+                if declined == 0 {
+                    done.complete(fresh);
+                } else {
+                    // Part of the batch hit a degraded shard. Report
+                    // the refusal loudly; keys routed to healthy
+                    // shards were still applied (documented on
+                    // `CommandError::Degraded`).
+                    counters
+                        .degraded_writes
+                        .fetch_add(declined as u64, Ordering::Relaxed);
+                    refused += 1;
+                    done.degrade();
+                }
             }
             Command::Get { key, done } => {
                 // Maximal run of point reads: answer them all with one
@@ -211,15 +270,39 @@ fn execute_batch<K: Key, V: Clone, I: SortedIndex<K, V>>(
                             .filter_map(|(k, w)| matches!(w, PointWrite::Put(..)).then_some(*k)),
                     );
                 }
+                let mut declined = 0u64;
                 let locks = shared
                     .index
                     .with_write_groups(run, |idx, key, write| match write {
-                        PointWrite::Put(value, done) => done.complete(idx.insert(key, value)),
-                        PointWrite::Del(done) => done.complete(idx.remove(&key)),
+                        // Fallible writes: a degraded read-only shard
+                        // refuses fast with a typed error instead of
+                        // panicking the worker; the ticket resolves
+                        // `Err(Degraded)` so the submitter knows the
+                        // write was declined, not lost.
+                        PointWrite::Put(value, done) => match idx.try_insert(key, value) {
+                            Ok(prev) => done.complete(prev),
+                            Err(fiting_index_api::Degraded) => {
+                                declined += 1;
+                                done.degrade();
+                            }
+                        },
+                        PointWrite::Del(done) => match idx.try_remove(&key) {
+                            Ok(prev) => done.complete(prev),
+                            Err(fiting_index_api::Degraded) => {
+                                declined += 1;
+                                done.degrade();
+                            }
+                        },
                     });
                 counters
                     .write_runs
                     .fetch_add(locks as u64, Ordering::Relaxed);
+                if declined > 0 {
+                    counters
+                        .degraded_writes
+                        .fetch_add(declined, Ordering::Relaxed);
+                    refused += declined;
+                }
                 if coalesced > 1 {
                     counters
                         .coalesced_writes
@@ -228,4 +311,5 @@ fn execute_batch<K: Key, V: Clone, I: SortedIndex<K, V>>(
             }
         }
     }
+    refused
 }

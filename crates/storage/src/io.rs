@@ -1,0 +1,162 @@
+//! The injectable I/O boundary.
+//!
+//! Everything the durability layer does to a disk goes through
+//! [`StorageIo`] — file creation, appends, whole-file reads, renames,
+//! deletes, directory listing, and both file- and directory-level
+//! syncs. Production uses [`RealIo`] (a zero-cost passthrough to
+//! `std::fs`); the chaos battery swaps in
+//! [`FaultIo`](crate::FaultIo), which implements the same trait but
+//! follows a seeded fault schedule.
+//!
+//! The trait speaks raw [`std::io::Result`]; classification into
+//! [`StorageError`](crate::StorageError) (transient vs permanent, which
+//! op, which path) happens at the call site in `wal`/`durable`, where
+//! the operation context is known.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// An open, writable file handle as the storage layer sees it: a byte
+/// sink plus `fdatasync`. Short writes are legal (exactly as for
+/// [`std::io::Write::write`]) — callers loop, which is what lets the
+/// fault harness model torn writes.
+///
+/// `Send + Sync` so a `DurableIndex` holding one (behind its shard
+/// `RwLock`) stays shareable across service worker threads.
+pub trait IoFile: Send + Sync {
+    /// Writes a prefix of `buf`, returning how many bytes were
+    /// accepted.
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize>;
+
+    /// Flushes file *data* to stable storage (`fdatasync`).
+    fn sync_data(&mut self) -> std::io::Result<()>;
+}
+
+/// The pluggable filesystem: every durable-path operation in this
+/// crate, and nothing else.
+pub trait StorageIo: Send + Sync + std::fmt::Debug {
+    /// Creates (or truncates) `path` for writing.
+    fn create(&self, path: &Path) -> std::io::Result<Box<dyn IoFile>>;
+
+    /// Opens an existing file for appending, first truncating it to
+    /// `valid_len` (recovery discards a torn tail this way before new
+    /// records go after the valid prefix).
+    fn open_append(&self, path: &Path, valid_len: u64) -> std::io::Result<Box<dyn IoFile>>;
+
+    /// Reads the whole file at `path` into memory.
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>>;
+
+    /// Atomically renames `from` to `to` (same directory).
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()>;
+
+    /// Deletes the file at `path`.
+    fn remove_file(&self, path: &Path) -> std::io::Result<()>;
+
+    /// Creates `path` and any missing parents.
+    fn create_dir_all(&self, path: &Path) -> std::io::Result<()>;
+
+    /// The file names (final components) inside directory `path`.
+    fn read_dir_names(&self, path: &Path) -> std::io::Result<Vec<String>>;
+
+    /// `fsync` on the directory itself, making completed renames and
+    /// creates durable.
+    fn sync_dir(&self, path: &Path) -> std::io::Result<()>;
+}
+
+/// The production [`StorageIo`]: a direct passthrough to `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl IoFile for File {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        Write::write(self, buf)
+    }
+
+    fn sync_data(&mut self) -> std::io::Result<()> {
+        File::sync_data(self)
+    }
+}
+
+impl StorageIo for RealIo {
+    fn create(&self, path: &Path) -> std::io::Result<Box<dyn IoFile>> {
+        Ok(Box::new(File::create(path)?))
+    }
+
+    fn open_append(&self, path: &Path, valid_len: u64) -> std::io::Result<Box<dyn IoFile>> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Box::new(file))
+    }
+
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        File::open(path)?.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn read_dir_names(&self, path: &Path) -> std::io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(path)? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        Ok(names)
+    }
+
+    fn sync_dir(&self, path: &Path) -> std::io::Result<()> {
+        File::open(path)?.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fiting-io-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn real_io_round_trip() {
+        let dir = scratch("round-trip");
+        let io = RealIo;
+        let p = dir.join("a.bin");
+        let mut f = io.create(&p).unwrap();
+        assert_eq!(f.write(b"hello").unwrap(), 5);
+        f.sync_data().unwrap();
+        drop(f);
+        assert_eq!(io.read(&p).unwrap(), b"hello");
+
+        // Append after truncating the torn tail.
+        let mut f = io.open_append(&p, 4).unwrap();
+        assert_eq!(f.write(b"!").unwrap(), 1);
+        drop(f);
+        assert_eq!(io.read(&p).unwrap(), b"hell!");
+
+        let q = dir.join("b.bin");
+        io.rename(&p, &q).unwrap();
+        io.sync_dir(&dir).unwrap();
+        let names = io.read_dir_names(&dir).unwrap();
+        assert_eq!(names, vec!["b.bin".to_string()]);
+        io.remove_file(&q).unwrap();
+        assert!(io.read(&q).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

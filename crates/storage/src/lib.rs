@@ -1,5 +1,6 @@
 //! Durability layer for the FITing-Tree workspace: snapshot pages +
-//! write-ahead log + crash-consistent recovery.
+//! write-ahead log + crash-consistent recovery, behind an injectable
+//! I/O boundary with a classified fault taxonomy.
 //!
 //! The rest of the workspace is volatile by design — the paper's
 //! evaluation is in-memory — but the FITing-Tree's size advantage
@@ -7,6 +8,14 @@
 //! This crate adds the missing layer without touching the in-memory
 //! hot paths:
 //!
+//! * [`io`] — the [`StorageIo`] boundary every durable-path syscall
+//!   crosses: [`RealIo`] in production, [`FaultIo`] (a deterministic,
+//!   seeded fault harness) in the chaos battery.
+//! * [`error`] — the fault taxonomy: every failure is a
+//!   [`StorageError`] classified transient vs permanent
+//!   ([`FaultClass`]); a [`RetryPolicy`] absorbs transients with
+//!   capped, jittered exponential backoff before anyone upstream sees
+//!   them.
 //! * [`wal`] — the per-shard write-ahead log: per-record CRC32,
 //!   group-commit batching, [`FsyncPolicy`] knobs, and a replay that
 //!   truncates at the first torn/corrupt record.
@@ -16,13 +25,17 @@
 //!   checkpointing on demand. Implements `SortedIndex` +
 //!   `BuildableIndex`, so it drops into [`ShardedIndex`] and the
 //!   service layer unchanged — rebalance splits/merges rotate the
-//!   per-shard logs automatically.
+//!   per-shard logs automatically. A permanent WAL/checkpoint fault
+//!   flips the shard into degraded read-only mode (typed refusals on
+//!   the `try_*` vocabulary, reads unaffected) until a successful
+//!   checkpoint heals it.
 //!
 //! [`SortedIndex`]: fiting_index_api::SortedIndex
 //! [`ShardedIndex`]: fiting_index_api::ShardedIndex
 //! * [`open_sharded`] — store-level recovery: reopen every shard
-//!   (newest intact snapshot + WAL tail), reassemble the
-//!   `ShardedIndex`.
+//!   (newest intact snapshot + WAL tail), reconcile overlapping spans
+//!   left by an interrupted split/merge, skip-and-report
+//!   unrecoverable directories, reassemble the `ShardedIndex`.
 //!
 //! Restart cost is the point: replaying a bounded WAL tail over a
 //! decoded snapshot is far cheaper than re-running segmentation over
@@ -61,13 +74,19 @@
 #![forbid(unsafe_code)]
 
 mod durable;
+pub mod error;
+pub mod fault;
+pub mod io;
 pub mod wal;
 
 pub use durable::{
     open_sharded, DurableConfig, DurableIndex, OpenError, PageSnapshot, RecoveredStore,
-    ShardRecovery, StorageBuildError,
+    ShardRecovery, SkippedShard, StorageBuildError, StoreReport,
 };
-pub use wal::{FsyncPolicy, Replay, ReplayOp, Wal, WalOp};
+pub use error::{FaultClass, IoOp, RetryPolicy, StorageError};
+pub use fault::{FaultIo, FaultPlan, InjectKind};
+pub use io::{IoFile, RealIo, StorageIo};
+pub use wal::{decode_records, FsyncPolicy, Replay, ReplayOp, Wal, WalOp};
 
 // Re-exported so durability consumers can checksum without depending
 // on the core crate directly.
@@ -76,10 +95,11 @@ pub use fiting_tree::snapshot::{crc32, SnapshotError};
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fiting_index_api::{BuildableIndex, SortedIndex};
+    use fiting_index_api::{BuildableIndex, ShardHealth, SortedIndex};
     use fiting_tree::{FitingTree, FitingTreeBuilder};
     use std::path::PathBuf;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
 
     static SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -93,6 +113,17 @@ mod tests {
 
     fn config(root: &PathBuf) -> DurableConfig<FitingTreeBuilder> {
         DurableConfig::new(root, FsyncPolicy::EveryN(4), FitingTreeBuilder::new(64)).unwrap()
+    }
+
+    fn fault_config(root: &PathBuf, io: &FaultIo) -> DurableConfig<FitingTreeBuilder> {
+        DurableConfig::with_io(
+            root,
+            FsyncPolicy::Always,
+            FitingTreeBuilder::new(64),
+            Arc::new(io.clone()),
+            RetryPolicy::immediate(3),
+        )
+        .unwrap()
     }
 
     type Durable = DurableIndex<u64, u64, FitingTree<u64, u64>>;
@@ -170,6 +201,31 @@ mod tests {
     }
 
     #[test]
+    fn reopen_carries_unflushable_acknowledged_records() {
+        let root = temp_root("carry");
+        let io = FaultIo::quiet();
+        let cfg = fault_config(&root, &io);
+        let mut idx: Durable =
+            DurableIndex::build_sorted(&cfg, (0..100u64).map(|k| (k, k)).collect()).unwrap();
+        // Acknowledged but never committed: lives only in the buffer.
+        assert_eq!(idx.try_insert(7777, 70), Ok(None));
+        assert_eq!(idx.try_remove(&0), Ok(Some(0)));
+        // The reopen's own flush attempt hits ENOSPC — the records
+        // must ride across the reload instead of dying with the
+        // handle (this is the lane-resurrection path).
+        io.fail_nth(IoOp::Write, "wal.000000", 1, InjectKind::Enospc, false);
+        assert!(idx.reload());
+        assert_eq!(idx.get(&7777), Some(&70));
+        assert_eq!(idx.get(&0), None);
+        // The carried suffix was re-logged and committed by the
+        // reopen; a second, fully clean reload proves it hit disk.
+        assert!(idx.reload());
+        assert_eq!(idx.get(&7777), Some(&70));
+        assert_eq!(idx.get(&0), None);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
     fn sharded_store_splits_merges_and_reopens() {
         use fiting_index_api::ShardedIndex;
         let root = temp_root("sharded");
@@ -191,13 +247,15 @@ mod tests {
         let stats = index.shard_stats();
         assert!(stats.iter().all(|s| s.disk_bytes > 0));
         assert!(stats.iter().any(|s| s.wal_bytes > 0));
+        assert!(stats.iter().all(|s| s.health == ShardHealth::Healthy));
         let expect = index.len();
         drop(index);
 
-        let (back, recoveries) = open_sharded::<u64, u64, FitingTree<u64, u64>>(&cfg).unwrap();
+        let (back, report) = open_sharded::<u64, u64, FitingTree<u64, u64>>(&cfg).unwrap();
         // Six dirs on disk (4 bulk + 1 split + … minus none deleted),
         // but the drained one recovers empty and is skipped.
-        assert!(recoveries.len() >= 5);
+        assert!(report.shards.len() >= 5);
+        assert!(report.skipped.is_empty());
         assert_eq!(back.len(), expect);
         assert_eq!(back.get(&90001), Some(42));
         assert_eq!(back.get(&500), Some(500));
@@ -218,6 +276,184 @@ mod tests {
         assert_eq!(index.checkpoint_shards(1), 0);
         // Threshold 0 checkpoints everything.
         assert_eq!(index.checkpoint_shards(0), 2);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn wal_commit_fault_degrades_and_checkpoint_heals() {
+        let root = temp_root("degrade-heal");
+        let io = FaultIo::quiet();
+        let cfg = fault_config(&root, &io);
+        let mut idx: Durable =
+            DurableIndex::build_sorted(&cfg, (0..100u64).map(|k| (k, k)).collect()).unwrap();
+
+        idx.try_insert(500, 5).unwrap();
+        // Kill the log permanently-for-now: the sync must degrade.
+        io.fail_nth(IoOp::Fsync, "wal.000000", 1, InjectKind::Eio, false);
+        assert!(idx.try_sync().is_err());
+        assert!(idx.is_degraded());
+        assert_eq!(idx.health(), ShardHealth::Degraded);
+        assert!(idx.degraded_reason().unwrap_or_default().contains("fsync"));
+
+        // Writes refuse fast and typed; reads keep serving.
+        assert!(idx.try_insert(501, 5).is_err());
+        assert!(idx.try_remove(&0).is_err());
+        assert!(idx.try_insert_many(vec![(502, 5)]).is_err());
+        assert_eq!(idx.get(&500), Some(&5));
+        assert_eq!(idx.get(&50), Some(&50));
+
+        // A clean checkpoint rotates the generation and heals.
+        assert!(idx.try_checkpoint().unwrap());
+        assert!(!idx.is_degraded());
+        assert_eq!(idx.generation(), 1);
+        assert_eq!(idx.try_insert(501, 9).unwrap(), None);
+        assert!(idx.try_sync().unwrap());
+
+        // The acknowledged pre-degrade write survived in the snapshot.
+        let dir = idx.shard_dir().to_path_buf();
+        drop(idx);
+        let (back, _) = Durable::open_shard(&cfg, &dir).unwrap();
+        assert_eq!(back.get(&500), Some(&5));
+        assert_eq!(back.get(&501), Some(&9));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "shard degraded")]
+    fn plain_insert_on_degraded_shard_panics() {
+        let root = temp_root("degrade-panic");
+        let io = FaultIo::quiet();
+        let cfg = fault_config(&root, &io);
+        let mut idx: Durable = DurableIndex::build_sorted(&cfg, vec![(1, 1)]).unwrap();
+        idx.try_insert(2, 2).unwrap();
+        io.fail_nth(IoOp::Write, "wal.000000", 1, InjectKind::Enospc, true);
+        let _ = idx.try_sync();
+        assert!(idx.is_degraded());
+        let _ = std::fs::remove_dir_all(&root);
+        idx.insert(3, 3); // panics
+    }
+
+    #[test]
+    fn checkpoint_failure_leaves_previous_generation_intact() {
+        let root = temp_root("ckpt-rollback");
+        let io = FaultIo::quiet();
+        let cfg = fault_config(&root, &io);
+        let mut idx: Durable =
+            DurableIndex::build_sorted(&cfg, (0..200u64).map(|k| (k, k)).collect()).unwrap();
+        idx.try_insert(900, 9).unwrap();
+        idx.try_sync().unwrap();
+        let dir = idx.shard_dir().to_path_buf();
+
+        // ENOSPC on the rename step: rotation must roll back.
+        io.fail_nth(IoOp::Rename, "snapshot.tmp", 1, InjectKind::Enospc, false);
+        assert!(idx.try_checkpoint().is_err());
+        assert!(idx.is_degraded());
+        assert_eq!(idx.generation(), 0);
+        assert!(dir.join("snapshot.000000").exists());
+        assert!(dir.join("wal.000000").exists());
+        assert!(!dir.join("snapshot.000001").exists());
+        assert!(!dir.join("wal.000001").exists());
+        assert!(!dir.join("snapshot.tmp").exists());
+
+        // Re-armed: the next checkpoint (fault gone) heals.
+        assert!(idx.try_checkpoint().unwrap());
+        assert_eq!(idx.generation(), 1);
+        assert!(!idx.is_degraded());
+        drop(idx);
+        let (back, info) = Durable::open_shard(&cfg, &dir).unwrap();
+        assert_eq!(info.generation, 1);
+        assert_eq!(back.get(&900), Some(&9));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn transient_storms_are_invisible_to_callers() {
+        let root = temp_root("transient");
+        let io = FaultIo::quiet();
+        let cfg = fault_config(&root, &io);
+        let mut idx: Durable =
+            DurableIndex::build_sorted(&cfg, (0..50u64).map(|k| (k, k)).collect()).unwrap();
+        io.fail_nth(IoOp::Write, "wal.000000", 1, InjectKind::Transient, false);
+        io.fail_nth(IoOp::Fsync, "wal.000000", 1, InjectKind::Transient, false);
+        idx.try_insert(77, 7).unwrap();
+        assert!(idx.try_sync().unwrap());
+        assert!(!idx.is_degraded());
+        assert!(idx.io_retries() >= 2);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reopen_in_place_rebuilds_from_disk() {
+        let root = temp_root("reload");
+        let cfg = config(&root);
+        let mut idx: Durable =
+            DurableIndex::build_sorted(&cfg, (0..300u64).map(|k| (k, k)).collect()).unwrap();
+        idx.try_insert(800, 8).unwrap();
+        // Not synced: reopen_in_place must flush the buffered record
+        // before discarding memory, so the acknowledged write survives.
+        let info = idx.reopen_in_place().unwrap();
+        assert_eq!(info.replayed, 1);
+        assert_eq!(idx.get(&800), Some(&8));
+        assert_eq!(idx.len(), 301);
+        assert!(SortedIndex::reload(&mut idx));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn open_sharded_skips_unrecoverable_dir_and_reports_it() {
+        use fiting_index_api::ShardedIndex;
+        let root = temp_root("skip");
+        let cfg = config(&root);
+        let index: ShardedIndex<u64, u64, Durable> =
+            ShardedIndex::bulk_load(&cfg, 2, (0..1000u64).map(|k| (k, k)).collect()).unwrap();
+        index.sync_all();
+        drop(index);
+        // A shard directory minted by a split that died before its
+        // first snapshot landed: present but empty.
+        std::fs::create_dir_all(root.join("shard-000099")).unwrap();
+        let (back, report) = open_sharded::<u64, u64, FitingTree<u64, u64>>(&cfg).unwrap();
+        assert_eq!(back.len(), 1000);
+        assert_eq!(report.shards.len(), 2);
+        assert_eq!(report.skipped.len(), 1);
+        assert!(report.skipped[0].dir.ends_with("shard-000099"));
+        assert!(matches!(
+            report.skipped[0].error,
+            OpenError::NoValidSnapshot(_)
+        ));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn open_sharded_reconciles_overlapping_spans() {
+        use fiting_index_api::ShardedIndex;
+        let root = temp_root("overlap");
+        let cfg = config(&root);
+        let index: ShardedIndex<u64, u64, Durable> =
+            ShardedIndex::bulk_load(&cfg, 1, (0..1000u64).map(|k| (k, k)).collect()).unwrap();
+        index.sync_all();
+        drop(index);
+        // Fake the crash window of an interrupted split: a second
+        // shard holding a copy of the tail [600, 1000) while the first
+        // still holds everything.
+        let tail_cfg = config(&root);
+        let tail: Durable =
+            DurableIndex::build_sorted(&tail_cfg, (600..1000u64).map(|k| (k, k + 1)).collect())
+                .unwrap();
+        drop(tail);
+        let (back, report) = open_sharded::<u64, u64, FitingTree<u64, u64>>(&cfg).unwrap();
+        assert_eq!(back.len(), 1000);
+        // The tail shard's copy wins; the lower shard dropped its
+        // duplicates.
+        assert_eq!(back.get(&700), Some(701));
+        assert_eq!(back.get(&599), Some(599));
+        assert_eq!(
+            report
+                .shards
+                .iter()
+                .map(|r| r.overlap_dropped)
+                .sum::<usize>(),
+            400
+        );
         std::fs::remove_dir_all(&root).unwrap();
     }
 }

@@ -94,8 +94,15 @@ fn main() {
     // ---- Recovery ----------------------------------------------------
     // open_sharded: per shard, newest intact snapshot + WAL replay,
     // truncating the torn record; shard bounds re-derived from data.
-    let (recovered, reports) = open_sharded::<u64, u64, FitingTree<u64, u64>>(&config).unwrap();
-    for r in &reports {
+    let (recovered, report) = open_sharded::<u64, u64, FitingTree<u64, u64>>(&config).unwrap();
+    for s in &report.skipped {
+        println!(
+            "  skipped unrecoverable {}: {}",
+            s.dir.file_name().unwrap().to_string_lossy(),
+            s.error
+        );
+    }
+    for r in &report.shards {
         println!(
             "  {}: generation {}, snapshot {:.1} MiB, {} ops replayed{}",
             r.dir.file_name().unwrap().to_string_lossy(),

@@ -43,10 +43,14 @@ pub use fiting_storage as storage;
 pub use fiting_tree as tree;
 
 pub use fiting_index_api::{
-    BuildableIndex, DynSortedIndex, Key, OrderedF64, ShardStats, ShardedIndex, SortedIndex,
+    BuildableIndex, Degraded, DynSortedIndex, Key, OrderedF64, ShardHealth, ShardStats,
+    ShardedIndex, SortedIndex,
 };
 pub use fiting_index_service::{
-    Canceled, Client, Command, Completer, DurabilityConfig, IndexService, ServiceConfig,
-    ServiceStats, Ticket,
+    Canceled, Client, Command, CommandError, Completer, DurabilityConfig, IndexService, LaneHealth,
+    ServiceConfig, ServiceStats, SupervisorConfig, Ticket,
 };
-pub use fiting_storage::{open_sharded, DurableConfig, DurableIndex, FsyncPolicy};
+pub use fiting_storage::{
+    open_sharded, DurableConfig, DurableIndex, FaultIo, FaultPlan, FsyncPolicy, InjectKind, RealIo,
+    RetryPolicy, StorageError, StorageIo, StoreReport,
+};

@@ -285,9 +285,10 @@ fn durable_service_reopens_to_last_group_commit() {
     drop(client);
     let _ = svc.shutdown(); // final sync_all: everything is in the logs
 
-    let (back, recoveries) = open_sharded::<u64, u64, FitingTree<u64, u64>>(&cfg).unwrap();
-    assert_eq!(recoveries.len(), 4);
-    assert!(recoveries.iter().any(|r| r.replayed > 0));
+    let (back, report) = open_sharded::<u64, u64, FitingTree<u64, u64>>(&cfg).unwrap();
+    assert_eq!(report.shards.len(), 4);
+    assert!(report.skipped.is_empty());
+    assert!(report.shards.iter().any(|r| r.replayed > 0));
     assert_eq!(back.len(), expect_len);
     assert_eq!(back.get(&1), Some(0));
     assert_eq!(back.get(&0), None);
