@@ -65,6 +65,28 @@ fn line_allows(cf: &CleanFile, line: usize, rule: &str) -> bool {
         .is_some_and(|c| c.contains(&format!("fiting-check: allow({rule})")))
 }
 
+/// Whether `needle` appears in the comments covering a site: the
+/// line's own trailing comment or the contiguous run of comment-only
+/// lines directly above it (multi-line justifications count; a blank
+/// or code line terminates the run).
+fn site_comment_contains(cf: &CleanFile, line: usize, needle: &str) -> bool {
+    if cf.comments[line - 1].contains(needle) {
+        return true;
+    }
+    let mut ln = line;
+    while ln > 1 {
+        ln -= 1;
+        let comment = &cf.comments[ln - 1];
+        if !cf.code[ln - 1].trim().is_empty() || comment.is_empty() {
+            return false;
+        }
+        if comment.contains(needle) {
+            return true;
+        }
+    }
+    false
+}
+
 /// Runs every rule against one file. `raw` is the original source (the
 /// allowlist matches verbatim snippets); `path` is workspace-relative
 /// with `/` separators.
@@ -81,6 +103,9 @@ pub fn check_file(path: &str, raw: &str, allow: &[AllowEntry]) -> Vec<Finding> {
         findings.extend(rule_hot_path_panic(path, &cf, &raw_lines, allow));
         findings.extend(rule_std_sync_quarantine(path, &cf));
         findings.extend(rule_storage_io_unwrap(path, &cf));
+        findings.extend(rule_reader_wait_free(path, &cf));
+        findings.extend(rule_unsafe_safety_comment(path, &cf));
+        findings.extend(rule_sync_ordering_per_site(path, &cf));
     }
     findings.extend(rule_forbid_unsafe(path, &cf));
     findings.sort_by_key(|f| f.line);
@@ -440,6 +465,12 @@ fn rule_hot_path_panic(
 /// Every crate root must carry `#![forbid(unsafe_code)]` — the
 /// workspace-level `unsafe_code = "deny"` lint can be `allow`ed
 /// locally; `forbid` cannot.
+///
+/// The one vetted exception is `crates/sync/`, the workspace's single
+/// audited `unsafe` boundary (the seqlock's shared reads cannot be
+/// expressed in safe Rust). Its crate root must instead carry
+/// `#![deny(unsafe_op_in_unsafe_fn)]`, and every `unsafe` site there
+/// is held to the `unsafe-safety-comment` rule.
 fn rule_forbid_unsafe(path: &str, cf: &CleanFile) -> Vec<Finding> {
     let is_root = path.ends_with("/lib.rs")
         || path == "src/lib.rs"
@@ -447,6 +478,24 @@ fn rule_forbid_unsafe(path: &str, cf: &CleanFile) -> Vec<Finding> {
         || path.ends_with("/main.rs");
     if !is_root {
         return Vec::new();
+    }
+    if path.starts_with("crates/sync/") {
+        let denies = cf
+            .code
+            .iter()
+            .any(|l| l.contains("#![deny(unsafe_op_in_unsafe_fn)]"));
+        return if denies {
+            Vec::new()
+        } else {
+            vec![Finding {
+                file: path.to_string(),
+                line: 1,
+                rule: "forbid-unsafe",
+                message: "audited-unsafe crate root missing \
+                          `#![deny(unsafe_op_in_unsafe_fn)]`"
+                    .to_string(),
+            }]
+        };
     }
     let present = cf
         .code
@@ -556,6 +605,112 @@ fn rule_storage_io_unwrap(path: &str, cf: &CleanFile) -> Vec<Finding> {
                     ),
                 });
             }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Rule: reader-wait-free — no read-guard acquisition on reader hot paths
+// ---------------------------------------------------------------------
+
+/// Modules on the wait-free read path. Since the epoch/seqlock
+/// migration, a steady-state `get`/`range` performs zero lock
+/// acquisitions; a `.read()` guard creeping back into these modules
+/// silently re-introduces reader/writer blocking that no functional
+/// test would catch.
+const READER_HOT_PATH_MODULES: [&str; 2] =
+    ["index-api/src/sharded.rs", "index-service/src/worker.rs"];
+
+/// No `RwLock`-style `.read()` guard acquisition in reader hot-path
+/// modules — shared access there goes through the wait-free primitives
+/// (`Snapshots::read`, `SeqRwLock::read_with`). Writer-side `.write()`
+/// guards stay legal: writers may block.
+fn rule_reader_wait_free(path: &str, cf: &CleanFile) -> Vec<Finding> {
+    if !READER_HOT_PATH_MODULES.iter().any(|m| path.ends_with(m)) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (ln0, line) in cf.code.iter().enumerate() {
+        let ln = ln0 + 1;
+        if !cf.is_production(ln) || !line.contains(".read()") {
+            continue;
+        }
+        if !line_allows(cf, ln, "reader-wait-free") {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: ln,
+                rule: "reader-wait-free",
+                message: "`.read()` guard in a reader hot-path module; use the \
+                          wait-free primitives (Snapshots::read / \
+                          SeqRwLock::read_with) instead"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Rule: unsafe-safety-comment — every unsafe site in crates/sync audited
+// ---------------------------------------------------------------------
+
+/// Every `unsafe` site in the audited crate (`crates/sync/`, the only
+/// crate exempt from `forbid(unsafe_code)`) must carry a `// safety:`
+/// comment on the line or in the comment block directly above it,
+/// stating the invariant that makes the site sound.
+fn rule_unsafe_safety_comment(path: &str, cf: &CleanFile) -> Vec<Finding> {
+    if !path.starts_with("crates/sync/src/") {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (ln0, line) in cf.code.iter().enumerate() {
+        let ln = ln0 + 1;
+        if !cf.is_production(ln) || find_word(line, "unsafe").is_none() {
+            continue;
+        }
+        if !site_comment_contains(cf, ln, "safety:") {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: ln,
+                rule: "unsafe-safety-comment",
+                message: "`unsafe` site without a `// safety:` comment stating \
+                          the invariant that makes it sound"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Rule: sync-ordering-per-site — per-site ordering audit in crates/sync
+// ---------------------------------------------------------------------
+
+/// Inside `crates/sync/` — where the epoch and seqlock handshakes live
+/// and a single misplaced `Relaxed` is a torn read — the workspace's
+/// per-function `ordering-justification` rule is not enough: every
+/// atomic-ordering site must carry its own `// ordering:` comment on
+/// the line or in the comment block directly above it.
+fn rule_sync_ordering_per_site(path: &str, cf: &CleanFile) -> Vec<Finding> {
+    if !path.starts_with("crates/sync/src/") {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (ln0, line) in cf.code.iter().enumerate() {
+        let ln = ln0 + 1;
+        if !cf.is_production(ln) || !ORDERINGS.iter().any(|o| line.contains(o)) {
+            continue;
+        }
+        if !site_comment_contains(cf, ln, "ordering:") {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: ln,
+                rule: "sync-ordering-per-site",
+                message: "atomic-ordering site in the audited sync crate \
+                          without a per-site `// ordering:` justification"
+                    .to_string(),
+            });
         }
     }
     findings
@@ -713,6 +868,111 @@ fn bump(&self) {
         // Non-root files are not required to repeat the attribute.
         let f = check_file("crates/x/src/worker.rs", "pub fn a() {}\n", &[]);
         assert!(!rules_of(&f).contains(&"forbid-unsafe"), "{f:?}");
+
+        // The audited sync crate is exempt from forbid(unsafe_code) but
+        // must deny implicit unsafe scopes instead.
+        let f = check_file(
+            "crates/sync/src/lib.rs",
+            "//! docs\n#![deny(unsafe_op_in_unsafe_fn)]\npub fn a() {}\n",
+            &[],
+        );
+        assert!(!rules_of(&f).contains(&"forbid-unsafe"), "{f:?}");
+        // Mutation: the deny attribute dropped from the audited root.
+        let f = check_file("crates/sync/src/lib.rs", "//! docs\npub fn a() {}\n", &[]);
+        assert!(
+            f.iter()
+                .any(|f| f.rule == "forbid-unsafe" && f.message.contains("unsafe_op_in_unsafe_fn")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn reader_wait_free_fires_on_read_guard_in_hot_modules_only() {
+        // Mutation: a read *guard* re-introduced on the read path.
+        let bad = "fn get(&self) {\n    let guard = shard.read();\n}\n";
+        let f = check_file("crates/index-api/src/sharded.rs", bad, &[]);
+        assert!(rules_of(&f).contains(&"reader-wait-free"), "{f:?}");
+        let f = check_file("crates/index-service/src/worker.rs", bad, &[]);
+        assert!(rules_of(&f).contains(&"reader-wait-free"), "{f:?}");
+
+        // The wait-free closure form is the fixed shape.
+        let good = "fn get(&self) {\n    shard.read_with(|s| s.len());\n}\n";
+        let f = check_file("crates/index-api/src/sharded.rs", good, &[]);
+        assert!(!rules_of(&f).contains(&"reader-wait-free"), "{f:?}");
+
+        // Writers may block; cold modules may take read guards.
+        let writer = "fn put(&self) {\n    let mut g = shard.write();\n}\n";
+        let f = check_file("crates/index-api/src/sharded.rs", writer, &[]);
+        assert!(!rules_of(&f).contains(&"reader-wait-free"), "{f:?}");
+        let f = check_file("crates/index-service/src/stats.rs", bad, &[]);
+        assert!(!rules_of(&f).contains(&"reader-wait-free"), "{f:?}");
+
+        // Test code and vetted allow comments stay clean.
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn t() { let g = shard.read(); }\n}\n";
+        let f = check_file("crates/index-api/src/sharded.rs", test_only, &[]);
+        assert!(!rules_of(&f).contains(&"reader-wait-free"), "{f:?}");
+        let allowed = "fn get(&self) {\n    let g = shard.read(); \
+                       // fiting-check: allow(reader-wait-free) cold diagnostic\n}\n";
+        let f = check_file("crates/index-api/src/sharded.rs", allowed, &[]);
+        assert!(!rules_of(&f).contains(&"reader-wait-free"), "{f:?}");
+    }
+
+    #[test]
+    fn unsafe_safety_comment_fires_without_per_site_audit() {
+        // Mutation: the safety comment removed from an unsafe site.
+        let bad = "fn read(&self) {\n    let v = unsafe { &*self.data.get() };\n}\n";
+        let f = check_file("crates/sync/src/seqlock.rs", bad, &[]);
+        assert!(rules_of(&f).contains(&"unsafe-safety-comment"), "{f:?}");
+
+        // A `// safety:` block directly above the site is the contract,
+        // including multi-line justifications.
+        let good = "fn read(&self) {\n    // safety: writers drain this reader's\n    \
+                    // presence slot before mutating.\n    \
+                    let v = unsafe { &*self.data.get() };\n}\n";
+        let f = check_file("crates/sync/src/seqlock.rs", good, &[]);
+        assert!(!rules_of(&f).contains(&"unsafe-safety-comment"), "{f:?}");
+
+        // A blank line between comment and site breaks the coverage.
+        let detached = "fn read(&self) {\n    // safety: stale\n\n    \
+                        let v = unsafe { &*self.data.get() };\n}\n";
+        let f = check_file("crates/sync/src/seqlock.rs", detached, &[]);
+        assert!(rules_of(&f).contains(&"unsafe-safety-comment"), "{f:?}");
+
+        // Outside the audited crate the rule does not apply (the code
+        // wouldn't compile there anyway — forbid(unsafe_code)).
+        let f = check_file("crates/x/src/lib.rs", bad, &[]);
+        assert!(!rules_of(&f).contains(&"unsafe-safety-comment"), "{f:?}");
+    }
+
+    #[test]
+    fn sync_ordering_per_site_demands_per_site_comments() {
+        // One function-level comment covering two sites satisfies the
+        // workspace rule but NOT the audited crate's per-site rule.
+        let bad = "fn publish(&self) {\n    // ordering: Release pairs with reader Acquire.\n    \
+                   self.seq.fetch_add(1, Ordering::Release);\n    \
+                   let v = self.version.load(Ordering::Acquire);\n}\n";
+        let f = check_file("crates/sync/src/snapshot.rs", bad, &[]);
+        assert!(
+            f.iter()
+                .any(|f| f.rule == "sync-ordering-per-site" && f.line == 4),
+            "uncommented second site must fire: {f:?}"
+        );
+
+        let good = "fn publish(&self) {\n    // ordering: Release pairs with reader Acquire.\n    \
+                    self.seq.fetch_add(1, Ordering::Release);\n    \
+                    // ordering: Acquire pairs with the publisher's Release.\n    \
+                    let v = self.version.load(Ordering::Acquire);\n}\n";
+        let f = check_file("crates/sync/src/snapshot.rs", good, &[]);
+        assert!(!rules_of(&f).contains(&"sync-ordering-per-site"), "{f:?}");
+
+        // Outside the audited crate only the per-function rule applies.
+        let fnlevel =
+            "fn publish(&self) {\n    // ordering: Release publishes; Acquire reads.\n    \
+                       self.seq.fetch_add(1, Ordering::Release);\n    \
+                       let v = self.version.load(Ordering::Acquire);\n}\n";
+        let f = check_file("crates/x/src/epoch.rs", fnlevel, &[]);
+        assert!(!rules_of(&f).contains(&"sync-ordering-per-site"), "{f:?}");
+        assert!(!rules_of(&f).contains(&"ordering-justification"), "{f:?}");
     }
 
     #[test]

@@ -419,6 +419,7 @@ impl<K: Key, V> FitingTree<K, V> {
             buffered_entries: buffered,
             directory_splices: self.splices,
             directory_splice_entries: self.splice_entries,
+            directory_version: self.dir.version(),
             avg_segment_len: if live == 0 {
                 0.0
             } else {

@@ -28,6 +28,13 @@ pub struct FitingTreeStats {
     /// Cumulative `(anchor, slot)` entries written by those splices
     /// (the "moved segments" side of the O(moved + shift) splice cost).
     pub directory_splice_entries: u64,
+    /// Structural version of the flat directory: bumped by every
+    /// mutation of the anchor/slot arrays (dense rebuilds included, so
+    /// it runs ahead of `directory_splices`). Equal versions across two
+    /// observations prove the window was structurally quiescent — the
+    /// single-tree analogue of the sharded front-end's seqlock sequence
+    /// word.
+    pub directory_version: u64,
     /// Mean entries per segment.
     pub avg_segment_len: f64,
     /// Configured total error budget.

@@ -18,7 +18,7 @@ use std::fmt::Debug;
 /// to *predict* a position and always verifies with exact `Ord`
 /// comparisons, so lossy projection costs accuracy (a wider effective
 /// error), never correctness.
-pub trait Key: Copy + Ord + Debug {
+pub trait Key: Copy + Ord + Debug + 'static {
     /// Width in bytes of the fixed little-endian encoding written by
     /// [`to_le_bytes`](Self::to_le_bytes). At most
     /// [`KeyBytes::MAX_LEN`]; every value of the type encodes to

@@ -22,8 +22,9 @@
 //! * [`DynSortedIndex`] — the object-safe companion
 //!   (blanket-implemented) that benchmark harnesses drive as
 //!   `&mut dyn DynSortedIndex<K, V>`.
-//! * [`ShardedIndex`] — a range-partitioned concurrent front-end:
-//!   boundaries sampled at bulk load, one `RwLock` per shard,
+//! * [`ShardedIndex`] — a range-partitioned concurrent front-end with a
+//!   wait-free read path: boundaries sampled at bulk load, an
+//!   epoch-reclaimed routing snapshot, one seqlock per shard,
 //!   cross-shard `range_collect`, batched `insert_many`, and online
 //!   [`split_shard`](ShardedIndex::split_shard) /
 //!   [`merge_with_next`](ShardedIndex::merge_with_next) boundary moves.
@@ -50,7 +51,7 @@ pub use key::{Key, KeyBytes, OrderedF64};
 pub use rebalance::{
     RebalanceCounters, RebalanceOutcome, RebalancePolicy, RebalanceStats, Rebalancer, WriteSampler,
 };
-pub use sharded::{RebalanceError, ShardStats, ShardedIndex, SHARD_METADATA_BYTES};
+pub use sharded::{RebalanceError, RoutingStats, ShardStats, ShardedIndex, SHARD_METADATA_BYTES};
 pub use sorted::{
     clone_entry, clone_pair, sorted_slice_range, BuildableIndex, Degraded, DynSortedIndex,
     ShardHealth, SortedIndex,

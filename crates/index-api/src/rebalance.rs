@@ -357,7 +357,7 @@ pub struct Rebalancer<K: Key, V: Clone, I: BuildableIndex<K, V>> {
     _marker: std::marker::PhantomData<fn() -> (V, I)>,
 }
 
-impl<K: Key, V: Clone, I: BuildableIndex<K, V>> Rebalancer<K, V, I> {
+impl<K: Key, V: Clone, I: BuildableIndex<K, V> + 'static> Rebalancer<K, V, I> {
     /// A rebalancer that builds split-off shards with `config` and
     /// decides according to `policy`.
     #[must_use]

@@ -1,11 +1,12 @@
-//! Sharded concurrent front-end over any [`SortedIndex`].
+//! Sharded concurrent front-end over any [`SortedIndex`] with a
+//! **wait-free steady-state read path**.
 //!
 //! The previous concurrency story was one `RwLock` around the whole
 //! index: every write serialized every read. [`ShardedIndex`]
 //! range-partitions the key space into shards — boundaries chosen
-//! from the bulk-load sample — each behind its own reader-writer lock,
-//! so point operations on different shards never contend and writers
-//! block only the readers of one shard.
+//! from the bulk-load sample — so point operations on different
+//! shards never contend; this revision then removes the two remaining
+//! shared-mutable touches from the read path itself.
 //!
 //! # Design notes
 //!
@@ -15,31 +16,51 @@
 //!   move segment runs between shards online, and the
 //!   [`rebalance`](crate::rebalance) module drives them from observed
 //!   occupancy so append-skewed streams stop piling onto one shard.
-//! * **Routing table snapshots.** All routing state (the boundary keys
-//!   and the shard handles) lives in one immutable table behind an
-//!   `Arc`; operations clone the `Arc` (nanoseconds under a read lock)
-//!   and then work lock-free on the snapshot. A rebalance publishes a
-//!   new table while still holding the write locks of every shard it
-//!   touched, so an operation that acquired a shard lock under a stale
-//!   snapshot can detect the move — the key no longer routes to the
-//!   locked shard under the *current* table — and retry. Readers and
-//!   writers of untouched shards never block on a rebalance. Known
-//!   cost: the table fetch is one shared read-lock hold plus an `Arc`
-//!   refcount bump per operation — shared cache lines all cores
-//!   touch. An epoch check already skips the *second* fetch
-//!   (validation) on the hot path; retiring the first one needs an
-//!   `arc-swap`-style wait-free publish, which the no-`unsafe`,
-//!   offline-deps constraint currently rules out (see ROADMAP).
+//! * **Epoch-reclaimed routing snapshots.** All routing state (the
+//!   boundary keys and the shard handles) lives in one immutable
+//!   table published through [`fiting_sync::Snapshots`]: a rebalance
+//!   publishes a replacement table with one pointer swap, and a
+//!   steady-state reader resolves the current table from a
+//!   **thread-local cache** gated on one atomic version word — zero
+//!   lock acquisitions, zero `Arc` refcount bumps, zero shared
+//!   mutable cache lines. Retired tables are reclaimed after a grace
+//!   period, once every participating thread's resident version has
+//!   advanced past them. The old protocol's `Arc`-clone-under-read-
+//!   lock table fetch (one shared-line RMW per operation) is gone.
+//! * **Seqlock shards.** Each shard sits behind a
+//!   [`fiting_sync::SeqRwLock`] instead of an `RwLock`: readers
+//!   announce themselves in per-thread presence slots and enter
+//!   without any lock acquisition; a shard writer waits for in-flight
+//!   readers to drain rather than making readers wait to enter. A
+//!   reader that arrives while a writer is inside falls back to the
+//!   writer mutex (bounded, counted in
+//!   [`RoutingStats::contended_reads`]) — so `get`/`range_collect`
+//!   never spin and never observe torn shard state.
+//! * **Route-then-validate.** An operation pins a `(version, table)`
+//!   pair, routes, and enters the owning shard's read (or write)
+//!   section. An unchanged publisher version there proves the routing
+//!   is still current, because every rebalance publishes its new
+//!   table *before* releasing the shard write locks it holds — a
+//!   completed move is always visible as a version bump. On mismatch
+//!   the operation re-fetches the current table and accepts if it
+//!   still routes the key to the locked shard (shard identity by
+//!   `Arc` pointer); otherwise it retries against the new layout.
 //! * **Lock order.** Multi-shard operations ([`range_collect`],
 //!   [`insert_many`], [`len`]) visit shards in ascending index order
-//!   and hold at most one shard lock at a time; a rebalance holds at
-//!   most two (adjacent, ascending) and is serialized against other
-//!   rebalances by a dedicated mutex — so no lock cycle exists. The
-//!   cost is cross-shard snapshot consistency: a `range_collect`
-//!   concurrent with writes sees each *shard* atomically, not the
-//!   whole index.
+//!   and hold at most one shard lock (or read section) at a time; a
+//!   rebalance holds at most two (adjacent, ascending) and is
+//!   serialized against other rebalances by a dedicated mutex — so no
+//!   lock cycle exists. The cost is cross-shard snapshot consistency:
+//!   a `range_collect` concurrent with writes sees each *shard*
+//!   atomically, not the whole index.
 //! * **Shared handle.** `Clone` clones an `Arc` handle, mirroring how
 //!   the old `ConcurrentFitingTree` wrapper was shared across threads.
+//!
+//! The wait-free claims are not just asserted: the epoch-reclamation
+//! and seqlock protocols are model-checked under the deterministic
+//! scheduler (`crates/sync/tests/shuttle_models.rs`), and the
+//! oracle-differential battery (`tests/read_path_differential.rs`)
+//! proves the zero-lock steady state by counter deltas.
 //!
 //! [`range_collect`]: ShardedIndex::range_collect
 //! [`insert_many`]: ShardedIndex::insert_many
@@ -49,7 +70,8 @@
 
 use crate::key::Key;
 use crate::sorted::{BuildableIndex, ShardHealth, SortedIndex};
-use parking_lot::{Mutex, RwLock};
+use fiting_sync::{SeqRwLock, Snapshots};
+use parking_lot::Mutex;
 use std::ops::{Bound, RangeBounds};
 use std::sync::Arc;
 
@@ -57,8 +79,8 @@ use std::sync::Arc;
 /// convention: one boundary key + one shard pointer, 8 bytes each.
 pub const SHARD_METADATA_BYTES: usize = 16;
 
-/// Point-in-time snapshot of one shard's occupancy, taken under that
-/// shard's read lock by [`ShardedIndex::shard_stats`].
+/// Point-in-time snapshot of one shard's occupancy, taken inside that
+/// shard's read section by [`ShardedIndex::shard_stats`].
 ///
 /// Feeds two consumers: the service layer's observability (queue depth
 /// next to shard occupancy) and the [`rebalance`](crate::rebalance)
@@ -87,6 +109,38 @@ pub struct ShardStats {
     /// behalf ([`SortedIndex::io_retries`]); `0` for volatile
     /// structures.
     pub io_retries: u64,
+}
+
+/// Counters describing the wait-free read path's health, from
+/// [`ShardedIndex::routing_stats`].
+///
+/// The load-bearing pair is `refreshes` + `contended_reads`: over any
+/// window with no rebalance and no shard writes, **both deltas are
+/// zero** — every read resolved routing from its thread cache and
+/// entered its shard without touching a lock. The oracle-differential
+/// battery asserts exactly this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoutingStats {
+    /// Current routing-table version (bumped by every rebalance).
+    pub version: u64,
+    /// Routing tables published over the index's lifetime.
+    pub publishes: u64,
+    /// Reads that could not be served from a thread-local routing
+    /// cache (first touch per thread, post-publish revalidation, or a
+    /// nested read) and fell back to the publisher mutex.
+    pub refreshes: u64,
+    /// Retired routing tables whose grace period elapsed and were
+    /// dropped.
+    pub reclaimed: u64,
+    /// Retired routing tables still awaiting their grace period.
+    pub retired_backlog: usize,
+    /// Threads currently registered as routing-table readers.
+    pub participants: usize,
+    /// Shard reads that arrived while a writer was inside and fell
+    /// back to that shard's writer mutex (summed over the *current*
+    /// shards; counts on shards retired by merges are dropped with
+    /// them).
+    pub contended_reads: u64,
 }
 
 /// Why a [`split_shard`](ShardedIndex::split_shard) or
@@ -134,8 +188,8 @@ impl<E: std::fmt::Debug> std::fmt::Display for RebalanceError<E> {
 impl<E: std::fmt::Debug> std::error::Error for RebalanceError<E> {}
 
 /// One immutable routing epoch: the boundary keys plus the shard
-/// handles they route to. Swapped wholesale by rebalance operations;
-/// never mutated in place.
+/// handles they route to. Published wholesale through [`Snapshots`] by
+/// rebalance operations; never mutated in place.
 struct Table<K, I> {
     /// `bounds[i]` is the smallest key routed to shard `i + 1`;
     /// `shards.len() == bounds.len() + 1`, and shard 0 has no lower
@@ -145,7 +199,7 @@ struct Table<K, I> {
     /// Shard handles. `Arc` so consecutive tables share the untouched
     /// shards and so validation can compare shard *identity* by
     /// pointer.
-    shards: Vec<Arc<RwLock<I>>>,
+    shards: Vec<Arc<SeqRwLock<I>>>,
 }
 
 impl<K: Key, I> Table<K, I> {
@@ -162,22 +216,21 @@ impl<K: Key, I> Table<K, I> {
 }
 
 struct Inner<K, I> {
-    /// The current routing table. The outer lock is held only long
-    /// enough to clone or replace the `Arc` — never while any shard
-    /// lock is held or awaited.
-    table: RwLock<Arc<Table<K, I>>>,
-    /// Bumped (after the table swap, before the shard locks release)
-    /// by every rebalance. Point operations read it before routing and
-    /// after locking: an unchanged epoch proves no rebalance intervened
-    /// and skips the second table fetch on the hot path.
-    epoch: std::sync::atomic::AtomicU64,
+    /// The current routing table, epoch-reclaimed. Steady-state
+    /// readers pin it from a thread-local cache without locking;
+    /// rebalances publish replacements with one pointer swap. The
+    /// table's publisher version doubles as the rebalance epoch:
+    /// point operations read it at pin time and revalidate it inside
+    /// the shard section (see the module docs).
+    routing: Snapshots<Table<K, I>>,
     /// Serializes rebalance operations against each other, so each
     /// split/merge observes a stable table from decision to publish.
     rebalances: Mutex<()>,
 }
 
-/// A range-partitioned, per-shard-locked concurrent front-end over any
-/// [`SortedIndex`] implementation, with online shard rebalancing.
+/// A range-partitioned concurrent front-end over any [`SortedIndex`]
+/// implementation, with online shard rebalancing and a wait-free
+/// steady-state read path (see the module docs for the protocol).
 ///
 /// ```
 /// use fiting_index_api::{ShardedIndex, SortedIndex};
@@ -235,16 +288,16 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> Clone for ShardedIndex<K, V, I> {
 
 /// Wraps an already-built index as a single-shard front-end — the exact
 /// semantics of the old whole-index-lock `ConcurrentFitingTree`.
-impl<K: Key, V: Clone, I: SortedIndex<K, V>> From<I> for ShardedIndex<K, V, I> {
+impl<K: Key, V: Clone, I: SortedIndex<K, V> + 'static> From<I> for ShardedIndex<K, V, I> {
     fn from(index: I) -> Self {
         ShardedIndex::from_table(Table {
             bounds: Vec::new(),
-            shards: vec![Arc::new(RwLock::new(index))],
+            shards: vec![Arc::new(SeqRwLock::new(index))],
         })
     }
 }
 
-impl<K: Key, V: Clone, I: BuildableIndex<K, V>> ShardedIndex<K, V, I> {
+impl<K: Key, V: Clone, I: BuildableIndex<K, V> + 'static> ShardedIndex<K, V, I> {
     /// Bulk loads `sorted` (strictly increasing keys) into at most
     /// `shard_count` shards, choosing boundaries from evenly spaced
     /// sample positions in the data.
@@ -291,9 +344,9 @@ impl<K: Key, V: Clone, I: BuildableIndex<K, V>> ShardedIndex<K, V, I> {
             let at = rest.partition_point(|(k, _)| k < b);
             tails.push(rest.split_off(at));
         }
-        shards.push(Arc::new(RwLock::new(I::build_sorted(config, rest)?)));
+        shards.push(Arc::new(SeqRwLock::new(I::build_sorted(config, rest)?)));
         for chunk in tails.into_iter().rev() {
-            shards.push(Arc::new(RwLock::new(I::build_sorted(config, chunk)?)));
+            shards.push(Arc::new(SeqRwLock::new(I::build_sorted(config, chunk)?)));
         }
         debug_assert_eq!(shards.len(), bounds.len() + 1);
         Ok(ShardedIndex::from_table(Table { bounds, shards }))
@@ -329,7 +382,7 @@ impl<K: Key, V: Clone, I: BuildableIndex<K, V>> ShardedIndex<K, V, I> {
             bounds,
             shards: shards
                 .into_iter()
-                .map(|s| Arc::new(RwLock::new(s)))
+                .map(|s| Arc::new(SeqRwLock::new(s)))
                 .collect(),
         })
     }
@@ -415,16 +468,13 @@ impl<K: Key, V: Clone, I: BuildableIndex<K, V>> ShardedIndex<K, V, I> {
         let mut bounds = table.bounds.clone();
         bounds.insert(shard, at);
         let mut shards = table.shards.clone();
-        shards.insert(shard + 1, Arc::new(RwLock::new(upper)));
-        *self.inner.table.write() = Arc::new(Table { bounds, shards });
-        // ordering: Release pairs with the Acquire epoch loads in
-        // read_owner/write_owner — observing the bumped epoch implies
-        // observing the new table published just above.
-        self.inner
-            .epoch
-            .fetch_add(1, std::sync::atomic::Ordering::Release);
-        // Only now release the source lock: any operation that routed
-        // here under the old table revalidates against the new one.
+        shards.insert(shard + 1, Arc::new(SeqRwLock::new(upper)));
+        // Publish the new table (one pointer swap + version bump; the
+        // bump is what route-then-validate revalidates against) while
+        // still holding the source shard's write lock: any operation
+        // that routed here under the old table observes the bump or
+        // the new table and re-routes.
+        self.inner.routing.publish(Table { bounds, shards });
         drop(guard);
         Ok(moved)
     }
@@ -486,85 +536,95 @@ impl<K: Key, V: Clone, I: BuildableIndex<K, V>> ShardedIndex<K, V, I> {
         bounds.remove(shard);
         let mut shards = table.shards.clone();
         shards.remove(shard + 1);
-        *self.inner.table.write() = Arc::new(Table { bounds, shards });
-        // ordering: Release pairs with the Acquire epoch loads in
-        // read_owner/write_owner, as in split_shard.
-        self.inner
-            .epoch
-            .fetch_add(1, std::sync::atomic::Ordering::Release);
+        // Publish before releasing either write lock, exactly as in
+        // split_shard — the version bump is the re-route signal.
+        self.inner.routing.publish(Table { bounds, shards });
         drop(retire_guard);
         drop(keep_guard);
         Ok(moved)
     }
 }
 
-impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
+impl<K: Key, V: Clone, I: SortedIndex<K, V> + 'static> ShardedIndex<K, V, I> {
     fn from_table(table: Table<K, I>) -> Self {
         ShardedIndex {
             inner: Arc::new(Inner {
-                table: RwLock::new(Arc::new(table)),
-                epoch: std::sync::atomic::AtomicU64::new(0),
+                routing: Snapshots::new(table),
                 rebalances: Mutex::new(()),
             }),
             _values: std::marker::PhantomData,
         }
     }
 
-    /// Clones the current routing-table snapshot (a brief read lock
-    /// around one `Arc` clone — the only lock ever nested inside a
-    /// shard lock, and never held across any other acquisition).
+    /// Clones the current routing-table handle — the *cold* fetch
+    /// (publisher mutex + `Arc` clone) used by rebalances, stats, and
+    /// whole-index walks. Hot point operations pin the thread-cached
+    /// snapshot through `self.inner.routing.read` instead.
     fn table(&self) -> Arc<Table<K, I>> {
-        Arc::clone(&self.inner.table.read())
+        self.inner.routing.current()
     }
 
     /// Runs `f` with shared access to the shard that owns `key` under
     /// the *current* routing table, retrying if a concurrent rebalance
-    /// moves the key's boundary between routing and lock acquisition.
+    /// moves the key's boundary between routing and shard entry.
+    ///
+    /// Steady state (warm thread cache, no concurrent rebalance, no
+    /// writer inside the shard) performs **zero lock acquisitions and
+    /// zero `Arc` clones**: the routing pin is a thread-local version
+    /// check and the shard entry is a presence-slot announcement.
     fn read_owner<R>(&self, key: &K, f: impl FnOnce(&I) -> R) -> R {
-        use std::sync::atomic::Ordering;
+        let routing = &self.inner.routing;
         let mut f = Some(f);
-        // ordering: Acquire epoch loads pair with the rebalancers'
-        // Release bump — an unchanged epoch across the lock acquisition
-        // proves the routing snapshot is still current.
         loop {
-            let epoch = self.inner.epoch.load(Ordering::Acquire);
-            let table = self.table();
-            let shard = Arc::clone(&table.shards[table.shard_for(key)]);
-            let guard = shard.read();
-            // Fast path: no rebalance published between routing and
-            // lock acquisition, so the routing is current by
-            // construction (a rebalance bumps the epoch before
-            // releasing the shard locks it holds).
-            if self.inner.epoch.load(Ordering::Acquire) == epoch {
-                return (f.take().expect("resolved on first success"))(&guard);
-            }
-            // Slow path: re-fetch the table. While we hold the shard
-            // lock, no rebalance touching this shard can publish; so if
-            // the current table routes `key` here, this shard
-            // authoritatively owns it.
-            let cur = self.table();
-            if Arc::ptr_eq(&cur, &table) || Arc::ptr_eq(&cur.shards[cur.shard_for(key)], &shard) {
-                return (f.take().expect("resolved on first success"))(&guard);
+            let done = routing.read(|version, table| {
+                let shard = &table.shards[table.shard_for(key)];
+                shard.read_with(|s| {
+                    // Fast path: no table published since we pinned, so
+                    // the routing is current by construction (a
+                    // rebalance publishes before releasing the shard
+                    // write locks it holds — see the module docs).
+                    if routing.version() == version {
+                        return Some((f.take().expect("resolved on first success"))(s));
+                    }
+                    // Slow path: re-fetch the table. While we are
+                    // inside the shard's read section, no rebalance
+                    // touching this shard can complete; so if the
+                    // current table routes `key` here, this shard
+                    // authoritatively owns it.
+                    let cur = routing.current();
+                    if Arc::ptr_eq(&cur.shards[cur.shard_for(key)], shard) {
+                        return Some((f.take().expect("resolved on first success"))(s));
+                    }
+                    None
+                })
+            });
+            if let Some(r) = done {
+                return r;
             }
         }
     }
 
-    /// Exclusive-access counterpart of [`read_owner`](Self::read_owner).
+    /// Exclusive-access counterpart of [`read_owner`](Self::read_owner)
+    /// — same route-then-validate protocol, entering the shard's write
+    /// side (which waits for in-flight readers to drain).
     fn write_owner<R>(&self, key: &K, f: impl FnOnce(&mut I) -> R) -> R {
-        use std::sync::atomic::Ordering;
+        let routing = &self.inner.routing;
         let mut f = Some(f);
-        // ordering: same Acquire/Release epoch contract as read_owner.
         loop {
-            let epoch = self.inner.epoch.load(Ordering::Acquire);
-            let table = self.table();
-            let shard = Arc::clone(&table.shards[table.shard_for(key)]);
-            let mut guard = shard.write();
-            if self.inner.epoch.load(Ordering::Acquire) == epoch {
-                return (f.take().expect("resolved on first success"))(&mut guard);
-            }
-            let cur = self.table();
-            if Arc::ptr_eq(&cur, &table) || Arc::ptr_eq(&cur.shards[cur.shard_for(key)], &shard) {
-                return (f.take().expect("resolved on first success"))(&mut guard);
+            let done = routing.read(|version, table| {
+                let shard = &table.shards[table.shard_for(key)];
+                let mut guard = shard.write();
+                if routing.version() == version {
+                    return Some((f.take().expect("resolved on first success"))(&mut guard));
+                }
+                let cur = routing.current();
+                if Arc::ptr_eq(&cur.shards[cur.shard_for(key)], shard) {
+                    return Some((f.take().expect("resolved on first success"))(&mut guard));
+                }
+                None
+            });
+            if let Some(r) = done {
+                return r;
             }
         }
     }
@@ -591,7 +651,36 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
     /// trusting a stale answer).
     #[must_use]
     pub fn shard_of(&self, key: &K) -> usize {
-        self.table().shard_for(key)
+        self.inner.routing.read(|_, table| table.shard_for(key))
+    }
+
+    /// Counters for the wait-free read path — see [`RoutingStats`].
+    #[must_use]
+    pub fn routing_stats(&self) -> RoutingStats {
+        let s = self.inner.routing.stats();
+        let contended = self
+            .table()
+            .shards
+            .iter()
+            .map(|sh| sh.contended_reads())
+            .sum();
+        RoutingStats {
+            version: s.version,
+            publishes: s.publishes,
+            refreshes: s.refreshes,
+            reclaimed: s.reclaimed,
+            retired_backlog: s.retired_backlog,
+            participants: s.participants,
+            contended_reads: contended,
+        }
+    }
+
+    /// Runs a reclamation pass over retired routing tables (normally
+    /// piggybacked on every publish; exposed so maintenance ticks can
+    /// drain the backlog of a rebalance-quiet index whose readers have
+    /// since advanced).
+    pub fn collect_routing(&self) {
+        self.inner.routing.collect();
     }
 
     /// The key span shard `shard` currently routes, as
@@ -621,7 +710,7 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
     ///
     /// Cost caveat: the generic [`SortedIndex::range`] iterator yields
     /// owned pairs, so reaching position `len / 2` clones half the
-    /// shard's values under its read lock. Fine as the rare
+    /// shard's values inside its read section. Fine as the rare
     /// sampler-miss fallback it exists for; prefer feeding the
     /// [`WriteSampler`](crate::WriteSampler) so the sampled median is
     /// used instead.
@@ -630,17 +719,19 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
     #[must_use]
     pub fn shard_median(&self, shard: usize) -> Option<K> {
         let table = self.table();
-        let guard = table.shards.get(shard)?.read();
-        let n = guard.len();
-        if n < 2 {
-            return None;
-        }
-        let median = guard.range(..).nth(n / 2).map(|(k, _)| k);
-        median
+        table.shards.get(shard)?.read_with(|s| {
+            let n = s.len();
+            if n < 2 {
+                return None;
+            }
+            s.range(..).nth(n / 2).map(|(k, _)| k)
+        })
     }
 
-    /// Point lookup under the owning shard's read lock; clones the
-    /// value out.
+    /// Point lookup inside the owning shard's read section; clones the
+    /// value out. Wait-free in steady state: the routing snapshot comes
+    /// from this thread's cache and the shard read is seqlock-optimistic,
+    /// so a quiescent index costs zero locks and zero `Arc` clones.
     #[must_use]
     pub fn get(&self, key: &K) -> Option<V> {
         self.read_owner(key, |shard| shard.get(key).cloned())
@@ -680,12 +771,12 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
                 if group.is_empty() {
                     continue;
                 }
-                let shard = Arc::clone(&table.shards[sid]);
+                let shard = &table.shards[sid];
                 let mut guard = shard.write();
                 let cur = self.table();
                 let mut owned = Vec::with_capacity(group.len());
                 for (k, v) in group {
-                    if Arc::ptr_eq(&cur.shards[cur.shard_for(&k)], &shard) {
+                    if Arc::ptr_eq(&cur.shards[cur.shard_for(&k)], shard) {
                         owned.push((k, v));
                     } else {
                         pending.push((k, v));
@@ -699,21 +790,21 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
         fresh
     }
 
-    /// Applies `f` to every `(key, payload)` item under the owning
-    /// shard's *read* lock, grouping items so each involved shard's
-    /// lock is taken once per pass instead of once per item. Items
-    /// whose key a concurrent rebalance re-routes mid-pass are retried
-    /// against the new layout, so `f` runs exactly once per item and
-    /// always against the shard that owns the key at that moment.
+    /// Applies `f` to every `(key, payload)` item inside the owning
+    /// shard's *read* section, grouping items so each involved shard is
+    /// entered once per pass instead of once per item. Items whose key
+    /// a concurrent rebalance re-routes mid-pass are retried against
+    /// the new layout, so `f` runs exactly once per item and always
+    /// against the shard that owns the key at that moment.
     ///
-    /// Returns the number of read-lock acquisitions taken — the
-    /// coalescing win the service layer reports as `read_runs`.
+    /// Returns the number of read sections entered — the coalescing
+    /// win the service layer reports as `read_runs`.
     ///
     /// Within one key, items keep their submitted order (grouping is
     /// stable and a key's items always land in the same group).
     pub fn with_read_groups<T>(&self, items: Vec<(K, T)>, mut f: impl FnMut(&I, K, T)) -> usize {
         let mut pending = items;
-        let mut locks = 0;
+        let mut runs = 0;
         while !pending.is_empty() {
             let table = self.table();
             let mut groups: Vec<Vec<(K, T)>> =
@@ -725,20 +816,21 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
                 if group.is_empty() {
                     continue;
                 }
-                let shard = Arc::clone(&table.shards[sid]);
-                let guard = shard.read();
-                let cur = self.table();
-                locks += 1;
-                for (k, t) in group {
-                    if Arc::ptr_eq(&cur.shards[cur.shard_for(&k)], &shard) {
-                        f(&guard, k, t);
-                    } else {
-                        pending.push((k, t));
+                let shard = &table.shards[sid];
+                shard.read_with(|s| {
+                    let cur = self.table();
+                    runs += 1;
+                    for (k, t) in group {
+                        if Arc::ptr_eq(&cur.shards[cur.shard_for(&k)], shard) {
+                            f(s, k, t);
+                        } else {
+                            pending.push((k, t));
+                        }
                     }
-                }
+                });
             }
         }
-        locks
+        runs
     }
 
     /// Write-lock counterpart of
@@ -765,12 +857,12 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
                 if group.is_empty() {
                     continue;
                 }
-                let shard = Arc::clone(&table.shards[sid]);
+                let shard = &table.shards[sid];
                 let mut guard = shard.write();
                 let cur = self.table();
                 locks += 1;
                 for (k, t) in group {
-                    if Arc::ptr_eq(&cur.shards[cur.shard_for(&k)], &shard) {
+                    if Arc::ptr_eq(&cur.shards[cur.shard_for(&k)], shard) {
                         f(&mut guard, k, t);
                     } else {
                         pending.push((k, t));
@@ -782,7 +874,7 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
     }
 
     /// Collects a cross-shard range scan, visiting each overlapping
-    /// shard under its read lock in ascending key order.
+    /// shard inside its read section in ascending key order.
     ///
     /// Each shard is read atomically; concurrent writers may be
     /// interleaved *between* shards (see the module docs). The walk
@@ -790,54 +882,84 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
     /// concurrent split or merge neither skips nor repeats a key span —
     /// though, like any cross-shard scan, entries a rebalance moves
     /// between two visits may be seen in their pre- or post-move shard.
+    /// Like `get`, each step is wait-free in steady state.
     #[must_use]
     pub fn range_collect<R: RangeBounds<K>>(&self, range: R) -> Vec<(K, V)> {
+        let routing = &self.inner.routing;
         let hi: Bound<K> = range.end_bound().cloned();
         let mut cursor: Bound<K> = range.start_bound().cloned();
         let mut out = Vec::new();
         loop {
-            let table = self.table();
-            let sid = table.shard_for_bound(&cursor);
-            let shard = Arc::clone(&table.shards[sid]);
-            let guard = shard.read();
-            let cur = self.table();
-            let csid = cur.shard_for_bound(&cursor);
-            if !Arc::ptr_eq(&cur.shards[csid], &shard) {
-                continue; // the cursor's boundary moved; re-route
+            // One step = pin the routing snapshot (thread-cached, no
+            // locks), enter the cursor's shard, validate, extend.
+            // `None` means the cursor's boundary moved mid-step:
+            // re-route against the new table.
+            let step = routing.read(|version, table| {
+                let sid = table.shard_for_bound(&cursor);
+                let shard = &table.shards[sid];
+                shard.read_with(|s| {
+                    let cur;
+                    // Span bounds must come from a table this shard is
+                    // validated against — pinned if still current,
+                    // else the re-fetched one (same proof as
+                    // read_owner's slow path).
+                    let (vsid, vbounds) = if routing.version() == version {
+                        (sid, &table.bounds)
+                    } else {
+                        cur = routing.current();
+                        let csid = cur.shard_for_bound(&cursor);
+                        if !Arc::ptr_eq(&cur.shards[csid], shard) {
+                            return None;
+                        }
+                        (csid, &cur.bounds)
+                    };
+                    // Upper edge of the validated shard's span (`None`
+                    // for the last shard).
+                    let shard_hi: Option<K> = vbounds.get(vsid).copied();
+                    let last_step = match (shard_hi, &hi) {
+                        (None, _) => true,
+                        (Some(b), Bound::Included(h)) => *h < b,
+                        (Some(b), Bound::Excluded(h)) => *h <= b,
+                        (Some(_), Bound::Unbounded) => false,
+                    };
+                    let step_hi = match (last_step, shard_hi) {
+                        (true, _) => hi,
+                        (false, Some(b)) => Bound::Excluded(b),
+                        (false, None) => unreachable!("non-final steps have a shard boundary"),
+                    };
+                    out.extend(s.range((cursor, step_hi)));
+                    Some((last_step, shard_hi))
+                })
+            });
+            match step {
+                Some((true, _)) => return out,
+                Some((false, shard_hi)) => {
+                    cursor =
+                        Bound::Included(shard_hi.expect("non-final steps have a shard boundary"));
+                }
+                None => {}
             }
-            // Upper edge of the locked shard's span under the table we
-            // validated against (`None` for the last shard).
-            let shard_hi: Option<K> = cur.bounds.get(csid).copied();
-            let last_step = match (shard_hi, &hi) {
-                (None, _) => true,
-                (Some(b), Bound::Included(h)) => *h < b,
-                (Some(b), Bound::Excluded(h)) => *h <= b,
-                (Some(_), Bound::Unbounded) => false,
-            };
-            let step_hi = match (last_step, shard_hi) {
-                (true, _) => hi,
-                (false, Some(b)) => Bound::Excluded(b),
-                (false, None) => unreachable!("non-final steps have a shard boundary"),
-            };
-            out.extend(guard.range((cursor, step_hi)));
-            if last_step {
-                return out;
-            }
-            cursor = Bound::Included(shard_hi.expect("non-final steps have a shard boundary"));
         }
     }
 
-    /// Total entries across shards (each shard counted under its read
-    /// lock, one at a time).
+    /// Total entries across shards (each shard counted inside its read
+    /// section, one at a time).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.table().shards.iter().map(|s| s.read().len()).sum()
+        self.table()
+            .shards
+            .iter()
+            .map(|s| s.read_with(SortedIndex::len))
+            .sum()
     }
 
     /// Whether no shard holds any entry.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.table().shards.iter().all(|s| s.read().is_empty())
+        self.table()
+            .shards
+            .iter()
+            .all(|s| s.read_with(SortedIndex::is_empty))
     }
 
     /// Bytes of index structure: every shard's own accounting plus
@@ -845,7 +967,11 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
     #[must_use]
     pub fn size_bytes(&self) -> usize {
         let table = self.table();
-        let shards: usize = table.shards.iter().map(|s| s.read().size_bytes()).sum();
+        let shards: usize = table
+            .shards
+            .iter()
+            .map(|s| s.read_with(SortedIndex::size_bytes))
+            .sum();
         shards + table.shards.len() * SHARD_METADATA_BYTES
     }
 
@@ -855,18 +981,18 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
         let table = self.table();
         format!(
             "Sharded<{}>x{}",
-            table.shards[0].read().name(),
+            table.shards[0].read_with(SortedIndex::name),
             table.shards.len()
         )
     }
 
-    /// Runs `f` on every shard in key order under its read lock (for
-    /// stats and invariant checks). Iterates one routing-table
+    /// Runs `f` on every shard in key order inside its read section
+    /// (for stats and invariant checks). Iterates one routing-table
     /// snapshot; a concurrent rebalance can move entries between
     /// not-yet-visited shards mid-iteration.
     pub fn for_each_shard(&self, mut f: impl FnMut(&I)) {
         for shard in &self.table().shards {
-            f(&shard.read());
+            shard.read_with(&mut f);
         }
     }
 
@@ -889,11 +1015,16 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
     // making their panic contract unsatisfiable. The key-routed and
     // grouped accessors above are the supported forms.
 
-    /// Per-shard entry counts, in shard order (each shard read under
-    /// its own lock, one at a time) — the quick imbalance probe.
+    /// Per-shard entry counts, in shard order (each shard read inside
+    /// its own read section, one at a time) — the quick imbalance
+    /// probe.
     #[must_use]
     pub fn shard_lens(&self) -> Vec<usize> {
-        self.table().shards.iter().map(|s| s.read().len()).collect()
+        self.table()
+            .shards
+            .iter()
+            .map(|s| s.read_with(SortedIndex::len))
+            .collect()
     }
 
     /// Per-shard [`ShardStats`] snapshots, in shard order.
@@ -907,15 +1038,14 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
             .shards
             .iter()
             .map(|s| {
-                let shard = s.read();
-                ShardStats {
+                s.read_with(|shard| ShardStats {
                     entries: shard.len(),
                     size_bytes: shard.size_bytes(),
                     disk_bytes: shard.disk_bytes(),
                     wal_bytes: shard.wal_bytes(),
                     health: shard.health(),
                     io_retries: shard.io_retries(),
-                }
+                })
             })
             .collect()
     }
@@ -1040,12 +1170,12 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
                 if group.is_empty() {
                     continue;
                 }
-                let shard = Arc::clone(&table.shards[sid]);
+                let shard = &table.shards[sid];
                 let mut guard = shard.write();
                 let cur = self.table();
                 let mut owned = Vec::with_capacity(group.len());
                 for (k, v) in group {
-                    if Arc::ptr_eq(&cur.shards[cur.shard_for(&k)], &shard) {
+                    if Arc::ptr_eq(&cur.shards[cur.shard_for(&k)], shard) {
                         owned.push((k, v));
                     } else {
                         pending.push((k, v));
@@ -1075,19 +1205,19 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ShardedIndex<K, V, I> {
     /// structure only ever reloads from its *own* storage).
     pub fn reload_shard(&self, idx: usize) -> Option<bool> {
         let table = self.table();
-        let shard = Arc::clone(table.shards.get(idx)?);
+        let shard = table.shards.get(idx)?;
         let reloaded = shard.write().reload();
         Some(reloaded)
     }
 
     /// The [`ShardHealth`] of every shard, in shard order — the
-    /// supervisor's cheap probe (one read lock per shard).
+    /// supervisor's cheap probe (one read section per shard).
     #[must_use]
     pub fn shard_health(&self) -> Vec<ShardHealth> {
         self.table()
             .shards
             .iter()
-            .map(|s| s.read().health())
+            .map(|s| s.read_with(SortedIndex::health))
             .collect()
     }
 }
@@ -1452,5 +1582,38 @@ mod tests {
         let tiny: ShardedIndex<u64, u64, VecIndex<u64, u64>> =
             ShardedIndex::bulk_load(&(), 1, vec![(1, 1)]).unwrap();
         assert_eq!(tiny.shard_median(0), None);
+    }
+
+    #[test]
+    fn steady_state_reads_leave_no_counter_trace() {
+        let idx = load(2_000, 4);
+        // Warm this thread's routing cache, then measure a writer-quiet
+        // window: reads must not refresh routing or contend on shards.
+        assert_eq!(idx.get(&0), Some(0));
+        let before = idx.routing_stats();
+        for k in (0..2_000u64).step_by(3) {
+            assert_eq!(idx.get(&(k * 2)), Some(k));
+        }
+        let after = idx.routing_stats();
+        assert_eq!(after.refreshes, before.refreshes, "routing cache missed");
+        assert_eq!(
+            after.contended_reads, before.contended_reads,
+            "reader hit a shard slow path with no writer present"
+        );
+        assert_eq!(after.publishes, before.publishes);
+
+        // A rebalance publishes exactly one new table and the next
+        // read revalidates (one refresh), then goes quiet again.
+        let at = idx.shard_median(0).unwrap();
+        idx.split_shard(&(), 0, at).unwrap();
+        let bumped = idx.routing_stats();
+        assert_eq!(bumped.publishes, after.publishes + 1);
+        assert_eq!(bumped.version, after.version + 1);
+        assert_eq!(idx.get(&0), Some(0));
+        let refreshed = idx.routing_stats();
+        assert_eq!(refreshed.refreshes, bumped.refreshes + 1);
+        // Retired tables drain once every participant has advanced.
+        idx.collect_routing();
+        assert_eq!(idx.routing_stats().retired_backlog, 0);
     }
 }

@@ -55,11 +55,11 @@ use std::sync::Arc;
 
 /// A shared submission handle to a running
 /// [`IndexService`](crate::IndexService).
-pub struct Client<K: Key, V: Clone, I: SortedIndex<K, V>> {
+pub struct Client<K: Key, V: Clone, I: SortedIndex<K, V> + 'static> {
     pub(crate) shared: Arc<ServiceShared<K, V, I>>,
 }
 
-impl<K: Key, V: Clone, I: SortedIndex<K, V>> Clone for Client<K, V, I> {
+impl<K: Key, V: Clone, I: SortedIndex<K, V> + 'static> Clone for Client<K, V, I> {
     fn clone(&self) -> Self {
         Client {
             shared: Arc::clone(&self.shared),

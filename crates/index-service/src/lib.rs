@@ -191,7 +191,7 @@ impl Default for SupervisorConfig {
 /// Everything clients and workers share: the index, the frozen lane
 /// router, the per-lane queues and counters, and the (optional)
 /// rebalancing hooks.
-pub(crate) struct ServiceShared<K: Key, V: Clone, I: SortedIndex<K, V>> {
+pub(crate) struct ServiceShared<K: Key, V: Clone, I: SortedIndex<K, V> + 'static> {
     pub(crate) index: ShardedIndex<K, V, I>,
     /// Lane routing boundaries — the index's shard boundaries at
     /// service start, frozen so key → lane (and therefore per-key
@@ -218,7 +218,7 @@ pub(crate) struct ServiceShared<K: Key, V: Clone, I: SortedIndex<K, V>> {
     pub(crate) durability: Option<DurabilityConfig>,
 }
 
-impl<K: Key, V: Clone, I: SortedIndex<K, V>> ServiceShared<K, V, I> {
+impl<K: Key, V: Clone, I: SortedIndex<K, V> + 'static> ServiceShared<K, V, I> {
     /// The lane owning `key` under the frozen router.
     pub(crate) fn lane_of(&self, key: &K) -> usize {
         self.router.partition_point(|b| b <= key)
@@ -232,7 +232,7 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> ServiceShared<K, V, I> {
 /// Dropping the service shuts it down (close → drain → join); prefer
 /// the explicit [`shutdown`](Self::shutdown), which also returns the
 /// index.
-pub struct IndexService<K: Key, V: Clone, I: SortedIndex<K, V>> {
+pub struct IndexService<K: Key, V: Clone, I: SortedIndex<K, V> + 'static> {
     shared: Arc<ServiceShared<K, V, I>>,
     /// One slot per lane; the supervisor takes a dead worker's handle
     /// to join it and stores the respawned one, so shutdown always
@@ -496,6 +496,7 @@ where
                 .collect(),
             shards: self.shared.index.shard_stats(),
             rebalance: self.shared.rebalance.as_ref().map(|c| c.snapshot()),
+            routing: self.shared.index.routing_stats(),
             // ordering: Relaxed — advisory stats counter.
             checkpoint_failures: self
                 .shared
@@ -524,7 +525,7 @@ where
     }
 }
 
-impl<K: Key, V: Clone, I: SortedIndex<K, V>> IndexService<K, V, I> {
+impl<K: Key, V: Clone, I: SortedIndex<K, V> + 'static> IndexService<K, V, I> {
     fn stop(&mut self) {
         // Coordinators first, so the layout stops moving while queues
         // drain — and, critically, so the supervisor cannot reopen a
@@ -564,7 +565,7 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V>> IndexService<K, V, I> {
     }
 }
 
-impl<K: Key, V: Clone, I: SortedIndex<K, V>> Drop for IndexService<K, V, I> {
+impl<K: Key, V: Clone, I: SortedIndex<K, V> + 'static> Drop for IndexService<K, V, I> {
     fn drop(&mut self) {
         self.stop();
     }

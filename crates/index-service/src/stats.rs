@@ -14,7 +14,7 @@
 //! underneath as the rebalancer splits and merges them. The two
 //! vectors in [`ServiceStats`] therefore have independent lengths.
 
-use fiting_index_api::{RebalanceStats, ShardHealth, ShardStats};
+use fiting_index_api::{RebalanceStats, RoutingStats, ShardHealth, ShardStats};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// The lifecycle state of one lane (queue + worker pair), as reported
@@ -237,6 +237,12 @@ pub struct ServiceStats {
     /// Totals from the attached rebalancer; `None` when the service
     /// was started without one.
     pub rebalance: Option<RebalanceStats>,
+    /// Wait-free read-path counters of the underlying index's routing
+    /// snapshot and shard seqlocks. Steady state shows `refreshes` and
+    /// `contended_reads` flat between snapshots; each rebalance step
+    /// bumps `publishes`, and `retired_backlog` returning to zero shows
+    /// epoch reclamation keeping up.
+    pub routing: RoutingStats,
     /// Checkpoint rotations the coordinator attempted that failed
     /// (each one also flipped its shard to
     /// [`ShardHealth::Degraded`] — see [`is_degraded`](Self::is_degraded)).
@@ -339,6 +345,7 @@ mod tests {
                 merges: 0,
                 moved_keys: 20,
             }),
+            routing: RoutingStats::default(),
             checkpoint_failures: 0,
         };
         assert_eq!(stats.total_processed(), 12);
@@ -363,6 +370,7 @@ mod tests {
             )],
             shards: vec![ShardStats::default()],
             rebalance: None,
+            routing: RoutingStats::default(),
             checkpoint_failures: 0,
         };
         assert!(!stats.is_degraded());
@@ -399,6 +407,7 @@ mod tests {
             lanes: Vec::new(),
             shards: Vec::new(),
             rebalance: None,
+            routing: RoutingStats::default(),
             checkpoint_failures: 0,
         };
         assert_eq!(stats.mean_batch_len(), 0.0);

@@ -104,7 +104,7 @@ fn as_point_write<K: Key, V: Clone>(cmd: Command<K, V>) -> Option<(K, PointWrite
 }
 
 /// The body of lane `lane`'s worker thread.
-pub(crate) fn run<K: Key, V: Clone, I: SortedIndex<K, V>>(
+pub(crate) fn run<K: Key, V: Clone, I: SortedIndex<K, V> + 'static>(
     lane: usize,
     shared: &ServiceShared<K, V, I>,
 ) {
@@ -164,7 +164,7 @@ pub(crate) fn run<K: Key, V: Clone, I: SortedIndex<K, V>>(
 /// Lane teardown after a caught panic: refuse new submissions, then
 /// cancel every command already accepted, so no submitter ever hangs
 /// on a lane whose worker is gone.
-fn poison_lane<K: Key, V: Clone, I: SortedIndex<K, V>>(
+fn poison_lane<K: Key, V: Clone, I: SortedIndex<K, V> + 'static>(
     lane: usize,
     shared: &ServiceShared<K, V, I>,
 ) {
@@ -192,7 +192,7 @@ fn poison_lane<K: Key, V: Clone, I: SortedIndex<K, V>>(
 /// refused by degraded read-only shards (their tickets resolve
 /// `Err(Degraded)` rather than canceling — the write was declined, not
 /// lost).
-fn execute_batch<K: Key, V: Clone, I: SortedIndex<K, V>>(
+fn execute_batch<K: Key, V: Clone, I: SortedIndex<K, V> + 'static>(
     lane: usize,
     shared: &ServiceShared<K, V, I>,
     batch: Vec<Command<K, V>>,

@@ -745,7 +745,7 @@ pub fn open_sharded<K, V, I>(
 where
     K: Key,
     V: Key,
-    I: BuildableIndex<K, V> + PageSnapshot,
+    I: BuildableIndex<K, V> + PageSnapshot + 'static,
 {
     let root = config.root();
     let scan_retries = AtomicU64::new(0);

@@ -1,0 +1,57 @@
+//! **fiting-sync** — the wait-free read-path primitives of the
+//! FITing-Tree reproduction workspace.
+//!
+//! Two primitives, built for one protocol (the sharded front-end in
+//! `fiting-index-api`):
+//!
+//! * [`Snapshots`] — an epoch-reclaimed snapshot publisher. A writer
+//!   publishes a new immutable snapshot with one pointer swap under a
+//!   leaf mutex; steady-state readers resolve the current snapshot
+//!   from a **thread-local cache** keyed on one atomic version word —
+//!   zero lock acquisitions, zero `Arc` refcount traffic, zero shared
+//!   mutable state touched. Retired snapshots are dropped after a
+//!   grace period: when every participant's *resident* version has
+//!   advanced past the retired one. Implemented in 100% safe Rust
+//!   (the caches hold `Arc`s, so the grace-period protocol governs
+//!   *promptness* of reclamation while `Arc` makes it unconditionally
+//!   sound).
+//! * [`SeqRwLock`] — a reader-announcing seqlock: an even/odd sequence
+//!   word gates entry and per-thread presence slots let a writer wait
+//!   for in-flight readers to drain instead of tearing them. Readers
+//!   that lose the race to a writer fall back to the writer mutex, so
+//!   every read completes in bounded steps and never observes a torn
+//!   value. This type is the workspace's **single audited `unsafe`
+//!   boundary** (shared reads of an in-place-mutated value cannot be
+//!   expressed in safe Rust); the audit rules below apply.
+//!
+//! # Audit rules for `unsafe` in this crate
+//!
+//! Every other crate in the workspace carries
+//! `#![forbid(unsafe_code)]`, enforced by the `fiting-check`
+//! `forbid-unsafe` rule. This crate is the vetted exception, held to a
+//! stricter local bar (also machine-checked by `fiting-check`):
+//!
+//! 1. `#![deny(unsafe_op_in_unsafe_fn)]` — no implicit unsafe scopes.
+//! 2. Every `unsafe` site carries a `// safety:` comment stating the
+//!    invariant that makes it sound (`unsafe-safety-comment` rule).
+//! 3. Every atomic-ordering site carries a per-site `// ordering:`
+//!    justification on or immediately above the line
+//!    (`sync-ordering-per-site` rule — stricter than the workspace's
+//!    per-function `ordering-justification`).
+//!
+//! The protocols themselves are model-checked: `tests/shuttle_models.rs`
+//! replays the epoch-reclamation and seqlock state machines under the
+//! workspace's deterministic scheduler, including seeded mutants
+//! (use-after-reclaim, missing sequence bump) that the checker must
+//! catch.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod padded;
+mod seqlock;
+mod snapshot;
+
+pub use padded::CachePadded;
+pub use seqlock::{SeqRwLock, SeqWriteGuard};
+pub use snapshot::{SnapshotStats, Snapshots};

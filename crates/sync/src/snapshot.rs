@@ -1,0 +1,551 @@
+//! Epoch-reclaimed snapshot publishing: wait-free, cache-local reads
+//! of an immutable value that a writer occasionally replaces.
+//!
+//! # Protocol
+//!
+//! A [`Snapshots<T>`] owns a monotonically increasing **version** word
+//! and the current `Arc<T>` behind a leaf mutex (the *publish cell*).
+//! Each reading thread keeps, in thread-local storage, a cache of
+//! `(version, Arc<T>)` per publisher plus a shared *participant slot*
+//! holding the version it is **resident** on:
+//!
+//! * **Read (steady state):** load the version word; it equals the
+//!   cached version, so the cached `Arc<T>` is current — hand out
+//!   `&T`. No locks, no `Arc` clone, no shared store. This is the
+//!   whole hot path.
+//! * **Read (stale cache):** take the publish cell mutex once, clone
+//!   the current `Arc`, advance the cache and the resident slot to the
+//!   new version. One mutex hold + one refcount bump per *publish*,
+//!   not per read.
+//! * **Publish:** swap the `Arc` in the cell, bump the version
+//!   (`Release`), move the previous snapshot to the **retired list**
+//!   tagged with the version it was current for.
+//! * **Reclaim (grace period):** a retired snapshot tagged `v` is
+//!   dropped once `min(resident) > v` over all live participants —
+//!   i.e. no thread can still be handing out references into it. A
+//!   participant that has never read (or whose thread exited) is
+//!   *quiescent* and does not hold reclamation back.
+//!
+//! Safety does **not** rest on the grace-period arithmetic: the caches
+//! hold real `Arc`s, so even a protocol bug could only delay or hasten
+//! the publisher's *own* reference drop, never free memory a reader
+//! still uses. The protocol is what makes reclamation prompt and the
+//! read path free of refcount traffic; the `ebr_*` shuttle models in
+//! `tests/shuttle_models.rs` check the arithmetic against a
+//! use-after-reclaim mutant on raw (un-`Arc`ed) state, where it alone
+//! carries safety.
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Resident-slot sentinel: "this participant holds no snapshot".
+const QUIESCENT: u64 = u64::MAX;
+
+/// Thread-local registry length that triggers a sweep of cache entries
+/// whose publisher has been dropped.
+const REGISTRY_SWEEP_LEN: usize = 32;
+
+/// Counters describing a publisher's lifecycle, for observability and
+/// for the differential battery's "steady-state reads touch nothing
+/// shared" assertion (a quiescent read window must leave `refreshes`
+/// unchanged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotStats {
+    /// Current published version (starts at 1).
+    pub version: u64,
+    /// Snapshots published over the lifetime.
+    pub publishes: u64,
+    /// Slow-path resolutions: cache refreshes plus cache-bypass reads.
+    /// Constant while no publish intervenes and caches are warm.
+    pub refreshes: u64,
+    /// Retired snapshots whose grace period elapsed and whose
+    /// publisher-side reference was dropped.
+    pub reclaimed: u64,
+    /// Retired snapshots still waiting for a participant to advance.
+    pub retired_backlog: usize,
+    /// Live participant slots (reader threads that have touched this
+    /// publisher and not yet exited).
+    pub participants: usize,
+}
+
+/// One participant's shared residency word. The publisher reads it
+/// during reclamation; only the owning thread writes it.
+struct Slot {
+    resident: AtomicU64,
+}
+
+struct Inner<T> {
+    /// Registry key — process-unique, never reused.
+    id: u64,
+    /// Published version; bumped by every publish, `Release`-paired
+    /// with the readers' `Acquire` loads.
+    version: AtomicU64,
+    /// The publish cell. Lock order: leaf among this type's locks —
+    /// taken alone, never while `participants` or `retired` is held.
+    current: Mutex<Arc<T>>,
+    /// Participant slots, pruned when their thread exits.
+    participants: Mutex<Vec<Arc<Slot>>>,
+    /// Retired snapshots: `(version it was current for, snapshot)`.
+    retired: Mutex<Vec<(u64, Arc<T>)>>,
+    publishes: AtomicU64,
+    refreshes: AtomicU64,
+    reclaimed: AtomicU64,
+}
+
+/// Epoch-reclaimed snapshot publisher — see the module docs for the
+/// protocol. `Clone` shares the publisher (both handles see the same
+/// versions); independent instances never interfere.
+///
+/// ```
+/// use fiting_sync::Snapshots;
+///
+/// let snaps = Snapshots::new(vec![1, 2, 3]);
+/// let sum: i32 = snaps.read(|_v, data| data.iter().sum());
+/// assert_eq!(sum, 6);
+///
+/// snaps.publish(vec![10]);
+/// assert_eq!(snaps.read(|_v, data| data[0]), 10);
+/// assert_eq!(snaps.version(), 2);
+/// ```
+pub struct Snapshots<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Snapshots<T> {
+    fn clone(&self) -> Self {
+        Snapshots {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: 'static> std::fmt::Debug for Snapshots<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshots")
+            .field("version", &self.version())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The per-thread cache for one publisher.
+struct ThreadCache<T> {
+    /// Back-reference for liveness sweeps (a dead publisher's registry
+    /// entry is garbage).
+    publisher: Weak<Inner<T>>,
+    /// This thread's residency word, shared with the publisher.
+    slot: Arc<Slot>,
+    /// Version `value` was current for; `QUIESCENT` before first use.
+    version: Cell<u64>,
+    /// The cached snapshot. `RefCell` so a *nested* read that needs a
+    /// refresh mid-read detects the outstanding borrow and bypasses the
+    /// cache instead of invalidating the outer `&T`.
+    value: RefCell<Option<Arc<T>>>,
+}
+
+impl<T> Drop for ThreadCache<T> {
+    fn drop(&mut self) {
+        // ordering: Release so a publisher that observes the quiescent
+        // announcement also observes every read this thread performed
+        // before exiting.
+        self.slot.resident.store(QUIESCENT, Ordering::Release);
+    }
+}
+
+/// A type-erased registry row. `dead` re-instantiates the concrete
+/// type to probe publisher liveness without making the registry
+/// generic.
+struct RegistryEntry {
+    publisher: u64,
+    cache: Rc<dyn Any>,
+    dead: fn(&dyn Any) -> bool,
+}
+
+thread_local! {
+    /// All of this thread's publisher caches. One flat vec — a thread
+    /// talks to a handful of publishers (usually one), so a scan beats
+    /// a hash map.
+    static REGISTRY: RefCell<Vec<RegistryEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Process-unique publisher ids (never reused, so a registry entry can
+/// never alias a new publisher).
+static NEXT_PUBLISHER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Finds or creates this thread's cache for `inner`. `None` when the
+/// registry is unavailable (nested mid-mutation, or thread teardown) —
+/// the caller then bypasses the cache.
+fn cache_for<T: 'static>(inner: &Arc<Inner<T>>) -> Option<Rc<ThreadCache<T>>> {
+    REGISTRY
+        .try_with(|registry| {
+            let mut registry = registry.try_borrow_mut().ok()?;
+            if let Some(entry) = registry.iter().find(|e| e.publisher == inner.id) {
+                return Rc::clone(&entry.cache).downcast::<ThreadCache<T>>().ok();
+            }
+            if registry.len() >= REGISTRY_SWEEP_LEN {
+                registry.retain(|e| !(e.dead)(e.cache.as_ref()));
+            }
+            let slot = Arc::new(Slot {
+                resident: AtomicU64::new(QUIESCENT),
+            });
+            inner.participants.lock().push(Arc::clone(&slot));
+            let cache = Rc::new(ThreadCache::<T> {
+                publisher: Arc::downgrade(inner),
+                slot,
+                version: Cell::new(QUIESCENT),
+                value: RefCell::new(None),
+            });
+            registry.push(RegistryEntry {
+                publisher: inner.id,
+                cache: Rc::clone(&cache) as Rc<dyn Any>,
+                dead: |any| {
+                    any.downcast_ref::<ThreadCache<T>>()
+                        .is_none_or(|c| c.publisher.strong_count() == 0)
+                },
+            });
+            Some(cache)
+        })
+        .ok()
+        .flatten()
+}
+
+impl<T: 'static> Snapshots<T> {
+    /// Creates a publisher whose first snapshot is `value` (version 1).
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        Snapshots {
+            inner: Arc::new(Inner {
+                // ordering: Relaxed — the id is only ever compared for
+                // equality; nothing is published through it.
+                id: NEXT_PUBLISHER_ID.fetch_add(1, Ordering::Relaxed),
+                version: AtomicU64::new(1),
+                current: Mutex::new(Arc::new(value)),
+                participants: Mutex::new(Vec::new()),
+                retired: Mutex::new(Vec::new()),
+                publishes: AtomicU64::new(0),
+                refreshes: AtomicU64::new(0),
+                reclaimed: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Runs `f` against the current snapshot, passing the version it
+    /// was published as (the *pin*: the pair is consistent — `f` sees
+    /// exactly the snapshot that version names).
+    ///
+    /// Steady state (version unchanged since this thread's last read):
+    /// one atomic `Acquire` load plus thread-local bookkeeping — no
+    /// lock, no `Arc` clone, no store to shared memory. After a
+    /// publish: one refresh through the publish cell's mutex, counted
+    /// in [`SnapshotStats::refreshes`].
+    pub fn read<R>(&self, f: impl FnOnce(u64, &T) -> R) -> R {
+        if let Some(cache) = cache_for(&self.inner) {
+            // ordering: Acquire pairs with the Release version store in
+            // `publish`; observing version v here guarantees the refresh
+            // below (through the publish cell's mutex) sees the v table.
+            let version = self.inner.version.load(Ordering::Acquire);
+            if cache.version.get() == version || self.refresh(&cache) {
+                let value = cache.value.borrow();
+                if let Some(snapshot) = value.as_deref() {
+                    return f(cache.version.get(), snapshot);
+                }
+            }
+        }
+        // Cache bypass: a nested read raced a refresh, or the thread is
+        // tearing down. Correct, just not zero-overhead — counted as a
+        // refresh so the steady-state assertion in the differential
+        // battery observes it.
+        // ordering: Relaxed — diagnostics counter only.
+        self.inner.refreshes.fetch_add(1, Ordering::Relaxed);
+        let (version, snapshot) = {
+            let current = self.inner.current.lock();
+            // ordering: Relaxed is enough under the publish cell's
+            // mutex: version and snapshot are only written together
+            // inside it (see `publish`).
+            let version = self.inner.version.load(Ordering::Relaxed);
+            (version, Arc::clone(&current))
+        };
+        f(version, &snapshot)
+    }
+
+    /// Advances `cache` to the currently published snapshot. `false`
+    /// when the cache is mid-borrow (nested read) and must be bypassed.
+    fn refresh(&self, cache: &ThreadCache<T>) -> bool {
+        let Ok(mut value) = cache.value.try_borrow_mut() else {
+            return false;
+        };
+        // ordering: Relaxed — diagnostics counter only.
+        self.inner.refreshes.fetch_add(1, Ordering::Relaxed);
+        let version = {
+            let current = self.inner.current.lock();
+            *value = Some(Arc::clone(&current));
+            // ordering: Relaxed under the publish cell's mutex — the
+            // version is only stored while it is held (see `publish`),
+            // so this load is exactly the cloned snapshot's version.
+            self.inner.version.load(Ordering::Relaxed)
+        };
+        cache.version.set(version);
+        // ordering: Release so the publisher's Acquire scan in
+        // `collect` never observes residency *newer* than the cache
+        // state it reflects; an older (conservative) value only delays
+        // reclamation.
+        cache.slot.resident.store(version, Ordering::Release);
+        true
+    }
+
+    /// The current snapshot as an owned `Arc` — the slow accessor for
+    /// cold paths (validation re-checks, stats, rebalance decisions)
+    /// that must not disturb the calling thread's cache.
+    #[must_use]
+    pub fn current(&self) -> Arc<T> {
+        Arc::clone(&self.inner.current.lock())
+    }
+
+    /// The currently published version. Starts at 1; each publish adds
+    /// one.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        // ordering: Acquire pairs with the Release store in `publish`:
+        // code that observes version v may rely on every effect
+        // sequenced before that publish.
+        self.inner.version.load(Ordering::Acquire)
+    }
+
+    /// Publishes `value` as the new snapshot and retires the previous
+    /// one (dropped once every participant has moved past it). Returns
+    /// the new version. The swap itself is O(1) under the publish
+    /// cell's leaf mutex, which steady-state readers never touch —
+    /// publishing never waits for readers.
+    pub fn publish(&self, value: T) -> u64 {
+        let (previous, new_version) = {
+            let mut current = self.inner.current.lock();
+            // ordering: Relaxed under the publish cell's mutex (every
+            // version store happens inside it).
+            let old_version = self.inner.version.load(Ordering::Relaxed);
+            let previous = std::mem::replace(&mut *current, Arc::new(value));
+            let bumped = &self.inner.version;
+            // ordering: Release pairs with the Acquire loads in `read`
+            // and `version` — a reader observing the bumped version
+            // refreshes under the same mutex and gets the new snapshot.
+            bumped.store(old_version + 1, Ordering::Release);
+            (previous, old_version + 1)
+        };
+        self.inner.retired.lock().push((new_version - 1, previous));
+        // ordering: Relaxed — diagnostics counter only.
+        self.inner.publishes.fetch_add(1, Ordering::Relaxed);
+        self.collect();
+        new_version
+    }
+
+    /// One reclamation pass: drops every retired snapshot whose grace
+    /// period has elapsed (no participant resident on it or anything
+    /// older). Runs automatically after each publish; callable for
+    /// tests and idle housekeeping.
+    pub fn collect(&self) {
+        let min_resident = {
+            let mut participants = self.inner.participants.lock();
+            // A slot whose cache was dropped (thread exit) holds only
+            // our reference; prune it.
+            participants.retain(|slot| Arc::strong_count(slot) > 1);
+            participants
+                .iter()
+                // ordering: Acquire pairs with the readers' Release
+                // resident stores, so the residency floor is never
+                // newer than the caches it describes.
+                .map(|slot| slot.resident.load(Ordering::Acquire))
+                .filter(|&v| v != QUIESCENT)
+                .min()
+                .unwrap_or(u64::MAX)
+        };
+        let freed = {
+            let mut retired = self.inner.retired.lock();
+            let before = retired.len();
+            // Entry (v, _) is reclaimable once every resident version
+            // is strictly past v.
+            retired.retain(|&(v, _)| v >= min_resident);
+            before - retired.len()
+        };
+        if freed > 0 {
+            let reclaimed = &self.inner.reclaimed;
+            // ordering: Relaxed — diagnostics counter only.
+            reclaimed.fetch_add(freed as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Lifecycle counters — see [`SnapshotStats`].
+    #[must_use]
+    pub fn stats(&self) -> SnapshotStats {
+        // All fields are diagnostics counters; no cross-field
+        // consistency is promised.
+        SnapshotStats {
+            version: self.inner.version.load(Ordering::Relaxed), // ordering: Relaxed diag
+            publishes: self.inner.publishes.load(Ordering::Relaxed), // ordering: Relaxed diag
+            refreshes: self.inner.refreshes.load(Ordering::Relaxed), // ordering: Relaxed diag
+            reclaimed: self.inner.reclaimed.load(Ordering::Relaxed), // ordering: Relaxed diag
+            retired_backlog: self.inner.retired.lock().len(),
+            participants: self.inner.participants.lock().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    #[test]
+    fn read_sees_latest_publish() {
+        let snaps = Snapshots::new(1u64);
+        assert_eq!(snaps.read(|v, x| (v, *x)), (1, 1));
+        assert_eq!(snaps.publish(2), 2);
+        assert_eq!(snaps.read(|v, x| (v, *x)), (2, 2));
+        assert_eq!(snaps.current().as_ref(), &2);
+    }
+
+    #[test]
+    fn steady_state_reads_do_not_refresh() {
+        let snaps = Snapshots::new(7u64);
+        snaps.read(|_, _| ()); // warm the cache
+        let before = snaps.stats().refreshes;
+        for _ in 0..1_000 {
+            assert_eq!(snaps.read(|_, x| *x), 7);
+        }
+        assert_eq!(
+            snaps.stats().refreshes,
+            before,
+            "warm-cache reads must not touch the slow path"
+        );
+        snaps.publish(8);
+        assert_eq!(snaps.read(|_, x| *x), 8);
+        assert_eq!(
+            snaps.stats().refreshes,
+            before + 1,
+            "one refresh per publish"
+        );
+    }
+
+    #[test]
+    fn retired_snapshots_reclaim_after_readers_advance() {
+        let snaps = Snapshots::new(0u64);
+        snaps.read(|_, _| ());
+        snaps.publish(1);
+        // This thread is still resident on version 1's *predecessor*?
+        // No: the publish retired version 1's snapshot (value 0) and we
+        // are resident on version 1. Reading refreshes us to version 2,
+        // after which the retired entry's grace period elapses.
+        let backlog = snaps.stats().retired_backlog;
+        assert_eq!(backlog, 1, "old snapshot awaits our advance");
+        snaps.read(|_, _| ());
+        snaps.collect();
+        let stats = snaps.stats();
+        assert_eq!(stats.retired_backlog, 0);
+        assert_eq!(stats.reclaimed, 1);
+    }
+
+    #[test]
+    fn quiescent_participants_do_not_block_reclamation() {
+        let snaps = Snapshots::new(0u64);
+        // No reader has ever pinned: every retired entry reclaims at
+        // the next pass.
+        for i in 1..=5 {
+            snaps.publish(i);
+        }
+        let stats = snaps.stats();
+        assert_eq!(stats.retired_backlog, 0);
+        assert_eq!(stats.reclaimed, 5);
+        assert_eq!(stats.version, 6);
+    }
+
+    #[test]
+    fn exited_threads_release_their_residency() {
+        let snaps = Snapshots::new(0u64);
+        let reader = snaps.clone();
+        thread::spawn(move || reader.read(|_, _| ()))
+            .join()
+            .unwrap();
+        // The spawned thread pinned version 1 and exited; its slot must
+        // not hold future reclamation back.
+        snaps.publish(1);
+        snaps.collect();
+        let stats = snaps.stats();
+        assert_eq!(stats.retired_backlog, 0);
+        assert_eq!(stats.participants, 0, "exited participant pruned");
+    }
+
+    #[test]
+    fn nested_reads_bypass_instead_of_deadlocking() {
+        let snaps = Snapshots::new(10u64);
+        let inner = snaps.clone();
+        let result = snaps.read(|_, outer| {
+            // Publish from inside a read, then read again: the nested
+            // read must see the new value without invalidating `outer`.
+            inner.publish(20);
+            let nested = inner.read(|_, x| *x);
+            (*outer, nested)
+        });
+        assert_eq!(result, (10, 20));
+    }
+
+    #[test]
+    fn concurrent_readers_always_see_a_consistent_pair() {
+        // Snapshot is a (a, b) pair with a == b; publishes keep the
+        // invariant, so every read must observe it regardless of
+        // interleaving.
+        let snaps = Snapshots::new((0u64, 0u64));
+        let stop = Arc::new(AtomicBool::new(false));
+        let started = Arc::new(AtomicU64::new(0));
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let snaps = snaps.clone();
+            let stop = Arc::clone(&stop);
+            let started = Arc::clone(&started);
+            readers.push(thread::spawn(move || {
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    snaps.read(|_, &(a, b)| assert_eq!(a, b, "torn snapshot"));
+                    reads += 1;
+                    if reads == 1 {
+                        started.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                reads
+            }));
+        }
+        // On a single-core box the publisher can otherwise finish
+        // before the readers are ever scheduled.
+        while started.load(Ordering::Relaxed) < 2 {
+            thread::yield_now();
+        }
+        for i in 1..=200u64 {
+            snaps.publish((i, i));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+        // Every retired snapshot eventually reclaims once readers exit.
+        snaps.collect();
+        let stats = snaps.stats();
+        assert_eq!(stats.retired_backlog, 0);
+        assert_eq!(stats.reclaimed, 200);
+    }
+
+    #[test]
+    fn dead_publishers_are_swept_from_the_registry() {
+        // Churn far more publishers than the sweep threshold on one
+        // thread; the registry must not grow without bound.
+        for i in 0..(super::REGISTRY_SWEEP_LEN * 4) {
+            let snaps = Snapshots::new(i);
+            assert_eq!(snaps.read(|_, x| *x), i);
+        }
+        let len = REGISTRY.with(|r| r.borrow().len());
+        assert!(
+            len <= super::REGISTRY_SWEEP_LEN + 1,
+            "registry grew to {len} entries"
+        );
+    }
+}

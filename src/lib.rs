@@ -13,6 +13,10 @@
 //!   write-ahead logs with group commit, and crash-consistent
 //!   recovery (`DurableIndex` wraps any snapshot-capable structure
 //!   and drops into `ShardedIndex`/the service unchanged).
+//! * [`sync`] — the wait-free read-path primitives: epoch-reclaimed
+//!   snapshot publication (`Snapshots`) and the per-shard seqlock
+//!   (`SeqRwLock`), the audited foundation of `ShardedIndex`'s
+//!   zero-lock steady-state reads.
 //! * [`tree`] — the FITing-Tree itself (clustered + non-clustered index,
 //!   insert path, cost model). This is the paper's contribution.
 //! * [`plr`] — bounded-error piecewise-linear segmentation
@@ -40,6 +44,7 @@ pub use fiting_index_api as index_api;
 pub use fiting_index_service as service;
 pub use fiting_plr as plr;
 pub use fiting_storage as storage;
+pub use fiting_sync as sync;
 pub use fiting_tree as tree;
 
 pub use fiting_index_api::{
