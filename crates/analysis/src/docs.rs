@@ -1,0 +1,305 @@
+//! The `doc-link-integrity` rule: relative markdown links and bench
+//! artifact filename references in the operator documentation must
+//! resolve to real files.
+//!
+//! Documentation rots silently — a renamed crate README or a moved
+//! `BENCH_*.json` recording breaks the operator guide's links and
+//! nothing else notices. This rule re-checks, on every CI run:
+//!
+//! * every relative `[text](target)` link in the checked documents
+//!   (external `http(s)`/`mailto` targets and `#intra-doc` anchors are
+//!   skipped, fenced code blocks and inline code spans are not
+//!   scanned);
+//! * every `BENCH_<name>.json` filename mentioned anywhere in a
+//!   checked document — those are committed repo-root recordings, so
+//!   the mention must match a real file. Names ending `_nightly.json`
+//!   are exempt: nightly artifacts are uploaded, not committed.
+//!
+//! The checked documents are the operator-facing set: the top-level
+//! `README.md` / `ARCHITECTURE.md` / `ROADMAP.md`, everything under
+//! `docs/`, and each crate's `README.md`. Working notes (`ISSUE.md`,
+//! `PAPERS.md`, `SNIPPETS.md`, …) may reference files that do not
+//! exist in this repo and are deliberately out of scope.
+//!
+//! Link checking is a pure function over `(path, text, exists)` — the
+//! filesystem is injected — so the mutation self-tests below prove the
+//! detector fires without touching disk.
+
+use crate::rules::Finding;
+
+/// Whether a workspace-relative `.md` path belongs to the checked
+/// operator-documentation set.
+#[must_use]
+pub fn is_checked_doc(rel: &str) -> bool {
+    matches!(rel, "README.md" | "ARCHITECTURE.md" | "ROADMAP.md")
+        || (rel.starts_with("docs/") && rel.ends_with(".md"))
+        || (rel.starts_with("crates/") && rel.ends_with("/README.md"))
+}
+
+/// Resolves `target` against the directory of `doc_path`, normalizing
+/// `.` and `..` components. A leading `/` is repo-root-relative.
+/// Returns `None` when the target escapes the repository root.
+fn resolve(doc_path: &str, target: &str) -> Option<String> {
+    let doc_dir = doc_path.rfind('/').map_or("", |i| &doc_path[..i]);
+    let mut comps: Vec<&str> = if target.starts_with('/') {
+        Vec::new()
+    } else {
+        doc_dir.split('/').filter(|c| !c.is_empty()).collect()
+    };
+    for c in target.split('/') {
+        match c {
+            "" | "." => {}
+            ".." => {
+                comps.pop()?;
+            }
+            other => comps.push(other),
+        }
+    }
+    Some(comps.join("/"))
+}
+
+/// Replaces inline code spans (`` `…` ``) with spaces so link syntax
+/// shown *as code* is not treated as a link. Unterminated backticks
+/// blank the rest of the line (conservative: better to skip a link
+/// than to false-positive on example syntax).
+fn blank_inline_code(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_code = false;
+    for ch in line.chars() {
+        if ch == '`' {
+            in_code = !in_code;
+            out.push(' ');
+        } else if in_code {
+            out.push(' ');
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Extracts the targets of `[text](target)` links on a line (inline
+/// code already blanked). The optional `"title"` suffix and `#anchor`
+/// fragment are stripped.
+fn link_targets(line: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find("](") {
+        let start = from + rel + 2;
+        let Some(close) = line[start..].find(')') else {
+            break;
+        };
+        let raw = &line[start..start + close];
+        from = start + close + 1;
+        // `[a](file.md "title")` → keep the path part only.
+        let raw = raw.split_whitespace().next().unwrap_or("");
+        // `file.md#section` → the file part carries the integrity.
+        let path = raw.split('#').next().unwrap_or("");
+        if !path.is_empty() {
+            targets.push(path.to_string());
+        }
+    }
+    targets
+}
+
+/// Link targets that are not this rule's business: external URLs and
+/// pure intra-document anchors.
+fn is_external(target: &str) -> bool {
+    target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+}
+
+/// `BENCH_<name>.json` filenames mentioned on a line, minus the
+/// `_nightly` artifacts (uploaded by CI, never committed).
+fn bench_refs(line: &str) -> Vec<String> {
+    let mut refs = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find("BENCH_") {
+        let start = from + rel;
+        let rest = &line[start..];
+        let stem_len = rest
+            .char_indices()
+            .find(|&(_, c)| !(c.is_ascii_alphanumeric() || c == '_'))
+            .map_or(rest.len(), |(i, _)| i);
+        from = start + stem_len.max(1);
+        let stem = &rest[..stem_len];
+        if rest[stem_len..].starts_with(".json") && !stem.ends_with("_nightly") {
+            refs.push(format!("{stem}.json"));
+        }
+    }
+    refs
+}
+
+/// Checks one document's links and bench references against `exists`
+/// (workspace-relative path → does it exist). Pure: all filesystem
+/// knowledge is injected.
+#[must_use]
+pub fn check_doc_file(path: &str, text: &str, exists: &dyn Fn(&str) -> bool) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut in_fence = false;
+    for (ln0, line) in text.lines().enumerate() {
+        let ln = ln0 + 1;
+        if line.trim_start().starts_with("```") || line.trim_start().starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence || line.contains("fiting-check: allow(doc-link-integrity)") {
+            continue;
+        }
+        let prose = blank_inline_code(line);
+        for target in link_targets(&prose) {
+            if is_external(&target) {
+                continue;
+            }
+            match resolve(path, &target) {
+                Some(resolved) if exists(&resolved) => {}
+                _ => findings.push(Finding {
+                    file: path.to_string(),
+                    line: ln,
+                    rule: "doc-link-integrity",
+                    message: format!("relative link `{target}` does not resolve to a file"),
+                }),
+            }
+        }
+        // Bench recordings are repo-root files; a mention anywhere in
+        // prose or inline code must match a committed artifact.
+        for name in bench_refs(line) {
+            if !exists(&name) {
+                findings.push(Finding {
+                    file: path.to_string(),
+                    line: ln,
+                    rule: "doc-link-integrity",
+                    message: format!(
+                        "`{name}` is referenced but no such recording exists at the repo root"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Mutation self-tests: the detector fires on seeded breakage and stays
+// quiet on intact documentation.
+// ---------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world<'a>(files: &'a [&'a str]) -> impl Fn(&str) -> bool + 'a {
+        move |p: &str| files.contains(&p)
+    }
+
+    #[test]
+    fn doc_selection_covers_operator_set_only() {
+        assert!(is_checked_doc("README.md"));
+        assert!(is_checked_doc("ARCHITECTURE.md"));
+        assert!(is_checked_doc("ROADMAP.md"));
+        assert!(is_checked_doc("docs/OBSERVABILITY.md"));
+        assert!(is_checked_doc("crates/bench/README.md"));
+        assert!(!is_checked_doc("ISSUE.md"));
+        assert!(!is_checked_doc("SNIPPETS.md"));
+        assert!(!is_checked_doc("crates/bench/notes.md"));
+    }
+
+    #[test]
+    fn broken_relative_link_fires_and_valid_one_is_quiet() {
+        let ok = world(&["docs/OBSERVABILITY.md"]);
+        // Mutation: the guide renamed but the link not updated.
+        let f = check_doc_file("README.md", "see [the guide](docs/OLD.md)\n", &ok);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "doc-link-integrity");
+        assert_eq!(f[0].line, 1);
+
+        let f = check_doc_file("README.md", "see [the guide](docs/OBSERVABILITY.md)\n", &ok);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn links_resolve_relative_to_the_documents_directory() {
+        let ok = world(&["README.md", "docs/OBSERVABILITY.md"]);
+        // `../README.md` from inside docs/ lands at the root.
+        let f = check_doc_file("docs/OBSERVABILITY.md", "[back](../README.md)\n", &ok);
+        assert!(f.is_empty(), "{f:?}");
+        // Sibling reference without a prefix.
+        let f = check_doc_file("docs/OBSERVABILITY.md", "[self](OBSERVABILITY.md)\n", &ok);
+        assert!(f.is_empty(), "{f:?}");
+        // Escaping the repository root is always broken.
+        let f = check_doc_file("README.md", "[out](../secrets.md)\n", &ok);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn anchors_titles_and_external_urls_are_skipped() {
+        let none = world(&[]);
+        let text = "[a](#section) [b](https://example.com/x.md) \
+                    [c](mailto:x@y.z) [d](http://example.com)\n";
+        let f = check_doc_file("README.md", text, &none);
+        assert!(f.is_empty(), "{f:?}");
+
+        // An anchor on a real file checks the file part only.
+        let ok = world(&["ARCHITECTURE.md"]);
+        let f = check_doc_file("README.md", "[e](ARCHITECTURE.md#invariants)\n", &ok);
+        assert!(f.is_empty(), "{f:?}");
+        let f = check_doc_file("README.md", "[e](GONE.md#invariants)\n", &ok);
+        assert_eq!(f.len(), 1, "{f:?}");
+
+        // A `"title"` suffix does not join the path.
+        let f = check_doc_file("README.md", "[t](ARCHITECTURE.md \"the map\")\n", &ok);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn code_fences_and_inline_code_are_not_scanned_for_links() {
+        let none = world(&[]);
+        let fenced = "```rust\nlet x = v[i](arg); // [not](a-link.md)\n```\n";
+        let f = check_doc_file("README.md", fenced, &none);
+        assert!(f.is_empty(), "{f:?}");
+
+        let inline = "use `[text](target.md)` syntax for links\n";
+        let f = check_doc_file("README.md", inline, &none);
+        assert!(f.is_empty(), "{f:?}");
+
+        // Mutation: the same link outside the fence fires.
+        let outside = "[not](a-link.md)\n";
+        let f = check_doc_file("README.md", outside, &none);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn bench_reference_must_match_a_committed_recording() {
+        let ok = world(&["BENCH_latency.json"]);
+        let f = check_doc_file("docs/OBSERVABILITY.md", "read `BENCH_latency.json`\n", &ok);
+        assert!(f.is_empty(), "{f:?}");
+
+        // Mutation: the recording renamed out from under the docs.
+        let f = check_doc_file("docs/OBSERVABILITY.md", "read `BENCH_tail.json`\n", &ok);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("BENCH_tail.json"), "{f:?}");
+
+        // Nightly artifacts are uploaded, never committed: exempt.
+        let f = check_doc_file(
+            "docs/OBSERVABILITY.md",
+            "nightly writes BENCH_latency_nightly.json\n",
+            &ok,
+        );
+        assert!(f.is_empty(), "{f:?}");
+
+        // A bare `BENCH_` prefix without `.json` is prose, not a ref.
+        let f = check_doc_file("docs/OBSERVABILITY.md", "the BENCH_ recordings\n", &ok);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allow_comment_suppresses_a_vetted_line() {
+        let none = world(&[]);
+        let text = "[gone](missing.md) <!-- fiting-check: allow(doc-link-integrity) \
+                    example of a broken link -->\n";
+        let f = check_doc_file("README.md", text, &none);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

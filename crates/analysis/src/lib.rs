@@ -14,6 +14,10 @@
 //! | `forbid-unsafe` | `#![forbid(unsafe_code)]` present on every crate root |
 //! | `std-sync-quarantine` | `std::sync` lock primitives only inside `crates/compat/` |
 //! | `storage-io-unwrap` | no `.unwrap()` / `.expect(..)` on storage-crate Results outside `#[cfg(test)]` — I/O faults are expected inputs there, not bugs |
+//! | `reader-wait-free` | no `.read()` guard acquisition in reader hot-path modules or anywhere in `crates/telemetry/` — recording must never block a reader or worker |
+//! | `unsafe-safety-comment` | every `unsafe` site in the audited `crates/sync/` carries a per-site `// safety:` comment |
+//! | `sync-ordering-per-site` | every atomic-ordering site in `crates/sync/` carries its own `// ordering:` comment |
+//! | `doc-link-integrity` | relative links and `BENCH_*.json` references in the operator docs (README / ARCHITECTURE / ROADMAP / docs/ / crate READMEs) resolve to real files |
 //!
 //! The checker is a hand-rolled lexer (comments, strings, brace depth,
 //! `#[cfg(test)]` spans) over line-oriented scanning — no `syn`, no
@@ -25,9 +29,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod docs;
 pub mod lexer;
 pub mod rules;
 
+pub use docs::{check_doc_file, is_checked_doc};
 pub use rules::{check_file, parse_allowlist, AllowEntry, Finding};
 
 use std::path::{Path, PathBuf};
@@ -35,9 +41,9 @@ use std::path::{Path, PathBuf};
 /// Directories never scanned (build output, VCS, vendored references).
 const SKIP_DIRS: [&str; 4] = ["target", ".git", ".github", "related"];
 
-/// Recursively collects every `.rs` file under `dir`, skipping
+/// Recursively collects every file with `ext` under `dir`, skipping
 /// [`SKIP_DIRS`], in sorted order for deterministic output.
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+fn collect_ext(dir: &Path, ext: &str, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     let mut entries: Vec<_> = std::fs::read_dir(dir)?
         .filter_map(Result::ok)
         .map(|e| e.path())
@@ -47,9 +53,9 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
         if path.is_dir() {
             if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
-                collect_rs(&path, out)?;
+                collect_ext(&path, ext, out)?;
             }
-        } else if name.ends_with(".rs") {
+        } else if name.ends_with(ext) {
             out.push(path);
         }
     }
@@ -69,7 +75,7 @@ pub fn check_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
         Err(_) => Vec::new(),
     };
     let mut files = Vec::new();
-    collect_rs(root, &mut files)?;
+    collect_ext(root, ".rs", &mut files)?;
     let mut findings = Vec::new();
     let mut scanned = 0;
     for path in files {
@@ -83,6 +89,27 @@ pub fn check_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
             .replace('\\', "/");
         scanned += 1;
         findings.extend(check_file(&rel, &source, &allow));
+    }
+
+    // Operator documentation: relative links and bench recording
+    // references must resolve (`doc-link-integrity`).
+    let mut doc_files = Vec::new();
+    collect_ext(root, ".md", &mut doc_files)?;
+    let exists = |rel: &str| root.join(rel).exists();
+    for path in doc_files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if !is_checked_doc(&rel) {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        scanned += 1;
+        findings.extend(check_doc_file(&rel, &text, &exists));
     }
     Ok((findings, scanned))
 }

@@ -622,12 +622,21 @@ fn rule_storage_io_unwrap(path: &str, cf: &CleanFile) -> Vec<Finding> {
 const READER_HOT_PATH_MODULES: [&str; 2] =
     ["index-api/src/sharded.rs", "index-service/src/worker.rs"];
 
+/// Whole crates on the wait-free read path. The telemetry crate's
+/// recording surface (`Counter::add`, `Histogram::record`, the armed
+/// completers) is called *from* the reader/worker hot paths, so the
+/// same no-read-guard discipline applies to every module in it —
+/// readout may lock, recording may not.
+const READER_HOT_PATH_CRATES: [&str; 1] = ["crates/telemetry/src/"];
+
 /// No `RwLock`-style `.read()` guard acquisition in reader hot-path
 /// modules — shared access there goes through the wait-free primitives
-/// (`Snapshots::read`, `SeqRwLock::read_with`). Writer-side `.write()`
-/// guards stay legal: writers may block.
+/// (`Snapshots::read`, `SeqRwLock::read_with`) or plain atomics.
+/// Writer-side `.write()` guards stay legal: writers may block.
 fn rule_reader_wait_free(path: &str, cf: &CleanFile) -> Vec<Finding> {
-    if !READER_HOT_PATH_MODULES.iter().any(|m| path.ends_with(m)) {
+    let covered = READER_HOT_PATH_MODULES.iter().any(|m| path.ends_with(m))
+        || READER_HOT_PATH_CRATES.iter().any(|c| path.starts_with(c));
+    if !covered {
         return Vec::new();
     }
     let mut findings = Vec::new();
@@ -899,6 +908,14 @@ fn bump(&self) {
         let good = "fn get(&self) {\n    shard.read_with(|s| s.len());\n}\n";
         let f = check_file("crates/index-api/src/sharded.rs", good, &[]);
         assert!(!rules_of(&f).contains(&"reader-wait-free"), "{f:?}");
+
+        // The telemetry crate is covered wholesale: recording is
+        // called from the hot paths, so no module there may take a
+        // read guard.
+        let f = check_file("crates/telemetry/src/histogram.rs", bad, &[]);
+        assert!(rules_of(&f).contains(&"reader-wait-free"), "{f:?}");
+        let f = check_file("crates/telemetry/src/registry.rs", bad, &[]);
+        assert!(rules_of(&f).contains(&"reader-wait-free"), "{f:?}");
 
         // Writers may block; cold modules may take read guards.
         let writer = "fn put(&self) {\n    let mut g = shard.write();\n}\n";

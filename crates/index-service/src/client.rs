@@ -45,6 +45,7 @@
 
 use crate::command::Command;
 use crate::queue::{Closed, TryPushError};
+use crate::telemetry::Timed;
 use crate::ticket::{ticket, Completer, Outcome, Ticket};
 use crate::ServiceShared;
 use fiting_index_api::{Key, SortedIndex};
@@ -99,30 +100,60 @@ where
     /// Routes `cmd` to its shard queue, blocking while that queue is
     /// full. Fails only after shutdown, handing the command back (its
     /// ticket is canceled when the returned command is dropped).
+    ///
+    /// An accepted command is stamped on acceptance: the lane worker
+    /// measures its queue wait at drain and its end-to-end latency at
+    /// ticket resolution (see `docs/OBSERVABILITY.md`). The stamp is
+    /// taken *before* any backpressure blocking, so a submission that
+    /// waited out a full queue carries that wait in its latency — the
+    /// coordinated-omission-honest reading.
     pub fn submit(&self, cmd: Command<K, V>) -> Result<(), Closed<Command<K, V>>> {
         let shard = self.route(&cmd);
+        let kind = cmd.command_kind();
         // Count before pushing (undoing on rejection) so a stats
         // snapshot can never observe `processed > enqueued`.
         // ordering: Relaxed — monotonic stats counter, read only by
         // racy snapshots; the queue mutex orders the push itself.
         let enqueued = &self.shared.counters[shard].enqueued;
         enqueued.fetch_add(1, AtomicOrdering::Relaxed);
-        self.shared.queues[shard].push(cmd).inspect_err(|_| {
-            enqueued.fetch_sub(1, AtomicOrdering::Relaxed);
-        })
+        match self.shared.queues[shard].push(Timed::new(cmd)) {
+            Ok(()) => {
+                self.shared.telemetry.note_accepted(kind);
+                Ok(())
+            }
+            Err(Closed(timed)) => {
+                enqueued.fetch_sub(1, AtomicOrdering::Relaxed);
+                Err(Closed(timed.item))
+            }
+        }
     }
 
     /// Routes `cmd` without blocking: [`TryPushError::Busy`] hands the
     /// command back when the shard queue is at capacity — the explicit
-    /// backpressure signal.
+    /// backpressure signal, counted per kind as
+    /// `service.{kind}.rejected_busy`.
     pub fn try_submit(&self, cmd: Command<K, V>) -> Result<(), TryPushError<Command<K, V>>> {
         let shard = self.route(&cmd);
+        let kind = cmd.command_kind();
         // ordering: Relaxed — same advisory-counter contract as submit.
         let enqueued = &self.shared.counters[shard].enqueued;
         enqueued.fetch_add(1, AtomicOrdering::Relaxed);
-        self.shared.queues[shard].try_push(cmd).inspect_err(|_| {
-            enqueued.fetch_sub(1, AtomicOrdering::Relaxed);
-        })
+        match self.shared.queues[shard].try_push(Timed::new(cmd)) {
+            Ok(()) => {
+                self.shared.telemetry.note_accepted(kind);
+                Ok(())
+            }
+            Err(err) => {
+                enqueued.fetch_sub(1, AtomicOrdering::Relaxed);
+                Err(match err {
+                    TryPushError::Busy(timed) => {
+                        self.shared.telemetry.note_busy(kind);
+                        TryPushError::Busy(timed.item)
+                    }
+                    TryPushError::Closed(timed) => TryPushError::Closed(timed.item),
+                })
+            }
+        }
     }
 
     /// Submits a point lookup; blocks only on backpressure.

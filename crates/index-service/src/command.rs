@@ -7,6 +7,7 @@
 //! submit-then-wait flow is misuse-proof: there is no way to build a
 //! command whose result type disagrees with its ticket.
 
+use crate::telemetry::CommandKind;
 use crate::ticket::{ticket, Completer, Ticket};
 use std::ops::{Bound, RangeBounds};
 
@@ -119,16 +120,23 @@ impl<K, V> Command<K, V> {
         )
     }
 
+    /// The command's shape as a dense [`CommandKind`] — the index the
+    /// per-kind telemetry instruments key on.
+    #[must_use]
+    pub fn command_kind(&self) -> CommandKind {
+        match self {
+            Command::Get { .. } => CommandKind::Get,
+            Command::Range { .. } => CommandKind::Range,
+            Command::Insert { .. } => CommandKind::Insert,
+            Command::Remove { .. } => CommandKind::Remove,
+            Command::InsertMany { .. } => CommandKind::InsertMany,
+        }
+    }
+
     /// Short name for logs and stats.
     #[must_use]
     pub fn kind(&self) -> &'static str {
-        match self {
-            Command::Get { .. } => "get",
-            Command::Range { .. } => "range",
-            Command::Insert { .. } => "insert",
-            Command::Remove { .. } => "remove",
-            Command::InsertMany { .. } => "insert_many",
-        }
+        self.command_kind().as_str()
     }
 }
 

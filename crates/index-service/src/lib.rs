@@ -77,6 +77,7 @@ mod client;
 mod command;
 mod queue;
 mod stats;
+mod telemetry;
 mod ticket;
 mod worker;
 
@@ -84,6 +85,10 @@ pub use client::Client;
 pub use command::Command;
 pub use queue::{BoundedQueue, Closed, TryPushError};
 pub use stats::{LaneHealth, LaneServiceStats, ServiceStats};
+pub use telemetry::CommandKind;
+// Re-exported so embedders can aggregate service metrics into their
+// own registry without a separate fiting-telemetry import.
+pub use fiting_telemetry::{MetricsRegistry, MetricsSnapshot};
 // `Canceled` is re-exported as a bare name (it is a `CommandError`
 // variant) so pre-taxonomy call sites — `Err(Canceled)` — still read
 // and pattern-match unchanged.
@@ -101,6 +106,7 @@ use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+use telemetry::{ServiceTelemetry, Timed};
 
 /// Tuning for one [`IndexService`].
 #[derive(Debug, Clone)]
@@ -197,8 +203,13 @@ pub(crate) struct ServiceShared<K: Key, V: Clone, I: SortedIndex<K, V> + 'static
     /// service start, frozen so key → lane (and therefore per-key
     /// ordering) is stable while shard boundaries move underneath.
     pub(crate) router: Vec<K>,
-    pub(crate) queues: Vec<BoundedQueue<Command<K, V>>>,
+    /// Queue payloads carry their acceptance stamp so the worker can
+    /// measure queue wait and arm end-to-end recording at drain time.
+    pub(crate) queues: Vec<BoundedQueue<Timed<Command<K, V>>>>,
     pub(crate) counters: Vec<WorkerCounters>,
+    /// Per-kind latency histograms and submission counters; recording
+    /// is a single relaxed atomic, shared by clients and workers.
+    pub(crate) telemetry: Arc<ServiceTelemetry>,
     /// Per-lane health words (see [`LaneHealth`]); written by the
     /// workers (Healthy/Degraded/Poisoned) and the supervisor
     /// (Recovering/Healthy), read by stats snapshots.
@@ -222,6 +233,33 @@ impl<K: Key, V: Clone, I: SortedIndex<K, V> + 'static> ServiceShared<K, V, I> {
     /// The lane owning `key` under the frozen router.
     pub(crate) fn lane_of(&self, key: &K) -> usize {
         self.router.partition_point(|b| b <= key)
+    }
+
+    /// Assembles the whole-service stats snapshot (shared by
+    /// [`IndexService::stats`] and the metrics collector, which holds
+    /// only a `Weak` to this struct).
+    pub(crate) fn service_stats(&self) -> ServiceStats {
+        ServiceStats {
+            lanes: self
+                .counters
+                .iter()
+                .enumerate()
+                .map(|(lane, counters)| {
+                    LaneServiceStats::from_counters(
+                        lane,
+                        self.queues[lane].len(),
+                        self.queues[lane].capacity(),
+                        counters,
+                        self.lane_state[lane].get(),
+                    )
+                })
+                .collect(),
+            shards: self.index.shard_stats(),
+            rebalance: self.rebalance.as_ref().map(|c| c.snapshot()),
+            routing: self.index.routing_stats(),
+            // ordering: Relaxed — advisory stats counter.
+            checkpoint_failures: self.checkpoint_failures.load(AtomicOrdering::Relaxed),
+        }
     }
 }
 
@@ -443,6 +481,7 @@ where
                 .collect(),
             counters: (0..lanes).map(|_| WorkerCounters::default()).collect(),
             lane_state: (0..lanes).map(|_| LaneState::default()).collect(),
+            telemetry: Arc::new(ServiceTelemetry::new()),
             checkpoint_failures: AtomicU64::new(0),
             index,
             router,
@@ -478,31 +517,40 @@ where
     /// — the rebalancing totals.
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
-        ServiceStats {
-            lanes: self
-                .shared
-                .counters
-                .iter()
-                .enumerate()
-                .map(|(lane, counters)| {
-                    LaneServiceStats::from_counters(
-                        lane,
-                        self.shared.queues[lane].len(),
-                        self.shared.queues[lane].capacity(),
-                        counters,
-                        self.shared.lane_state[lane].get(),
-                    )
-                })
-                .collect(),
-            shards: self.shared.index.shard_stats(),
-            rebalance: self.shared.rebalance.as_ref().map(|c| c.snapshot()),
-            routing: self.shared.index.routing_stats(),
-            // ordering: Relaxed — advisory stats counter.
-            checkpoint_failures: self
-                .shared
-                .checkpoint_failures
-                .load(AtomicOrdering::Relaxed),
-        }
+        self.shared.service_stats()
+    }
+
+    /// Unified metrics snapshot: per-command-kind latency histograms
+    /// (end-to-end, queue wait, execute) and submission counters from
+    /// the telemetry layer, plus the pipeline / shard / routing /
+    /// durability counters of [`stats`](Self::stats) translated into
+    /// the same typed schema. Serialize with
+    /// [`MetricsSnapshot::to_json`]; the metric catalog is documented
+    /// in `docs/OBSERVABILITY.md`.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut metrics = self.shared.telemetry.metrics();
+        metrics.extend(telemetry::stats_metrics(&self.shared.service_stats()));
+        MetricsSnapshot { metrics }
+    }
+
+    /// Registers this service's metrics with an external
+    /// [`MetricsRegistry`]: a collector closure holding a `Weak`
+    /// reference contributes everything [`metrics`](Self::metrics)
+    /// reports to each [`MetricsRegistry::snapshot`]. After the
+    /// service shuts down (and its last client is dropped) the
+    /// collector quietly contributes nothing — the registry never
+    /// keeps a dead service alive.
+    pub fn install_metrics(&self, registry: &MetricsRegistry) {
+        let weak = Arc::downgrade(&self.shared);
+        registry.register_collector(move || {
+            let Some(shared) = weak.upgrade() else {
+                return Vec::new();
+            };
+            let mut metrics = shared.telemetry.metrics();
+            metrics.extend(telemetry::stats_metrics(&shared.service_stats()));
+            metrics
+        });
     }
 
     /// Shared handle to the underlying index (same shards the workers
@@ -786,10 +834,105 @@ mod tests {
                 Err(TryPushError::Closed(_)) => panic!("service is open"),
             }
         }
+        // Busy rejections are counted per kind before shutdown tears
+        // the service down.
+        let rejected = svc.metrics().counter("service.insert.rejected_busy");
         let index = svc.shutdown();
         assert_eq!(index.len(), 1_100);
         // On a capacity-1 queue some pushes must have seen Busy.
         assert!(busy > 0, "expected at least one backpressure rejection");
+        assert_eq!(rejected, Some(busy));
+    }
+
+    #[test]
+    fn metrics_snapshot_reflects_traffic() {
+        let svc = start(1_000, 2, ServiceConfig::default());
+        let client = svc.client();
+        let tickets: Vec<_> = (0..100u64).map(|k| client.insert(k * 2 + 1, k)).collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert_eq!(client.get(0).wait(), Ok(Some(0)));
+
+        let snap = svc.metrics();
+        // Every resolved command recorded an end-to-end and a
+        // queue-wait sample under its kind.
+        let e2e = snap.histogram("service.insert.end_to_end").unwrap();
+        assert_eq!(e2e.count(), 100);
+        assert!(e2e.max() > 0);
+        assert!(e2e.percentile(50.0) <= e2e.percentile(99.0));
+        assert_eq!(
+            snap.histogram("service.insert.queue_wait").unwrap().count(),
+            100
+        );
+        assert_eq!(snap.histogram("service.get.end_to_end").unwrap().count(), 1);
+        assert_eq!(snap.counter("service.insert.submitted"), Some(100));
+        assert_eq!(snap.counter("service.get.submitted"), Some(1));
+        assert_eq!(snap.counter("service.insert.rejected_busy"), Some(0));
+        // Execute samples are per coalesced run: at least one, never
+        // more than one per command.
+        let execute = snap.histogram("service.insert.execute").unwrap();
+        assert!(execute.count() >= 1 && execute.count() <= 100);
+        // The stats translation rides in the same snapshot.
+        assert_eq!(snap.counter("service.processed"), Some(101));
+        assert_eq!(snap.gauge("service.lanes"), Some(2.0));
+        assert_eq!(snap.gauge("service.degraded"), Some(0.0));
+        assert!(snap.gauge("index.entries").unwrap() >= 1_000.0);
+        // The exported document is valid JSON with the histogram
+        // summary fields.
+        let text = snap.to_json().pretty();
+        let back = fiting_telemetry::Json::parse(&text).unwrap();
+        assert!(back
+            .get("service.insert.end_to_end")
+            .and_then(|m| m.get("p99"))
+            .and_then(fiting_telemetry::Json::as_f64)
+            .is_some());
+        let _ = svc.shutdown();
+    }
+
+    #[test]
+    fn registry_collector_goes_quiet_after_shutdown() {
+        let registry = MetricsRegistry::new();
+        let svc = start(100, 1, ServiceConfig::default());
+        svc.install_metrics(&registry);
+        let client = svc.client();
+        client.insert(1, 1).wait().unwrap();
+        assert_eq!(
+            registry.snapshot().counter("service.insert.submitted"),
+            Some(1)
+        );
+        drop(client);
+        let _ = svc.shutdown();
+        // The collector holds only a Weak: once the service (and every
+        // client) is gone it contributes nothing instead of keeping
+        // the pipeline alive.
+        assert_eq!(registry.snapshot().metrics.len(), 0);
+    }
+
+    #[test]
+    fn canceled_commands_do_not_pollute_latency() {
+        // Poison the lane mid-stream: the canceled tickets must not
+        // record end-to-end samples (their wall time measures
+        // teardown), while the pre-panic insert does.
+        let index: ShardedIndex<u64, u64, PanicOnKey> =
+            ShardedIndex::bulk_load(&(), 1, (0..10u64).map(|k| (k, k)).collect()).unwrap();
+        let svc = IndexService::start(index, ServiceConfig::default());
+        let client = svc.client();
+        assert_eq!(client.insert(20, 1).wait(), Ok(None));
+        assert_eq!(client.insert(BOOM_KEY, 0).wait(), Err(Canceled));
+        let behind: Vec<_> = (0..20u64).map(|k| client.insert(30 + k, k)).collect();
+        for t in behind {
+            assert_eq!(t.wait(), Err(Canceled));
+        }
+        await_panics(&svc, 0, 1);
+        let snap = svc.metrics();
+        // Only the successful pre-panic insert recorded end-to-end.
+        assert_eq!(
+            snap.histogram("service.insert.end_to_end").unwrap().count(),
+            1
+        );
+        assert_eq!(snap.counter("service.panics"), Some(1));
+        let _ = svc.shutdown();
     }
 
     #[test]

@@ -237,29 +237,33 @@ impl<T> Completer<T> {
         }
     }
 
-    /// Resolves the ticket with `value`.
-    pub fn complete(mut self, value: T) {
+    /// Resolves the ticket with an already-shaped [`Outcome`] — the
+    /// forwarding primitive for completer *wrappers* (telemetry's
+    /// latency recorder, the client's `insert_many` fan-in) that pass
+    /// a resolution through unchanged.
+    pub fn resolve(mut self, outcome: Outcome<T>) {
         if let Some(sink) = self.sink.take() {
-            sink(Outcome::Done(value));
+            sink(outcome);
         }
+    }
+
+    /// Resolves the ticket with `value`.
+    pub fn complete(self, value: T) {
+        self.resolve(Outcome::Done(value));
     }
 
     /// Resolves the ticket as [`Canceled`](CommandError::Canceled)
     /// (same as dropping, but explicit at call sites that decline a
     /// command on purpose).
-    pub fn cancel(mut self) {
-        if let Some(sink) = self.sink.take() {
-            sink(Outcome::Canceled);
-        }
+    pub fn cancel(self) {
+        self.resolve(Outcome::Canceled);
     }
 
     /// Resolves the ticket as [`Degraded`](CommandError::Degraded):
     /// the write was refused fast by a read-only shard, not lost in
     /// flight.
-    pub fn degrade(mut self) {
-        if let Some(sink) = self.sink.take() {
-            sink(Outcome::Degraded);
-        }
+    pub fn degrade(self) {
+        self.resolve(Outcome::Degraded);
     }
 }
 

@@ -77,6 +77,7 @@
 
 use crate::command::Command;
 use crate::stats::LaneHealth;
+use crate::telemetry;
 use crate::ticket::Completer;
 use crate::ServiceShared;
 use fiting_index_api::{Key, SortedIndex};
@@ -84,7 +85,7 @@ use std::panic::AssertUnwindSafe;
 // ordering: worker counters are monotonic statistics — nothing reads
 // them to synchronize, so Relaxed is sufficient everywhere here.
 use std::sync::atomic::Ordering;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One point write travelling through a grouped run: what to do to the
 /// key, and the completer to resolve with the previous value.
@@ -104,22 +105,33 @@ fn as_point_write<K: Key, V: Clone>(cmd: Command<K, V>) -> Option<(K, PointWrite
 }
 
 /// The body of lane `lane`'s worker thread.
-pub(crate) fn run<K: Key, V: Clone, I: SortedIndex<K, V> + 'static>(
-    lane: usize,
-    shared: &ServiceShared<K, V, I>,
-) {
+pub(crate) fn run<K, V, I>(lane: usize, shared: &ServiceShared<K, V, I>)
+where
+    K: Key + Send + 'static,
+    V: Clone + Send + 'static,
+    I: SortedIndex<K, V> + 'static,
+{
     let queue = &shared.queues[lane];
     let sync_batches = shared
         .durability
         .as_ref()
         .is_some_and(|d| d.sync_each_batch);
     loop {
-        let batch = queue.pop_batch(shared.config.max_batch, shared.config.batch_window);
-        if batch.is_empty() {
+        let drained = queue.pop_batch(shared.config.max_batch, shared.config.batch_window);
+        if drained.is_empty() {
             // Closed and fully drained: every accepted command has
             // been executed and completed.
             return;
         }
+        // One timestamp for the whole drain: each command's queue wait
+        // is measured here (drain side), and its completer is armed to
+        // record end-to-end latency when the ticket resolves — the
+        // submitter's hot path only stamps.
+        let now = Instant::now();
+        let batch: Vec<Command<K, V>> = drained
+            .into_iter()
+            .map(|timed| telemetry::observe_dequeue(&shared.telemetry, timed, now))
+            .collect();
         shared.counters[lane].note_batch(batch.len());
         let had_writes = batch.iter().any(Command::is_write);
         // Contain panics from the index structure (or a completer
@@ -204,6 +216,11 @@ fn execute_batch<K: Key, V: Clone, I: SortedIndex<K, V> + 'static>(
     // (a mutex) orders the results themselves.
     let mut cmds = batch.into_iter().peekable();
     while let Some(cmd) = cmds.next() {
+        // Execute time is recorded per *run* (the coalescing
+        // granularity — one grouped index call), attributed to the
+        // run's first command's kind.
+        let kind = cmd.command_kind();
+        let run_started = Instant::now();
         match cmd {
             Command::Range { lo, hi, done } => {
                 done.complete(shared.index.range_collect((lo, hi)));
@@ -310,6 +327,10 @@ fn execute_batch<K: Key, V: Clone, I: SortedIndex<K, V> + 'static>(
                 }
             }
         }
+        shared
+            .telemetry
+            .execute(kind)
+            .record_duration(run_started.elapsed());
     }
     refused
 }

@@ -1,0 +1,140 @@
+//! Lock-free counters and gauges behind cache-padded atomics.
+//!
+//! Hot-path instruments: recording is a single relaxed atomic
+//! operation, and each instrument owns its own cache line so two
+//! counters incremented by different threads never false-share.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Pads (and aligns) `T` to 128 bytes — two 64-byte cache lines, so
+/// the adjacent-line prefetcher cannot couple neighbouring instruments
+/// either. Same technique as crossbeam's `CachePadded`.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps a value in its own cache line.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+/// A monotonic event counter. Incrementing is one relaxed `fetch_add`
+/// on a cache-padded atomic — wait-free, never blocks a hot path.
+#[derive(Debug, Default)]
+pub struct Counter {
+    cell: CachePadded<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub const fn new() -> Counter {
+        Counter {
+            cell: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        // ordering: Relaxed — the counter is an independent statistic;
+        // readers only need eventual per-counter monotonicity, never a
+        // happens-before edge with other memory.
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        // ordering: Relaxed — see `add`.
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time measurement (queue depth, occupancy ratio, …):
+/// last-write-wins `set`/`get` on a cache-padded atomic storing the
+/// value's `f64` bits.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    cell: CachePadded<AtomicU64>,
+}
+
+impl Gauge {
+    /// A gauge at `0.0`.
+    #[must_use]
+    pub const fn new() -> Gauge {
+        Gauge {
+            cell: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Overwrites the current value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        // ordering: Relaxed — last-write-wins sample with no
+        // cross-memory publication; staleness is inherent to gauges.
+        self.cell.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        // ordering: Relaxed — see `set`.
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let c = Arc::new(Counter::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn gauge_round_trips_f64() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(1.875);
+        assert_eq!(g.get(), 1.875);
+        g.set(-0.5);
+        assert_eq!(g.get(), -0.5);
+    }
+
+    #[test]
+    fn padding_gives_each_instrument_its_own_lines() {
+        assert!(std::mem::size_of::<Counter>() >= 128);
+        assert_eq!(std::mem::align_of::<Counter>(), 128);
+    }
+}

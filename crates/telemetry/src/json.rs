@@ -1,11 +1,16 @@
 //! Minimal JSON value: writer + recursive-descent parser.
 //!
 //! The benchmark harness records machine-readable result files
-//! (`BENCH_*.json`) and the CI smoke gate reads them back. The build
-//! environment has no registry access, so instead of `serde_json` this
-//! is a ~200-line self-contained implementation covering exactly the
-//! JSON subset the harness emits: objects (insertion-ordered), arrays,
-//! strings, finite numbers, booleans, and null.
+//! (`BENCH_*.json`), the CI smoke gates read them back, and
+//! [`MetricsSnapshot`](crate::MetricsSnapshot) exports through the
+//! same codec. The build environment has no registry access, so
+//! instead of `serde_json` this is a ~200-line self-contained
+//! implementation covering exactly the JSON subset those callers
+//! emit: objects (insertion-ordered), arrays, strings, finite
+//! numbers, booleans, and null. It started life in `fiting-bench`
+//! (which still re-exports it as `fiting_bench::json`) and moved here
+//! so the service crates can serialize snapshots without depending on
+//! the bench harness.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -1,0 +1,40 @@
+//! Observability layer for the FITing-Tree service stack.
+//!
+//! Three pieces, all std-only and lock-free on the recording path:
+//!
+//! * [`Counter`] / [`Gauge`] — monotonic event counts and
+//!   last-write-wins samples behind cache-padded relaxed atomics
+//!   ([`CachePadded`] keeps unrelated instruments off each other's
+//!   cache lines).
+//! * [`Histogram`] — a log-bucketed HDR-style latency histogram:
+//!   fixed 3968-bucket layout (1 ns exact below 128 ns, 128 linear
+//!   sub-buckets per power-of-two octave up to ~137 s), O(1) wait-free
+//!   `record`, exact `count`/`max`, ≤ 1 % relative-error
+//!   [`percentile`](HistogramSnapshot::percentile) readout, and
+//!   lossless cross-thread [`merge`](HistogramSnapshot::merge).
+//! * [`MetricsRegistry`] — names the instruments and unifies them
+//!   (plus *collector* closures bridging subsystems with their own
+//!   stats structs: per-lane, per-shard, routing, durability) into one
+//!   typed [`MetricsSnapshot`], serializable through the workspace's
+//!   serde-free [`json`] codec.
+//!
+//! The recording invariant — **a metric record never blocks a reader
+//! or worker hot path** — is enforced statically: the `fiting-check`
+//! `reader-wait-free` rule covers this crate, and the registry lock is
+//! reachable only from registration and snapshot, both cold paths.
+//!
+//! `docs/OBSERVABILITY.md` at the repo root catalogs every metric the
+//! service exports through this crate and how to read it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod histogram;
+pub mod json;
+pub mod registry;
+
+pub use counter::{CachePadded, Counter, Gauge};
+pub use histogram::{Histogram, HistogramSnapshot, BUCKETS, MAX_TRACKABLE_NANOS};
+pub use json::Json;
+pub use registry::{Metric, MetricValue, MetricsRegistry, MetricsSnapshot, Unit};

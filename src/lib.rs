@@ -17,6 +17,11 @@
 //!   snapshot publication (`Snapshots`) and the per-shard seqlock
 //!   (`SeqRwLock`), the audited foundation of `ShardedIndex`'s
 //!   zero-lock steady-state reads.
+//! * [`telemetry`] — the observability layer: wait-free counters,
+//!   gauges, and log-bucketed latency histograms (≤ 1 % relative
+//!   error, mergeable snapshots) unified by `MetricsRegistry`;
+//!   `IndexService::metrics` / `install_metrics` report through it.
+//!   The metric catalog and runbook live in `docs/OBSERVABILITY.md`.
 //! * [`tree`] — the FITing-Tree itself (clustered + non-clustered index,
 //!   insert path, cost model). This is the paper's contribution.
 //! * [`plr`] — bounded-error piecewise-linear segmentation
@@ -45,6 +50,7 @@ pub use fiting_index_service as service;
 pub use fiting_plr as plr;
 pub use fiting_storage as storage;
 pub use fiting_sync as sync;
+pub use fiting_telemetry as telemetry;
 pub use fiting_tree as tree;
 
 pub use fiting_index_api::{
